@@ -1,0 +1,72 @@
+// Command phishtrain trains and evaluates the system's machine-learning
+// components with the paper's protocols: the input-field classifier
+// (Table 6: 1,000 train / 310 test), the CAPTCHA/button/logo object
+// detector (Table 5: generated pages train/val/test), and the terminal-page
+// classifier (Section 5.2.3: 200 train / 100 test, reject at 0.65).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/fielddata"
+	"repro/internal/metrics"
+	"repro/internal/pagegen"
+	"repro/internal/report"
+	"repro/internal/termclass"
+	"repro/internal/textclass"
+	"repro/internal/vision"
+)
+
+func main() {
+	fields := flag.Bool("fields", false, "train and evaluate the input-field classifier (Table 6)")
+	detector := flag.Bool("detector", false, "train and evaluate the object detector (Table 5)")
+	terminal := flag.Bool("terminal", false, "train and evaluate the terminal-page classifier")
+	trainPages := flag.Int("detector-train", 2000, "generated pages for detector training (paper: 10,000)")
+	valPages := flag.Int("detector-val", 200, "validation pages (paper: 1,000)")
+	testPages := flag.Int("detector-test", 400, "test pages (paper: 2,000)")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+	if !*fields && !*detector && !*terminal {
+		*fields, *detector, *terminal = true, true, true
+	}
+
+	if *fields {
+		corpus := fielddata.Corpus(*seed)
+		train, test := fielddata.Split(corpus)
+		m, err := textclass.Train(train, textclass.TrainConfig{Seed: *seed, Epochs: 40})
+		if err != nil {
+			log.Fatalf("training field classifier: %v", err)
+		}
+		conf := metrics.NewConfusion()
+		for _, s := range test {
+			pred, _ := m.Predict(s.Text)
+			conf.Add(s.Label, pred)
+		}
+		fmt.Println(report.Table6(conf))
+	}
+
+	if *detector {
+		fmt.Printf("Training detector on %d generated pages (validating on %d, testing on %d)...\n",
+			*trainPages, *valPages, *testPages)
+		d, err := vision.Train(pagegen.GenerateSet(*trainPages, *seed+1, pagegen.Config{}), *seed+2)
+		if err != nil {
+			log.Fatalf("training detector: %v", err)
+		}
+		val := vision.Evaluate(d, pagegen.GenerateSet(*valPages, *seed+3, pagegen.Config{}))
+		fmt.Printf("Validation mean AP: %.1f (paper: 91.9)\n", val.MeanAP*100)
+		test := vision.Evaluate(d, pagegen.GenerateSet(*testPages, *seed+4, pagegen.Config{}))
+		fmt.Println(report.Table5(test))
+	}
+
+	if *terminal {
+		c, err := termclass.Train(*seed + 5)
+		if err != nil {
+			log.Fatalf("training terminal classifier: %v", err)
+		}
+		acc := c.Evaluate(*seed+6, termclass.TestSize)
+		fmt.Printf("Terminal-page classifier accuracy on %d held-out samples: %.1f%% (paper: 97%%)\n",
+			termclass.TestSize, acc*100)
+	}
+}

@@ -1,0 +1,84 @@
+// Browserguard demonstrates the defense sketched in the paper's Discussion
+// (Section 6): a user starts typing credentials into a suspicious page; the
+// browser buffers the keystrokes instead of delivering them, and in the
+// background an intelligent-crawler session interacts with the page using
+// forged data. If the investigation finds phishing behaviour the buffered
+// data is discarded and the user alerted; a benign page gets the buffer
+// replayed transparently.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fielddata"
+	"repro/internal/guard"
+	"repro/internal/phishserver"
+	"repro/internal/site"
+)
+
+func main() {
+	phish := &site.Site{ID: "ph", Host: "account-verify-billing.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: `<html><head>
+<script type="application/x-behavior">{"listeners":[{"target":"input","event":"keydown","action":"send-data"}]}</script>
+</head><body><form action="/"><div><label>Email</label><input name="e"></div>
+<div><label>Password</label><input type="password" name="p"></div><button>Verify</button></form></body></html>`,
+				Next: "/card", Mode: site.NextRedirect},
+			{Path: "/card", HTML: `<html><body><form action="/card">
+<div><label>Card number</label><input name="c"></div><div><label>CVV</label><input name="v"></div>
+<button>Confirm</button></form></body></html>`, Next: "/ok", Mode: site.NextRedirect},
+			{Path: "/ok", HTML: `<html><body><div>Congratulations! Your account has been verified successfully.</div></body></html>`},
+		}, Images: map[string][]byte{}}
+
+	benign := &site.Site{ID: "ok", Host: "mail.legit-corp.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: `<html><body><form action="/">
+<div><label>Email</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="pw"></div>
+<button>Sign in</button></form></body></html>`,
+				Next: "/inbox", Mode: site.NextRedirect,
+				// A real account check: unknown credentials are rejected.
+				Validate: map[string]string{"pw": site.ValidateEmail}},
+			{Path: "/inbox", HTML: "<html><body>inbox</body></html>"},
+		}, Images: map[string][]byte{}}
+
+	reg := phishserver.NewRegistry()
+	reg.AddSite(phish)
+	reg.AddSite(benign)
+	classifier, err := fielddata.TrainDefault(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &crawler.Crawler{
+		Classifier: classifier,
+		NewBrowser: func() *browser.Browser {
+			return browser.New(browser.Options{Transport: phishserver.Transport{Registry: reg}})
+		},
+		FakerSeed: 11,
+	}
+
+	for _, target := range []*site.Site{phish, benign} {
+		fmt.Printf("User opens %s and starts typing...\n", target.SeedURL())
+		buf := guard.NewBuffer()
+		buf.TypeString("email", "victim@example.com")
+		buf.TypeString("password", "Tr0ub4dor&3")
+		fmt.Printf("  %d fields buffered by the browser (nothing delivered to the page)\n", buf.Len())
+
+		fmt.Println("  Background investigation crawls the page with forged data...")
+		verdict := guard.Judge(c.Crawl(target.SeedURL()))
+		for _, s := range verdict.Signals {
+			fmt.Printf("    signal %-24s +%d  %s\n", s.Name, s.Weight, s.Detail)
+		}
+		if verdict.Phishing {
+			buf.Discard()
+			fmt.Printf("  VERDICT: PHISHING (score %d) — user alerted, buffer discarded (%d fields remain)\n\n",
+				verdict.Score, buf.Len())
+		} else {
+			fmt.Printf("  VERDICT: benign (score %d) — replaying %d buffered fields into the page\n\n",
+				verdict.Score, buf.Len())
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Multistage reproduces the Figure 2 case study: a Netflix-style six-page
+// phishing flow (click-through, click-through, subscription page, payment
+// page, OTP page, "congratulations" terminal) served over a real TCP
+// listener, crawled end-to-end by the intelligent crawler — including the
+// fake 2FA prompt it answers with a forged code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/url"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fielddata"
+	"repro/internal/fieldspec"
+	"repro/internal/phishserver"
+	"repro/internal/site"
+)
+
+func netflixSite() *site.Site {
+	page := func(body string) string {
+		return `<html><head><title>Watch anywhere</title></head><body>
+<div style="background-color: maroon; height: 28px"><span style="color:white">NETFLIX</span></div>` + body + `</body></html>`
+	}
+	return &site.Site{
+		ID: "fig2", Host: "netfl1x-billing.test", Brand: "Netflix",
+		Pages: []*site.Page{
+			{Path: "/", HTML: page(`<div><p>See what's next. Watch anywhere. Cancel anytime.</p></div>
+<a class="btn" href="/plan">Next</a>`)},
+			{Path: "/plan", HTML: page(`<div><p>Choose the plan that's right for you. Downgrade or upgrade at any time.</p></div>
+<a class="btn" href="/signup">Continue</a>`)},
+			{Path: "/signup", HTML: page(`<div><p>Create your account to start your membership.</p></div>
+<form action="/signup"><div><label>Email address</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="password"></div>
+<button>Start membership</button></form>`),
+				Next: "/payment", Mode: site.NextRedirect,
+				Validate: map[string]string{"email": site.ValidateEmail}},
+			{Path: "/payment", HTML: page(`<div><p>Set up your payment. You can cancel at any time.</p></div>
+<form action="/payment"><div><label>Name on card</label><input name="nm"></div>
+<div><label>Card number</label><input name="card"></div>
+<div><label>Expiration date MM/YY</label><input name="exp"></div>
+<div><label>CVV security code</label><input name="cvv"></div>
+<button>Save payment</button></form>`),
+				Next: "/otp", Mode: site.NextRedirect,
+				Validate: map[string]string{"card": site.ValidateLuhn}},
+			{Path: "/otp", HTML: page(`<form action="/otp">
+<div><span>Enter the one time password sent to your phone</span><input name="code"></div>
+<button>Confirm</button></form>`),
+				Next: "/done", Mode: site.NextRedirect,
+				Validate: map[string]string{"code": site.ValidateDigits}},
+			{Path: "/done", HTML: page(`<div><p>Congratulations! Your membership has been reactivated. Enjoy!</p></div>`)},
+		},
+		Images: map[string][]byte{},
+	}
+}
+
+func main() {
+	s := netflixSite()
+	srv := phishserver.Listen(s) // real TCP
+	defer srv.Close()
+	fmt.Printf("Serving the Figure 2 flow at %s\n\n", srv.URL)
+
+	classifier, err := fielddata.TrainDefault(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := &crawler.Crawler{
+		Classifier: classifier,
+		NewBrowser: func() *browser.Browser { return browser.New(browser.Options{}) },
+		FakerSeed:  7,
+	}
+	logres := c.Crawl(srv.URL + "/")
+	for _, pg := range logres.Pages {
+		u, _ := url.Parse(pg.URL)
+		fmt.Printf("Page %d %-10s", pg.Index+1, u.Path)
+		switch {
+		case len(pg.Fields) == 0 && pg.SubmitMethod != "":
+			fmt.Printf(" click-through (%s)\n", pg.SubmitMethod)
+		case len(pg.Fields) == 0:
+			fmt.Printf(" terminal: %.60q\n", pg.Text)
+		default:
+			fmt.Println(" data page:")
+			for _, f := range pg.Fields {
+				fmt.Printf("    %-8s <- %q\n", f.Label, f.Value)
+				if f.Label == fieldspec.Code && fieldspec.IsTwoFactorLabel(f.Description) {
+					fmt.Println("    ^ fake 2FA prompt answered with a forged code (Section 5.3.3)")
+				}
+			}
+		}
+	}
+	fmt.Printf("\nOutcome: %s over %d pages — the full victim UX, start to finish.\n",
+		logres.Outcome, len(logres.Pages))
+}

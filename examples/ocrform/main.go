@@ -1,0 +1,78 @@
+// Ocrform reproduces the Figure 3 evasion and its defeat: a phishing page
+// whose field labels exist only inside a background image, with anonymous
+// input boxes positioned on top. DOM analysis sees nothing useful; the
+// crawler falls back to OCR on the rendered page, recovers the labels, and
+// classifies and fills the fields anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/dom"
+	"repro/internal/fielddata"
+	"repro/internal/layout"
+	"repro/internal/phishserver"
+	"repro/internal/raster"
+	"repro/internal/site"
+)
+
+func main() {
+	// Build the page: spacer spans reserve room for labels that will live
+	// only in the background image.
+	formHTML := `<form action="/">
+<div><span style="width:170px"> </span><input name="fld1"></div>
+<div><span style="width:170px"> </span><input name="fld2"></div>
+<div><span style="width:170px"> </span><input name="fld3"></div>
+<button>Verify</button></form>`
+	wrap := func(bg string) string {
+		return `<html><body><div id="w" style="background-image:url(` + bg + `)">` + formHTML + `</div></body></html>`
+	}
+	// Compute the input positions, then paint the labels beside them.
+	probe := dom.Parse(wrap("/x.pxi"))
+	lay := layout.Compute(probe, browser.ViewportWidth)
+	wrapBox, _ := lay.Box(probe.ElementByID("w"))
+	labels := []string{"SOCIAL SECURITY NUMBER", "CARD NUMBER", "CVV SECURITY CODE"}
+	bg := raster.New(wrapBox.W, wrapBox.H, raster.White)
+	for i, in := range probe.ElementsByTag("input") {
+		box, _ := lay.Box(in)
+		x := box.X - wrapBox.X - raster.StringWidth(labels[i]) - 10
+		bg.DrawString(labels[i], x, box.Y-wrapBox.Y+3, raster.Black)
+	}
+
+	s := &site.Site{
+		ID: "fig3", Host: "usaa-secure.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: wrap("/bg.pxi"), Next: "/done", Mode: site.NextRedirect},
+			{Path: "/done", HTML: "<html><body><div>Thank you. Your information was received.</div></body></html>"},
+		},
+		Images: map[string][]byte{"/bg.pxi": raster.Encode(bg)},
+	}
+	fmt.Println("The page's DOM contains three anonymous inputs and NO label text:")
+	fmt.Println("  " + strings.ReplaceAll(formHTML, "\n", "\n  "))
+	fmt.Println()
+
+	classifier, err := fielddata.TrainDefault(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := phishserver.NewRegistry()
+	reg.AddSite(s)
+	c := &crawler.Crawler{
+		Classifier: classifier,
+		NewBrowser: func() *browser.Browser {
+			return browser.New(browser.Options{Transport: phishserver.Transport{Registry: reg}})
+		},
+		FakerSeed: 5,
+	}
+	res := c.Crawl(s.SeedURL())
+	for _, f := range res.Pages[0].Fields {
+		fmt.Printf("OCR read %-28q -> classified %-8s (conf %.2f) -> forged %q\n",
+			f.Description, f.Label, f.Confidence, f.Value)
+	}
+	fmt.Printf("\nOutcome: %s (%d pages) — the Figure 3 evasion did not stop the crawler.\n",
+		res.Outcome, len(res.Pages))
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"repro/internal/brands"
+	"repro/internal/crawler"
+	"repro/internal/visualphish"
+)
+
+// BrandGallery builds the VisualPhishNet-style gallery from the brand
+// catalogue's legitimate-site designs.
+func BrandGallery() *visualphish.Gallery {
+	g := visualphish.NewGallery()
+	for _, b := range brands.All() {
+		g.AddCropped(b.Name, b.LegitScreenshot())
+	}
+	return g
+}
+
+// CloningResult holds the Table 3 measurement for one brand.
+type CloningResult struct {
+	Brand       string
+	Sampled     int
+	NonCloning  int
+	NonClonePct float64
+}
+
+// Cloning reproduces Table 3: for each requested brand, sample up to
+// perBrand first-page screenshots (as embeddings) and count how many do NOT
+// match the brand's legitimate design in the gallery — the pages that
+// impersonate without cloning. The paper samples 50 per brand across
+// campaigns.
+func Cloning(logs []*crawler.SessionLog, g *visualphish.Gallery, brandNames []string, perBrand int) []CloningResult {
+	wanted := map[string]bool{}
+	for _, b := range brandNames {
+		wanted[b] = true
+	}
+	sampled := map[string][]*crawler.SessionLog{}
+	seenCampaign := map[string]int{}
+	for _, l := range logs {
+		if !wanted[l.Brand] || len(l.Pages) == 0 {
+			continue
+		}
+		if len(sampled[l.Brand]) >= perBrand {
+			continue
+		}
+		// Roughly equal representation per campaign, as in the paper.
+		key := l.Brand + "|" + l.CampaignID
+		if seenCampaign[key] >= 5 {
+			continue
+		}
+		seenCampaign[key]++
+		sampled[l.Brand] = append(sampled[l.Brand], l)
+	}
+	var out []CloningResult
+	for _, b := range brandNames {
+		res := CloningResult{Brand: b, Sampled: len(sampled[b])}
+		for _, l := range sampled[b] {
+			match, _ := g.MatchEmbedding(l.FirstPageEmbedding)
+			if match != b {
+				res.NonCloning++
+			}
+		}
+		if res.Sampled > 0 {
+			res.NonClonePct = 100 * float64(res.NonCloning) / float64(res.Sampled)
+		}
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package analysis_test
+
+// End-to-end test of the Section 6 multi-language extension: the corpus
+// contains French- and Spanish-labelled campaigns; the multilingual field
+// classifier must classify their fields, while a monolingual (English-only)
+// classifier — the paper's published limitation — loses most of them.
+
+import (
+	"testing"
+
+	"repro/internal/fielddata"
+	"repro/internal/fieldspec"
+	"repro/internal/site"
+)
+
+func TestMultilingualFieldClassification(t *testing.T) {
+	p := pipeline(t)
+	truths := map[string]site.Truth{}
+	for _, s := range p.Corpus.Sites {
+		truths[s.ID] = s.Truth
+	}
+	perLang := map[string][2]int{} // lang -> [classified, total]
+	for _, l := range p.Logs {
+		lang := truths[l.SiteID].Language
+		if lang == "" {
+			continue
+		}
+		c := perLang[lang]
+		for _, pg := range l.Pages {
+			for _, f := range pg.Fields {
+				c[1]++
+				if f.Label != fieldspec.Unknown {
+					c[0]++
+				}
+			}
+		}
+		perLang[lang] = c
+	}
+	for _, lang := range []string{"en", "fr", "es"} {
+		c := perLang[lang]
+		if c[1] == 0 {
+			t.Errorf("no %s fields in corpus", lang)
+			continue
+		}
+		rate := float64(c[0]) / float64(c[1])
+		if rate < 0.6 {
+			t.Errorf("%s classification coverage = %.2f (%d/%d)", lang, rate, c[0], c[1])
+		}
+	}
+}
+
+func TestMonolingualClassifierMissesLocalizedLabels(t *testing.T) {
+	mono, err := fielddata.TrainDefault(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := fielddata.TrainMultilingual(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localized := map[string]fieldspec.Type{
+		"mot de passe":           fieldspec.Password,
+		"numero de carte":        fieldspec.Card,
+		"cryptogramme visuel":    fieldspec.CVV,
+		"contrasena":             fieldspec.Password,
+		"numero de tarjeta":      fieldspec.Card,
+		"codigo de verificacion": fieldspec.Code,
+	}
+	monoHits, multiHits := 0, 0
+	for text, want := range localized {
+		if got, _ := mono.PredictThreshold(text, 0.8, "unknown"); got == string(want) {
+			monoHits++
+		}
+		if got, conf := multi.PredictThreshold(text, 0.8, "unknown"); got == string(want) {
+			multiHits++
+		} else {
+			t.Errorf("multilingual Predict(%q) = %s (%.2f), want %s", text, got, conf, want)
+		}
+	}
+	if monoHits >= multiHits {
+		t.Errorf("monolingual classifier (%d/%d) should underperform multilingual (%d/%d) on localized labels",
+			monoHits, len(localized), multiHits, len(localized))
+	}
+}
+
+func TestEnglishAccuracySurvivesMultilingualTraining(t *testing.T) {
+	multi, err := fielddata.TrainMultilingual(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, test := fielddata.Split(fielddata.Corpus(99))
+	correct := 0
+	for _, s := range test {
+		if got, _ := multi.Predict(s.Text); got == s.Label {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(test)); acc < 0.85 {
+		t.Errorf("English accuracy after multilingual training = %.2f", acc)
+	}
+}

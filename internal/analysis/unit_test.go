@@ -1,0 +1,256 @@
+package analysis_test
+
+// Hand-built-log unit tests for each analysis, complementing the
+// integration tests that run the full pipeline.
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fieldspec"
+	"repro/internal/script"
+)
+
+func page(idx int, url string, types ...fieldspec.Type) crawler.PageLog {
+	p := crawler.PageLog{Index: idx, URL: url, Status: 200}
+	for _, t := range types {
+		p.Fields = append(p.Fields, crawler.FieldLog{Label: t, Value: "v-" + string(t)})
+	}
+	return p
+}
+
+func sessionOf(seed string, pages ...crawler.PageLog) *crawler.SessionLog {
+	return &crawler.SessionLog{SeedURL: seed, Pages: pages, SiteID: seed, CampaignID: "c-" + seed}
+}
+
+func TestIsMultiPageUnit(t *testing.T) {
+	single := sessionOf("http://a.test/", page(0, "http://a.test/", fieldspec.Email))
+	if analysis.IsMultiPage(single) {
+		t.Error("single page flagged multi")
+	}
+	multi := sessionOf("http://a.test/",
+		page(0, "http://a.test/", fieldspec.Email),
+		page(1, "http://a.test/s2", fieldspec.Card))
+	if !analysis.IsMultiPage(multi) {
+		t.Error("two-page flow not flagged multi")
+	}
+	// A redirect off-site does not make a site multi-page.
+	redirected := sessionOf("http://a.test/",
+		page(0, "http://a.test/", fieldspec.Email),
+		page(1, "http://google.com/"))
+	if analysis.IsMultiPage(redirected) {
+		t.Error("off-site page counted as site page")
+	}
+}
+
+func TestDoubleLoginUnit(t *testing.T) {
+	dl := sessionOf("http://a.test/",
+		page(0, "http://a.test/", fieldspec.Email, fieldspec.Password),
+		page(1, "http://a.test/retry", fieldspec.Email, fieldspec.Password),
+		page(2, "http://a.test/s3", fieldspec.Card))
+	if got := analysis.DoubleLoginCount([]*crawler.SessionLog{dl}); got != 1 {
+		t.Errorf("double login = %d, want 1", got)
+	}
+	// Different login sets are not double logins.
+	notDL := sessionOf("http://b.test/",
+		page(0, "http://b.test/", fieldspec.Email, fieldspec.Password),
+		page(1, "http://b.test/s2", fieldspec.UserID, fieldspec.Password))
+	if got := analysis.DoubleLoginCount([]*crawler.SessionLog{notDL}); got != 0 {
+		t.Errorf("mismatched login sets counted: %d", got)
+	}
+	// A single login field repeated (< 2 login types) does not count.
+	weak := sessionOf("http://c.test/",
+		page(0, "http://c.test/", fieldspec.Email),
+		page(1, "http://c.test/s2", fieldspec.Email))
+	if got := analysis.DoubleLoginCount([]*crawler.SessionLog{weak}); got != 0 {
+		t.Errorf("single-field repetition counted: %d", got)
+	}
+}
+
+func TestClickThroughUnit(t *testing.T) {
+	first := sessionOf("http://a.test/",
+		page(0, "http://a.test/"),
+		page(1, "http://a.test/s2", fieldspec.Email))
+	inner := sessionOf("http://b.test/",
+		page(0, "http://b.test/", fieldspec.Email),
+		page(1, "http://b.test/s2"),
+		page(2, "http://b.test/s3", fieldspec.Card))
+	terminalOnly := sessionOf("http://c.test/",
+		page(0, "http://c.test/", fieldspec.Email),
+		page(1, "http://c.test/done")) // no-input page NOT followed by inputs
+	ct := analysis.ClickThrough([]*crawler.SessionLog{first, inner, terminalOnly})
+	if ct.Total != 2 || ct.FirstPage != 1 || ct.Internal != 1 {
+		t.Errorf("click-through = %+v", ct)
+	}
+}
+
+func TestKeyloggingUnit(t *testing.T) {
+	mk := func(action string, carried []string) *crawler.SessionLog {
+		p := page(0, "http://k.test/", fieldspec.Email)
+		p.Fields[0].Value = "typed@x.yz"
+		p.Listeners = []script.Listener{{Target: "input", Event: "keydown", Action: action}}
+		s := sessionOf("http://k.test/", p)
+		if carried != nil {
+			s.NetLog = []browser.NetRequest{{Method: "POST", URL: "http://k.test/k", Kind: "beacon", CarriedData: carried}}
+		}
+		return s
+	}
+	logs := []*crawler.SessionLog{
+		mk("store", nil),                        // tier 1
+		mk("send", []string{}),                  // tier 2
+		mk("send-data", []string{"typed@x.yz"}), // tier 3
+		sessionOf("http://n.test/", page(0, "http://n.test/", fieldspec.Email)), // none
+	}
+	k := analysis.Keylogging(logs)
+	if k.Monitoring != 3 || k.ImmediateRequest != 2 || k.DataExfiltrated != 1 {
+		t.Errorf("keylogging = %+v", k)
+	}
+}
+
+func TestTerminationUnit(t *testing.T) {
+	clf := fixedClassifier{}
+	// Termination is measured over multi-page sites only: the redirect
+	// session needs >= 2 on-site pages before leaving.
+	redirect := sessionOf("http://r.test/",
+		page(0, "http://r.test/", fieldspec.Email),
+		page(1, "http://r.test/s2", fieldspec.Card),
+		page(2, "http://netflix.com/"))
+	finalSuccess := sessionOf("http://s.test/",
+		page(0, "http://s.test/", fieldspec.Email),
+		crawler.PageLog{Index: 1, URL: "http://s.test/done", Status: 200, Text: "congratulations"})
+	httpErr := sessionOf("http://h.test/",
+		page(0, "http://h.test/", fieldspec.Email),
+		crawler.PageLog{Index: 1, URL: "http://h.test/", Status: 500, Text: "internal error"})
+	stillInputs := sessionOf("http://i.test/",
+		page(0, "http://i.test/", fieldspec.Email),
+		page(1, "http://i.test/s2", fieldspec.Card)) // ends with inputs: no termination
+	tc := analysis.Termination([]*crawler.SessionLog{redirect, finalSuccess, httpErr, stillInputs}, clf)
+	if tc.RedirectSites != 1 {
+		t.Errorf("redirects = %d", tc.RedirectSites)
+	}
+	if tc.RedirectDomains.Get("netflix.com") != 1 {
+		t.Error("redirect domain missing")
+	}
+	if tc.FinalNoInputSites != 2 {
+		t.Errorf("final pages = %d", tc.FinalNoInputSites)
+	}
+	if tc.ByCategory.Get("success") != 1 || tc.ByCategory.Get("http-error") != 1 {
+		t.Errorf("categories = %v", tc.ByCategory.SortedByCount())
+	}
+}
+
+type fixedClassifier struct{}
+
+func (fixedClassifier) Classify(text string) (string, float64) {
+	if text == "congratulations" {
+		return "success", 0.99
+	}
+	return "other", 0.2
+}
+
+func TestTwoFactorUnit(t *testing.T) {
+	otp := sessionOf("http://o.test/", crawler.PageLog{
+		Index: 0, URL: "http://o.test/",
+		Fields: []crawler.FieldLog{{
+			Label:       fieldspec.Code,
+			Description: "an otp has been sent to the registered mobile number via sms",
+		}},
+	})
+	genericCode := sessionOf("http://g.test/", crawler.PageLog{
+		Index: 0, URL: "http://g.test/",
+		Fields: []crawler.FieldLog{{Label: fieldspec.Code, Description: "enter your access code"}},
+	})
+	tf := analysis.TwoFactor([]*crawler.SessionLog{otp, genericCode})
+	if tf.CodeFieldSites != 2 || tf.OTPSites != 1 {
+		t.Errorf("two factor = %+v", tf)
+	}
+}
+
+func TestFieldsAcrossPagesDeduplicatesPerPage(t *testing.T) {
+	// Two email fields on one page count once for that page.
+	s := sessionOf("http://d.test/", crawler.PageLog{
+		Index: 0, URL: "http://d.test/",
+		Fields: []crawler.FieldLog{
+			{Label: fieldspec.Email}, {Label: fieldspec.Email}, {Label: fieldspec.Unknown},
+		},
+	})
+	d := analysis.FieldsAcrossPages([]*crawler.SessionLog{s})
+	if d.PerType.Get(string(fieldspec.Email)) != 1 {
+		t.Errorf("email pages = %d, want 1", d.PerType.Get(string(fieldspec.Email)))
+	}
+	if d.PerType.Get(string(fieldspec.Unknown)) != 0 {
+		t.Error("unknown fields must not be counted")
+	}
+}
+
+func TestPageCountHistogramUnit(t *testing.T) {
+	logs := []*crawler.SessionLog{
+		sessionOf("http://a.test/", page(0, "http://a.test/")),
+		sessionOf("http://b.test/", page(0, "http://b.test/"), page(1, "http://b.test/2")),
+		sessionOf("http://c.test/", page(0, "http://c.test/"), page(1, "http://c.test/2"), page(2, "http://c.test/3")),
+	}
+	h := analysis.PageCountHistogram(logs)
+	if h[2] != 1 || h[3] != 1 || h[1] != 0 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestObfuscationUnit(t *testing.T) {
+	ocrPage := crawler.PageLog{Index: 0, URL: "http://a.test/", UsedOCR: true,
+		Fields: []crawler.FieldLog{{Label: fieldspec.Card, UsedOCR: true}}}
+	visualPage := crawler.PageLog{Index: 0, URL: "http://b.test/", SubmitMethod: crawler.SubmitVisual,
+		Fields: []crawler.FieldLog{{Label: fieldspec.Email}}}
+	plain := page(0, "http://c.test/", fieldspec.Email)
+	logs := []*crawler.SessionLog{
+		sessionOf("http://a.test/", ocrPage),
+		sessionOf("http://b.test/", visualPage),
+		sessionOf("http://c.test/", plain),
+	}
+	r := analysis.Obfuscation(logs)
+	if r.OCRRate < 0.32 || r.OCRRate > 0.34 {
+		t.Errorf("OCR rate = %f", r.OCRRate)
+	}
+	if r.VisualSubmitRate < 0.32 || r.VisualSubmitRate > 0.34 {
+		t.Errorf("visual rate = %f", r.VisualSubmitRate)
+	}
+	if got := analysis.Obfuscation(nil); got.OCRRate != 0 {
+		t.Error("empty logs should yield zero rates")
+	}
+}
+
+func TestESLDPublicSuffixes(t *testing.T) {
+	cases := map[string]string{
+		"http://login.barclays.co.uk/x": "barclays.co.uk",
+		"http://a.b.bank.com.au/":       "bank.com.au",
+		"phish.co.uk":                   "phish.co.uk", // bare 2-label host
+		"http://deep.sub.example.com/":  "example.com",
+	}
+	for in, want := range cases {
+		if got := analysis.ESLD(in); got != want {
+			t.Errorf("analysis.ESLD(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSubmitMethodBreakdownUnit(t *testing.T) {
+	enter := page(0, "http://a.test/", fieldspec.Email)
+	enter.SubmitMethod = crawler.SubmitEnter
+	visual := page(0, "http://b.test/", fieldspec.Email)
+	visual.SubmitMethod = crawler.SubmitVisual
+	ct := page(0, "http://c.test/") // click-through only: no data submission
+	ct.SubmitMethod = crawler.SubmitClickThru
+	logs := []*crawler.SessionLog{
+		sessionOf("http://a.test/", enter),
+		sessionOf("http://b.test/", visual),
+		sessionOf("http://c.test/", ct),
+	}
+	h := analysis.SubmitMethodBreakdown(logs)
+	if h.Get(crawler.SubmitEnter) != 1 || h.Get(crawler.SubmitVisual) != 1 {
+		t.Errorf("breakdown = %v", h.SortedByCount())
+	}
+	if h.Get(crawler.SubmitClickThru) != 0 {
+		t.Error("input-less pages must not count as data submissions")
+	}
+}

@@ -1,0 +1,224 @@
+// Package brands is the brand catalogue behind the synthetic corpus: the
+// targeted brands of Table 7, the business categories of Table 2, the
+// legitimate domains of Table 4, and the rendering recipes for brand logos
+// and legitimate-site page designs used by the visual-similarity model
+// (Section 5.1.1) and the page generators.
+package brands
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/raster"
+)
+
+// Category is an OpenPhish-style industry sector (Table 2).
+type Category string
+
+// The business categories of Table 2.
+const (
+	OnlineCloud Category = "Online/Cloud Service"
+	Financial   Category = "Financial"
+	SocialNet   Category = "Social Networking"
+	Logistics   Category = "Logistics & Couriers"
+	EmailProv   Category = "Email Provider"
+	Crypto      Category = "Cryptocurrency"
+	Telecom     Category = "Telecommunications"
+	ECommerce   Category = "e-Commerce"
+	Payment     Category = "Payment Service"
+	Gaming      Category = "Gaming"
+)
+
+// Categories returns every category in Table 2 order.
+func Categories() []Category {
+	return []Category{
+		OnlineCloud, Financial, SocialNet, Logistics, EmailProv,
+		Crypto, Telecom, ECommerce, Payment, Gaming,
+	}
+}
+
+// Brand describes one impersonated brand.
+type Brand struct {
+	Name        string
+	Category    Category
+	Color       raster.Color
+	Accent      raster.Color
+	LegitDomain string
+	// LogoText is the short text drawn inside the logo block.
+	LogoText string
+	// WantsPayment marks brands whose legitimate flows collect payment
+	// data, making multi-stage financial phishing plausible.
+	WantsPayment bool
+}
+
+// catalogue lists every brand in the corpus. The first ten are the Table 7
+// top-10 in order; the Table 3 brands (DHL, Netflix, Facebook, Microsoft
+// OneDrive, Chase) are all present.
+var catalogue = []Brand{
+	{"Office365", OnlineCloud, raster.Orange, raster.Navy, "office.com", "O365", false},
+	{"DHL Airways, Inc.", Logistics, raster.Yellow, raster.Red, "dhl.com", "DHL", true},
+	{"Facebook, Inc.", SocialNet, raster.Blue, raster.White, "facebook.com", "FB", false},
+	{"WhatsApp", SocialNet, raster.Green, raster.White, "whatsapp.com", "WA", false},
+	{"Tencent", OnlineCloud, raster.Teal, raster.White, "qq.com", "QQ", false},
+	{"Crypto/Wallet", Crypto, raster.Purple, raster.Yellow, "blockchain.com", "CW", true},
+	{"Outlook", EmailProv, raster.Navy, raster.White, "live.com", "OUT", false},
+	{"La Banque Postale", Financial, raster.Navy, raster.Yellow, "labanquepostale.fr", "LBP", true},
+	{"Chase Personal Banking", Financial, raster.Navy, raster.White, "chase.com", "CHASE", true},
+	{"M & T Bank Corporation", Financial, raster.Green, raster.White, "mtb.com", "M&T", true},
+	{"Netflix", OnlineCloud, raster.Maroon, raster.Black, "netflix.com", "NFX", true},
+	{"Microsoft OneDrive", OnlineCloud, raster.Blue, raster.White, "microsoftonline.com", "1DRV", false},
+	{"Microsoft", OnlineCloud, raster.Teal, raster.White, "microsoft.com", "MS", false},
+	{"Google", OnlineCloud, raster.Blue, raster.Red, "google.com", "G", false},
+	{"YouTube", OnlineCloud, raster.Red, raster.White, "youtube.com", "YT", false},
+	{"Yahoo", EmailProv, raster.Purple, raster.White, "yahoo.com", "Y!", false},
+	{"AOL Mail", EmailProv, raster.Navy, raster.White, "aol.com", "AOL", false},
+	{"Glacier Bank", Financial, raster.Teal, raster.White, "glacierbank.com", "GB", true},
+	{"America First CU", Financial, raster.Red, raster.Navy, "americafirst.com", "AFCU", true},
+	{"Citi", Financial, raster.Blue, raster.Red, "citi.com", "CITI", true},
+	{"BT Group", Telecom, raster.Purple, raster.White, "bt.com", "BT", true},
+	{"GoDaddy", OnlineCloud, raster.Green, raster.Black, "godaddy.com", "GD", true},
+	{"Alaska USA FCU", Financial, raster.Navy, raster.Yellow, "alaskausa.org", "AK", true},
+	{"USAA", Financial, raster.Navy, raster.White, "usaa.com", "USAA", true},
+	{"PayPal", Payment, raster.Navy, raster.Blue, "paypal.com", "PP", true},
+	{"Stripe Payments", Payment, raster.Purple, raster.White, "stripe.com", "STR", true},
+	{"Amazon", ECommerce, raster.Orange, raster.Black, "amazon.com", "AMZ", true},
+	{"eBay", ECommerce, raster.Red, raster.Blue, "ebay.com", "EBAY", true},
+	{"FedEx", Logistics, raster.Purple, raster.Orange, "fedex.com", "FDX", true},
+	{"UPS", Logistics, raster.Brown, raster.Yellow, "ups.com", "UPS", true},
+	{"USPS", Logistics, raster.Navy, raster.Red, "usps.com", "USPS", true},
+	{"Binance", Crypto, raster.Yellow, raster.Black, "binance.com", "BNB", true},
+	{"Coinbase", Crypto, raster.Blue, raster.White, "coinbase.com", "CB", true},
+	{"MetaMask", Crypto, raster.Orange, raster.Brown, "metamask.io", "MM", true},
+	{"Verizon", Telecom, raster.Red, raster.Black, "verizon.com", "VZ", true},
+	{"AT&T", Telecom, raster.Blue, raster.White, "att.com", "ATT", true},
+	{"Orange S.A.", Telecom, raster.Orange, raster.Black, "orange.fr", "OR", true},
+	{"Steam", Gaming, raster.Navy, raster.Teal, "steampowered.com", "STM", true},
+	{"Epic Games", Gaming, raster.Black, raster.White, "epicgames.com", "EPIC", true},
+	{"Instagram", SocialNet, raster.Pink, raster.Purple, "instagram.com", "IG", false},
+	{"LinkedIn", SocialNet, raster.Blue, raster.White, "linkedin.com", "IN", false},
+	{"Spotify", OnlineCloud, raster.Green, raster.Black, "spotify.com", "SPT", true},
+	{"Apple iCloud", OnlineCloud, raster.Gray, raster.White, "icloud.com", "APL", true},
+	{"Banco Santander", Financial, raster.Red, raster.White, "santander.com", "SAN", true},
+	{"SBI YONO", Financial, raster.Purple, raster.White, "onlinesbi.sbi", "SBI", true},
+}
+
+// All returns the full brand catalogue.
+func All() []Brand { return append([]Brand(nil), catalogue...) }
+
+// Count returns the catalogue size.
+func Count() int { return len(catalogue) }
+
+// ByName returns the brand with the given name.
+func ByName(name string) (Brand, bool) {
+	for _, b := range catalogue {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Brand{}, false
+}
+
+// Top10 returns the Table 7 top-10 targeted brands in order.
+func Top10() []Brand { return append([]Brand(nil), catalogue[:10]...) }
+
+// Table3Brands returns the five brands of the cloning analysis (Table 3).
+func Table3Brands() []string {
+	return []string{
+		"DHL Airways, Inc.", "Netflix", "Facebook, Inc.",
+		"Microsoft OneDrive", "Chase Personal Banking",
+	}
+}
+
+// ByCategory returns all brands in the given category.
+func ByCategory(c Category) []Brand {
+	var out []Brand
+	for _, b := range catalogue {
+		if b.Category == c {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DrawLogo renders the brand's logo block: a filled rectangle in the brand
+// color carrying the logo text in the accent color. rng jitters the size so
+// logo instances are not pixel-identical.
+func (b Brand) DrawLogo(rng *rand.Rand) *raster.Image {
+	w := raster.StringWidth(b.LogoText) + 16 + rng.Intn(8)
+	h := 18 + rng.Intn(6)
+	img := raster.New(w, h, b.Color)
+	fg := b.Accent
+	if fg == b.Color {
+		fg = raster.White
+	}
+	img.DrawString(b.LogoText, 8, (h-raster.GlyphH)/2, fg)
+	return img
+}
+
+// LegitScreenshot renders the canonical design of the brand's legitimate
+// login page. The visual-similarity gallery (VisualPhishNet substitute) is
+// built from these renders; phishing pages that "clone" the brand reuse
+// this design, those that merely impersonate do not.
+func (b Brand) LegitScreenshot() *raster.Image {
+	img := raster.New(480, 360, raster.White)
+	// Deterministic per-brand layout jitter so brands that share colors and
+	// categories (e.g. two navy banks) still have distinguishable designs,
+	// as real sites do.
+	j := int(nameHash(b.Name))
+	hdr := 36 + j%32       // header height 36..67
+	ox := 20 + (j/7)%80    // form column offset
+	oy := 90 + (j/11)%60   // form row offset
+	bw := 160 + (j/13)%100 // input width
+	// Brand-colored header band.
+	img.Fill(raster.R(0, 0, 480, hdr), b.Color)
+	img.DrawString(b.LogoText, 16, hdr/2-raster.GlyphH/2, b.Accent)
+	// Accent-colored signature block: position and size derive from the
+	// name hash, giving same-palette brands clearly distinct layouts. A
+	// white accent would be invisible, so such brands get a hash-picked
+	// visible tone instead.
+	sigColor := b.Accent
+	if sigColor == raster.White {
+		sigColor = raster.Color(4 + (j/43)%12)
+	}
+	sig := raster.R(300+(j/17)%150, 100+(j/23)%200, 30+(j/29)%60, 24+(j/31)%48)
+	img.Fill(sig, sigColor)
+	// Footer band in a hash-picked neutral tone.
+	footH := 12 + (j/37)%26
+	img.Fill(raster.R(0, 360-footH, 480, footH), raster.Color(2+(j/41)%3))
+	// Category-specific body layout.
+	switch b.Category {
+	case Financial, Payment:
+		img.Fill(raster.R(0, hdr, 480, 24+(j/3)%24), b.Accent)
+		img.Outline(raster.R(ox, oy+30, bw, 18), raster.Gray)
+		img.Outline(raster.R(ox, oy+70, bw, 18), raster.Gray)
+		img.Fill(raster.R(ox, oy+110, 90, 20), b.Color)
+		img.DrawString("SECURE SIGN ON", ox, oy+10, raster.Black)
+	case SocialNet:
+		img.Fill(raster.R(0, hdr, 180+(j/5)%80, 360-hdr), b.Color)
+		img.Outline(raster.R(260+ox/4, oy+30, 170, 18), raster.Gray)
+		img.Outline(raster.R(260+ox/4, oy+70, 170, 18), raster.Gray)
+		img.Fill(raster.R(260+ox/4, oy+110, 80, 20), b.Color)
+	case Logistics:
+		img.Fill(raster.R(0, 300-(j/3)%40, 480, 60+(j/3)%40), b.Accent)
+		img.DrawString("TRACK YOUR SHIPMENT", ox+40, oy-10, raster.Black)
+		img.Outline(raster.R(ox+40, oy+20, bw, 18), raster.Gray)
+		img.Fill(raster.R(ox+100, oy+60, 80, 20), b.Color)
+	default:
+		img.DrawString("SIGN IN TO "+strings.ToUpper(b.LogoText), ox+60, oy, raster.Black)
+		img.Outline(raster.R(ox+60, oy+40, bw, 18), raster.Gray)
+		img.Outline(raster.R(ox+60, oy+80, bw, 18), raster.Gray)
+		img.Fill(raster.R(ox+60, oy+120, 80, 20), b.Color)
+	}
+	return img
+}
+
+// nameHash is a small FNV-style hash of the brand name used for layout
+// jitter.
+func nameHash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

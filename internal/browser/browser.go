@@ -1,0 +1,581 @@
+// Package browser implements the headless-browser substrate the intelligent
+// crawler drives, replacing Puppeteer + Chrome. It fetches pages over real
+// net/http, parses them into a DOM, renders screenshots, interprets the
+// page's declarative behaviour script (event listeners, keyloggers, content
+// swaps, click zones), and exposes the interaction verbs the crawler needs:
+// type into a field, press Enter, click an element or a coordinate, and
+// submit a form programmatically. Along the way it records the three logs
+// the paper's instrumentation collects (Section 4.5): network requests,
+// addEventListener registrations, and triggered JS events.
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/raster"
+	"repro/internal/render"
+	"repro/internal/script"
+)
+
+// ViewportWidth is the fixed viewport the browser renders at.
+const ViewportWidth = 800
+
+// maxBodyBytes bounds response reads.
+const maxBodyBytes = 4 << 20
+
+// NetRequest is one entry in the network log.
+type NetRequest struct {
+	Method string
+	URL    string
+	Status int
+	// CarriedData lists form/exfil values included in the request body,
+	// used by the keylogging analysis to confirm pre-submit exfiltration.
+	CarriedData []string
+	// Kind labels the request: "document", "image", "beacon", "redirect".
+	Kind string
+	Time time.Time
+}
+
+// Event is one triggered JS event.
+type Event struct {
+	Type   string // "keydown", "click", "submit"
+	Target string // tag or id of the target element
+	Time   time.Time
+}
+
+// Browser is one browsing profile. Create a fresh Browser per crawl session
+// to model the paper's clean-container-per-site setup (Section 4.6).
+type Browser struct {
+	client  *http.Client
+	cookies map[string]string // minimal cookie jar: name -> value
+
+	// NetLog accumulates every request across the session.
+	NetLog []NetRequest
+	// now supplies timestamps (overridable in tests).
+	now func() time.Time
+}
+
+// Options configures a Browser.
+type Options struct {
+	// Transport serves the requests. Tests and the crawl farm inject the
+	// phishing-site registry here so no TCP sockets are needed; nil uses
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// Timeout bounds each fetch.
+	Timeout time.Duration
+}
+
+// New returns a fresh browser profile.
+func New(opts Options) *Browser {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	return &Browser{
+		client: &http.Client{
+			Transport: opts.Transport,
+			Timeout:   opts.Timeout,
+			// Redirects are followed manually so each hop is logged.
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse
+			},
+		},
+		cookies: map[string]string{},
+		now:     time.Now,
+	}
+}
+
+// Page is one loaded page: its DOM, rendering, behaviours, and event state.
+type Page struct {
+	URL    string
+	Status int
+	Doc    *dom.Node
+	// Behavior is the parsed behaviour document.
+	Behavior script.Behavior
+	// ListenerLog is the addEventListener record for this page.
+	ListenerLog []script.Listener
+	// EventLog is the triggered-event record for this page.
+	EventLog []Event
+	// images caches decoded image resources by URL.
+	images map[string]*raster.Image
+
+	browser *Browser
+	page    *render.Page // lazy render cache
+}
+
+// ErrTooManyRedirects limits redirect chains.
+var ErrTooManyRedirects = errors.New("browser: too many redirects")
+
+// Navigate fetches url, follows redirects, parses the page, loads its image
+// resources, and interprets its behaviour script.
+func (b *Browser) Navigate(rawURL string) (*Page, error) {
+	body, finalURL, status, err := b.fetch("GET", rawURL, nil, "document")
+	if err != nil {
+		return nil, err
+	}
+	return b.buildPage(body, finalURL, status)
+}
+
+func (b *Browser) buildPage(body, pageURL string, status int) (*Page, error) {
+	doc := dom.Parse(body)
+	behavior, err := script.Extract(doc)
+	if err != nil {
+		// Malformed behaviour scripts are treated like broken JS: ignored.
+		behavior = script.Behavior{}
+	}
+	p := &Page{
+		URL:      pageURL,
+		Status:   status,
+		Doc:      doc,
+		Behavior: behavior,
+		browser:  b,
+		images:   map[string]*raster.Image{},
+	}
+	// Record addEventListener calls made at load time.
+	p.ListenerLog = append(p.ListenerLog, behavior.Listeners...)
+	// Prefetch image resources so rendering is synchronous.
+	p.prefetchImages()
+	return p, nil
+}
+
+// fetch performs one logged request, handling cookies and redirect chains.
+func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (body, finalURL string, status int, err error) {
+	cur := rawURL
+	var carried []string
+	for k := range form {
+		carried = append(carried, form.Get(k))
+	}
+	for hop := 0; hop < 10; hop++ {
+		var req *http.Request
+		if method == "POST" && form != nil {
+			req, err = http.NewRequest(method, cur, strings.NewReader(form.Encode()))
+			if err == nil {
+				req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+			}
+		} else {
+			req, err = http.NewRequest(method, cur, nil)
+		}
+		if err != nil {
+			return "", cur, 0, fmt.Errorf("browser: building request: %w", err)
+		}
+		for name, v := range b.cookies {
+			req.AddCookie(&http.Cookie{Name: name, Value: v})
+		}
+		resp, rerr := b.client.Do(req)
+		if rerr != nil {
+			b.NetLog = append(b.NetLog, NetRequest{Method: method, URL: cur, Status: 0, Kind: kind, Time: b.now()})
+			return "", cur, 0, fmt.Errorf("browser: fetch %s: %w", cur, rerr)
+		}
+		for _, c := range resp.Cookies() {
+			b.cookies[c.Name] = c.Value
+		}
+		entry := NetRequest{Method: method, URL: cur, Status: resp.StatusCode, Kind: kind, Time: b.now()}
+		if method == "POST" {
+			entry.CarriedData = carried
+		}
+		b.NetLog = append(b.NetLog, entry)
+		if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+			loc := resp.Header.Get("Location")
+			io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+			resp.Body.Close()
+			if loc == "" {
+				return "", cur, resp.StatusCode, nil
+			}
+			next, jerr := joinURL(cur, loc)
+			if jerr != nil {
+				return "", cur, resp.StatusCode, jerr
+			}
+			cur = next
+			// Redirect hops re-issue as GET, as browsers do for 302/303.
+			method, form = "GET", nil
+			kind = "redirect"
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if rerr != nil {
+			return "", cur, resp.StatusCode, fmt.Errorf("browser: reading body: %w", rerr)
+		}
+		return string(data), cur, resp.StatusCode, nil
+	}
+	return "", cur, 0, ErrTooManyRedirects
+}
+
+// joinURL resolves ref against base.
+func joinURL(base, ref string) (string, error) {
+	bu, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("browser: bad base url: %w", err)
+	}
+	ru, err := url.Parse(ref)
+	if err != nil {
+		return "", fmt.Errorf("browser: bad ref url: %w", err)
+	}
+	return bu.ResolveReference(ru).String(), nil
+}
+
+// prefetchImages fetches every img src and background-image URL.
+func (p *Page) prefetchImages() {
+	fetchOne := func(src string) {
+		if src == "" {
+			return
+		}
+		if _, done := p.images[src]; done {
+			return
+		}
+		if strings.HasPrefix(src, "data:") {
+			if img, err := raster.DecodeDataURI(src); err == nil {
+				p.images[src] = img
+			}
+			return
+		}
+		abs, err := joinURL(p.URL, src)
+		if err != nil {
+			return
+		}
+		body, _, status, err := p.browser.fetch("GET", abs, nil, "image")
+		if err != nil || status != http.StatusOK {
+			return
+		}
+		if img, err := raster.Decode([]byte(body)); err == nil {
+			p.images[src] = img
+		}
+	}
+	for _, img := range p.Doc.ElementsByTag("img") {
+		fetchOne(img.AttrOr("src", ""))
+	}
+	p.Doc.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode {
+			if style, ok := n.Attr("style"); ok && strings.Contains(style, "url(") {
+				// Reuse the layout parser's extraction via a cheap scan.
+				if i := strings.Index(style, "url("); i >= 0 {
+					rest := style[i+4:]
+					if j := strings.IndexByte(rest, ')'); j >= 0 {
+						fetchOne(strings.Trim(strings.TrimSpace(rest[:j]), `'"`))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Render returns the page's layout and screenshot, computing them on first
+// use and after DOM mutations (invalidate with MarkDirty).
+func (p *Page) Render() *render.Page {
+	if p.page == nil {
+		p.page = render.Render(p.Doc, ViewportWidth, func(u string) *raster.Image {
+			return p.images[u]
+		})
+	}
+	return p.page
+}
+
+// MarkDirty invalidates the cached rendering after DOM mutation.
+func (p *Page) MarkDirty() { p.page = nil }
+
+// Screenshot returns the current page screenshot.
+func (p *Page) Screenshot() *raster.Image { return p.Render().Screenshot }
+
+// DOMHash returns the lightweight structural hash used for page-transition
+// detection.
+func (p *Page) DOMHash() string { return dom.StructureHash(p.Doc) }
+
+// Host returns the page URL's host.
+func (p *Page) Host() string {
+	u, err := url.Parse(p.URL)
+	if err != nil {
+		return ""
+	}
+	return u.Host
+}
+
+func (p *Page) logEvent(typ string, target *dom.Node) {
+	name := target.Tag
+	if id := target.ID(); id != "" {
+		name = name + "#" + id
+	}
+	p.EventLog = append(p.EventLog, Event{Type: typ, Target: name, Time: p.browser.now()})
+}
+
+// Type enters text into an input or select element, firing per-keystroke
+// keydown events and any keylogger behaviours attached to inputs.
+func (p *Page) Type(n *dom.Node, text string) {
+	if n == nil {
+		return
+	}
+	if n.Tag == "select" {
+		// Selecting an option: set value, fire change.
+		n.SetAttr("value", text)
+		p.logEvent("change", n)
+		p.MarkDirty()
+		return
+	}
+	for range text {
+		p.logEvent("keydown", n)
+	}
+	n.SetAttr("value", text)
+	p.MarkDirty()
+	// Keylogger behaviours fire once the field has content.
+	for _, l := range p.Behavior.Listeners {
+		if l.Event != "keydown" || (l.Target != "input" && l.Target != "document") {
+			continue
+		}
+		endpoint := l.Endpoint
+		if endpoint == "" {
+			endpoint = "/k"
+		}
+		switch l.Action {
+		case script.ActionSend:
+			abs, err := joinURL(p.URL, endpoint)
+			if err == nil {
+				p.browser.fetch("POST", abs, url.Values{}, "beacon")
+			}
+		case script.ActionSendData:
+			abs, err := joinURL(p.URL, endpoint)
+			if err == nil {
+				p.browser.fetch("POST", abs, url.Values{"d": {text}}, "beacon")
+			}
+		}
+	}
+}
+
+// ErrNoNavigation reports an interaction that did not lead anywhere.
+var ErrNoNavigation = errors.New("browser: interaction caused no navigation")
+
+// Click activates an element: follows links, submits forms via submit
+// buttons, applies content swaps. It returns the new page when navigation
+// occurred, or (nil, ErrNoNavigation) when the click had no effect —
+// both outcomes the crawler's progress detection must handle.
+func (p *Page) Click(n *dom.Node) (*Page, error) {
+	if n == nil {
+		return nil, ErrNoNavigation
+	}
+	p.logEvent("click", n)
+	// Behaviour swap bound to this element id?
+	if id := n.ID(); id != "" {
+		if swap, ok := p.Behavior.SwapFor(id); ok {
+			return p.applySwap(swap)
+		}
+	}
+	switch n.Tag {
+	case "a":
+		href := n.AttrOr("href", "")
+		if href == "" || href == "#" {
+			return nil, ErrNoNavigation
+		}
+		abs, err := joinURL(p.URL, href)
+		if err != nil {
+			return nil, err
+		}
+		return p.browser.Navigate(abs)
+	case "button":
+		t := strings.ToLower(n.AttrOr("type", "submit"))
+		if t == "submit" {
+			if form := n.Closest("form"); form != nil {
+				return p.SubmitForm(form)
+			}
+		}
+		if href := n.AttrOr("data-href", ""); href != "" {
+			abs, err := joinURL(p.URL, href)
+			if err != nil {
+				return nil, err
+			}
+			return p.browser.Navigate(abs)
+		}
+		return nil, ErrNoNavigation
+	case "input":
+		t := strings.ToLower(n.AttrOr("type", ""))
+		if t == "submit" || t == "image" {
+			if form := n.Closest("form"); form != nil {
+				return p.SubmitForm(form)
+			}
+		}
+		return nil, ErrNoNavigation
+	default:
+		return nil, ErrNoNavigation
+	}
+}
+
+// ClickAt clicks a screen coordinate: behaviour click zones take priority,
+// then whatever rendered element occupies the point. This is the verb the
+// crawler's visual submit-button detection drives (Section 4.3).
+func (p *Page) ClickAt(x, y int) (*Page, error) {
+	if zone, ok := p.Behavior.ZoneAt(x, y); ok {
+		switch zone.Action {
+		case "submit":
+			form := p.Doc.ElementByID(zone.FormID)
+			if form == nil {
+				forms := p.Doc.ElementsByTag("form")
+				if len(forms) > 0 {
+					form = forms[0]
+				}
+			}
+			if form != nil {
+				return p.SubmitForm(form)
+			}
+			// Form-less pages (absolutely-positioned bare inputs, the
+			// Figure 3 shape): serialize every input on the page.
+			return p.SubmitBareInputs()
+		case "nav":
+			abs, err := joinURL(p.URL, zone.Href)
+			if err != nil {
+				return nil, err
+			}
+			return p.browser.Navigate(abs)
+		}
+	}
+	// Hit-test the layout: prefer the smallest interactive element under
+	// the point.
+	lay := p.Render().Layout
+	var best *dom.Node
+	bestArea := 1 << 30
+	p.Doc.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		box, ok := lay.Box(n)
+		if !ok || !box.Contains(x, y) {
+			return true
+		}
+		if !isInteractive(n) {
+			return true
+		}
+		if a := box.Area(); a < bestArea {
+			best, bestArea = n, a
+		}
+		return true
+	})
+	if best == nil {
+		return nil, ErrNoNavigation
+	}
+	return p.Click(best)
+}
+
+func isInteractive(n *dom.Node) bool {
+	switch n.Tag {
+	case "a", "button":
+		return true
+	case "input":
+		t := strings.ToLower(n.AttrOr("type", ""))
+		return t == "submit" || t == "image" || t == "button"
+	}
+	return false
+}
+
+// PressEnter simulates the Enter key with focus on the given element,
+// submitting its enclosing form if one exists.
+func (p *Page) PressEnter(focus *dom.Node) (*Page, error) {
+	if focus == nil {
+		return nil, ErrNoNavigation
+	}
+	p.logEvent("keydown", focus)
+	if form := focus.Closest("form"); form != nil {
+		return p.SubmitForm(form)
+	}
+	return nil, ErrNoNavigation
+}
+
+// SubmitForm serializes the form's fields and POSTs them to the form action
+// (or the page URL when the action is empty), the equivalent of invoking
+// form.submit() from page JS.
+func (p *Page) SubmitForm(form *dom.Node) (*Page, error) {
+	if form == nil {
+		return nil, ErrNoNavigation
+	}
+	p.logEvent("submit", form)
+	values := url.Values{}
+	i := 0
+	form.Walk(func(n *dom.Node) bool {
+		if n.Type != dom.ElementNode {
+			return true
+		}
+		if n.Tag == "input" || n.Tag == "select" || n.Tag == "textarea" {
+			name := n.AttrOr("name", "")
+			if name == "" {
+				name = fmt.Sprintf("field%d", i)
+			}
+			i++
+			values.Set(name, n.AttrOr("value", ""))
+		}
+		return true
+	})
+	action := form.AttrOr("action", "")
+	target := p.URL
+	if action != "" {
+		abs, err := joinURL(p.URL, action)
+		if err != nil {
+			return nil, err
+		}
+		target = abs
+	}
+	body, finalURL, status, err := p.browser.fetch("POST", target, values, "document")
+	if err != nil {
+		return nil, err
+	}
+	return p.browser.buildPage(body, finalURL, status)
+}
+
+// SubmitBareInputs POSTs every input on a form-less page to the current
+// URL, the transport-level effect of page JS that collects field values by
+// hand. Used by click zones on pages that deliberately omit form elements.
+func (p *Page) SubmitBareInputs() (*Page, error) {
+	values := url.Values{}
+	i := 0
+	for _, n := range p.Doc.ElementsByTag("input", "select", "textarea") {
+		name := n.AttrOr("name", "")
+		if name == "" {
+			name = fmt.Sprintf("field%d", i)
+		}
+		i++
+		values.Set(name, n.AttrOr("value", ""))
+	}
+	if i == 0 {
+		return nil, ErrNoNavigation
+	}
+	body, finalURL, status, err := p.browser.fetch("POST", p.URL, values, "document")
+	if err != nil {
+		return nil, err
+	}
+	return p.browser.buildPage(body, finalURL, status)
+}
+
+// VisibleInputs returns the page's visible input and select elements — the
+// crawler's starting point (Section 4.1).
+func (p *Page) VisibleInputs() []*dom.Node {
+	lay := p.Render().Layout
+	var out []*dom.Node
+	for _, n := range p.Doc.ElementsByTag("input", "select") {
+		t := strings.ToLower(n.AttrOr("type", ""))
+		if t == "hidden" || t == "submit" || t == "image" || t == "button" || t == "checkbox" || t == "radio" {
+			continue
+		}
+		if lay.Visible(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (p *Page) applySwap(swap script.Swap) (*Page, error) {
+	body := dom.Body(p.Doc)
+	body.RemoveChildren()
+	frag := dom.Parse(swap.HTML)
+	for _, c := range dom.Body(frag).Children() {
+		body.AppendChild(c)
+	}
+	// Behaviour scripts inside the swapped content take effect.
+	if b, err := script.Extract(p.Doc); err == nil {
+		p.Behavior = b
+		p.ListenerLog = append(p.ListenerLog, b.Listeners...)
+	}
+	p.MarkDirty()
+	p.prefetchImages()
+	return p, nil
+}

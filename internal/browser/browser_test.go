@@ -1,0 +1,560 @@
+package browser
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/phishserver"
+	"repro/internal/raster"
+	"repro/internal/site"
+)
+
+// testSite builds a 3-page flow: login (double submit not enabled) ->
+// payment (inline swap) -> terminal success, with a keylogger on page 1.
+func testSite() *site.Site {
+	login := `<html><head><title>Sign in</title></head><body>
+<script type="application/x-behavior">{"listeners":[{"target":"input","event":"keydown","action":"send-data","endpoint":"/k"}]}</script>
+<form id="f" action="/"><div><label>Email</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="password"></div>
+<button type="submit">Sign in</button></form></body></html>`
+	payment := `<html><body><form id="pay" action="/pay">
+<div><label>Card number</label><input name="card"></div>
+<div><label>CVV</label><input name="cvv"></div>
+<button>Pay</button></form></body></html>`
+	done := `<html><body><div id="msg">Congratulations! Your account has been verified.</div></body></html>`
+	return &site.Site{
+		ID: "t1", Host: "phish.test", Brand: "Netflix",
+		Pages: []*site.Page{
+			{Path: "/", HTML: login, Next: "/pay", Mode: site.NextRedirect,
+				Validate: map[string]string{"email": site.ValidateEmail}},
+			{Path: "/pay", HTML: payment, Next: "/done", Mode: site.NextInline,
+				Validate: map[string]string{"card": site.ValidateLuhn}},
+			{Path: "/done", HTML: done},
+		},
+		Images: map[string][]byte{},
+	}
+}
+
+func newBrowser(sites ...*site.Site) *Browser {
+	reg := phishserver.NewRegistry()
+	for _, s := range sites {
+		reg.AddSite(s)
+	}
+	reg.AddBenignHost("netflix.com")
+	return New(Options{Transport: phishserver.Transport{Registry: reg}})
+}
+
+func TestNavigateAndParse(t *testing.T) {
+	b := newBrowser(testSite())
+	p, err := b.Navigate("http://phish.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Status != 200 {
+		t.Errorf("status = %d", p.Status)
+	}
+	if got := dom.Title(p.Doc); got != "Sign in" {
+		t.Errorf("title = %q", got)
+	}
+	if len(p.VisibleInputs()) != 2 {
+		t.Errorf("visible inputs = %d, want 2", len(p.VisibleInputs()))
+	}
+	if len(p.ListenerLog) != 1 || p.ListenerLog[0].Action != "send-data" {
+		t.Errorf("listener log = %+v", p.ListenerLog)
+	}
+	if len(b.NetLog) == 0 || b.NetLog[0].Kind != "document" {
+		t.Errorf("net log = %+v", b.NetLog)
+	}
+}
+
+func TestTypeFiresKeydownAndKeylogger(t *testing.T) {
+	b := newBrowser(testSite())
+	p, err := b.Navigate("http://phish.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "victim@example.com")
+	// Keydown events: one per rune.
+	keydowns := 0
+	for _, e := range p.EventLog {
+		if e.Type == "keydown" {
+			keydowns++
+		}
+	}
+	if keydowns != len("victim@example.com") {
+		t.Errorf("keydowns = %d", keydowns)
+	}
+	// The send-data keylogger must have exfiltrated the value pre-submit.
+	var beacon *NetRequest
+	for i := range b.NetLog {
+		if b.NetLog[i].Kind == "beacon" {
+			beacon = &b.NetLog[i]
+		}
+	}
+	if beacon == nil {
+		t.Fatal("no beacon request logged")
+	}
+	found := false
+	for _, d := range beacon.CarriedData {
+		if d == "victim@example.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("beacon did not carry the typed data: %+v", beacon)
+	}
+	// Value is set on the element.
+	if v := inputs[0].AttrOr("value", ""); v != "victim@example.com" {
+		t.Errorf("input value = %q", v)
+	}
+}
+
+func TestSubmitRedirectFlow(t *testing.T) {
+	b := newBrowser(testSite())
+	p, _ := b.Navigate("http://phish.test/")
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "a.b@c.com")
+	p.Type(inputs[1], "hunter2!")
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	next, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(next.URL, "/pay") {
+		t.Errorf("after submit URL = %q, want /pay", next.URL)
+	}
+	// Note: the login and payment pages happen to share an identical
+	// shape-tag sequence, so the DOM hash alone would NOT detect this
+	// transition — the URL change does. This is exactly why the crawler's
+	// progress check is "URL changed OR DOM hash changed" (Section 4.4).
+	if next.URL == p.URL && next.DOMHash() == p.DOMHash() {
+		t.Error("no observable transition at all")
+	}
+}
+
+func TestValidationRejectionKeepsPage(t *testing.T) {
+	b := newBrowser(testSite())
+	p, _ := b.Navigate("http://phish.test/")
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "not-an-email") // fails ValidateEmail
+	p.Type(inputs[1], "x")
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	next, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server re-serves the identical page: same DOM hash, crawler should
+	// retry.
+	if next.DOMHash() != p.DOMHash() {
+		t.Error("rejected submission should re-serve identical page")
+	}
+}
+
+func TestInlineTransitionChangesHashNotURL(t *testing.T) {
+	b := newBrowser(testSite())
+	p, _ := b.Navigate("http://phish.test/pay")
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "4111111111111111") // Luhn-valid
+	p.Type(inputs[1], "123")
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	next, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.URL != p.URL {
+		t.Errorf("inline transition changed URL: %q -> %q", p.URL, next.URL)
+	}
+	if next.DOMHash() == p.DOMHash() {
+		t.Error("inline transition should change DOM hash")
+	}
+	if !strings.Contains(next.Doc.InnerText(), "Congratulations") {
+		t.Errorf("terminal content missing: %q", next.Doc.InnerText())
+	}
+}
+
+func TestPressEnterSubmits(t *testing.T) {
+	b := newBrowser(testSite())
+	p, _ := b.Navigate("http://phish.test/")
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "a.b@c.com")
+	p.Type(inputs[1], "pw")
+	next, err := p.PressEnter(inputs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(next.URL, "/pay") {
+		t.Errorf("Enter did not submit: %q", next.URL)
+	}
+}
+
+func TestExternalRedirectToBenign(t *testing.T) {
+	s := testSite()
+	s.Pages[1].Mode = site.NextExternal
+	s.Pages[1].Next = "http://netflix.com/login"
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://phish.test/pay")
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "4111111111111111")
+	p.Type(inputs[1], "999")
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	next, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Host() != "netflix.com" {
+		t.Errorf("redirect landed on %q", next.Host())
+	}
+	if !strings.Contains(next.Doc.InnerText(), "legitimate") {
+		t.Error("benign page content missing")
+	}
+}
+
+func TestSwapBehavior(t *testing.T) {
+	html := `<html><body>
+<script type="application/x-behavior">{"swaps":[{"trigger":"next","html":"<form id=\"f2\" action=\"/\"><input name=\"card\"><button>Go</button></form>"}]}</script>
+<div>Welcome. Click through to continue.</div>
+<button id="next" type="button">Next</button>
+</body></html>`
+	s := &site.Site{ID: "swap", Host: "swap.test",
+		Pages:  []*site.Page{{Path: "/", HTML: html}},
+		Images: map[string][]byte{}}
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://swap.test/")
+	before := p.DOMHash()
+	if len(p.VisibleInputs()) != 0 {
+		t.Fatal("click-through page should have no inputs")
+	}
+	btn := p.Doc.ElementByID("next")
+	next, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.URL != p.URL {
+		t.Error("swap should not change URL")
+	}
+	if next.DOMHash() == before {
+		t.Error("swap should change DOM hash")
+	}
+	if len(next.VisibleInputs()) != 1 {
+		t.Errorf("swapped content inputs = %d", len(next.VisibleInputs()))
+	}
+}
+
+func TestClickAtZone(t *testing.T) {
+	html := `<html><body>
+<script type="application/x-behavior">{"clickzones":[{"x":100,"y":150,"w":90,"h":20,"action":"submit","form":"f"}]}</script>
+<form id="f" action="/"><input name="email"></form>
+<canvas data-label="SUBMIT" width="90" height="20"></canvas>
+</body></html>`
+	done := `<html><body><div>thanks</div></body></html>`
+	s := &site.Site{ID: "cz", Host: "cz.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: html, Next: "/d", Mode: site.NextRedirect},
+			{Path: "/d", HTML: done},
+		},
+		Images: map[string][]byte{}}
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://cz.test/")
+	p.Type(p.VisibleInputs()[0], "x@y.zz")
+	next, err := p.ClickAt(120, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(next.URL, "/d") {
+		t.Errorf("zone click landed at %q", next.URL)
+	}
+}
+
+func TestClickAtHitTest(t *testing.T) {
+	b := newBrowser(testSite())
+	p, _ := b.Navigate("http://phish.test/")
+	inputs := p.VisibleInputs()
+	p.Type(inputs[0], "a.b@c.com")
+	p.Type(inputs[1], "pw")
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	box, ok := p.Render().Layout.Box(btn)
+	if !ok {
+		t.Fatal("button has no box")
+	}
+	next, err := p.ClickAt(box.CenterX(), box.CenterY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(next.URL, "/pay") {
+		t.Errorf("hit-test click landed at %q", next.URL)
+	}
+}
+
+func TestClickNonInteractive(t *testing.T) {
+	b := newBrowser(testSite())
+	p, _ := b.Navigate("http://phish.test/")
+	div := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "label" })
+	if _, err := p.Click(div); err != ErrNoNavigation {
+		t.Errorf("clicking label: err = %v, want ErrNoNavigation", err)
+	}
+	if _, err := p.ClickAt(795, 1); err != ErrNoNavigation {
+		t.Errorf("clicking empty space: err = %v", err)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	b := newBrowser(testSite())
+	p, err := b.Navigate("http://nonexistent.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Status != 502 {
+		t.Errorf("unknown host status = %d, want 502", p.Status)
+	}
+}
+
+func TestImagesFetchedAndRendered(t *testing.T) {
+	logo := raster.New(40, 20, raster.Maroon)
+	html := `<html><body><img src="/logo.pxi" width="40" height="20"><div>TEXT</div></body></html>`
+	s := &site.Site{ID: "img", Host: "img.test",
+		Pages:  []*site.Page{{Path: "/", HTML: html}},
+		Images: map[string][]byte{"/logo.pxi": raster.Encode(logo)}}
+	b := newBrowser(s)
+	p, err := b.Navigate("http://img.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shot := p.Screenshot()
+	found := false
+	for _, px := range shot.Pix {
+		if px == raster.Maroon {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("image pixels not rendered")
+	}
+	// Image request logged.
+	sawImage := false
+	for _, r := range b.NetLog {
+		if r.Kind == "image" && strings.Contains(r.URL, "logo.pxi") {
+			sawImage = true
+		}
+	}
+	if !sawImage {
+		t.Errorf("image fetch not in net log: %+v", b.NetLog)
+	}
+}
+
+func TestDoubleLoginFlow(t *testing.T) {
+	loginHTML := `<html><body><form id="f" action="/"><input name="email"><input type="password" name="password"><button>Sign in</button></form></body></html>`
+	retryHTML := `<html><body><div class="error">Password invalid! Please try again.</div><form id="f" action="/"><input name="email"><input type="password" name="password"><button>Sign in</button></form></body></html>`
+	s := &site.Site{ID: "dl", Host: "dl.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: loginHTML, Next: "/in", Mode: site.NextRedirect, DoubleLoginHTML: retryHTML},
+			{Path: "/in", HTML: `<html><body><div>inside</div></body></html>`},
+		},
+		Images: map[string][]byte{}}
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://dl.test/")
+	fill := func(pg *Page) {
+		ins := pg.VisibleInputs()
+		pg.Type(ins[0], "v@w.xy")
+		pg.Type(ins[1], "pw")
+	}
+	fill(p)
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	second, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.Doc.InnerText(), "invalid") {
+		t.Errorf("first submit should show error page: %q", second.Doc.InnerText())
+	}
+	// Second attempt proceeds.
+	fill(second)
+	btn2 := second.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	third, err := second.Click(btn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(third.Doc.InnerText(), "inside") {
+		t.Errorf("second submit should proceed: %q at %q", third.Doc.InnerText(), third.URL)
+	}
+}
+
+func TestHTTPErrorTermination(t *testing.T) {
+	s := testSite()
+	s.Pages[1].FailStatus = 500
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://phish.test/pay")
+	ins := p.VisibleInputs()
+	p.Type(ins[0], "4111111111111111")
+	p.Type(ins[1], "123")
+	btn := p.Doc.FindFirst(func(n *dom.Node) bool { return n.Tag == "button" })
+	next, err := p.Click(btn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Status != 500 {
+		t.Errorf("status = %d, want 500", next.Status)
+	}
+}
+
+func TestFreshProfilePerBrowser(t *testing.T) {
+	s := testSite()
+	reg := phishserver.NewRegistry()
+	reg.AddSite(s)
+	tr := phishserver.Transport{Registry: reg}
+	b1 := New(Options{Transport: tr})
+	b1.Navigate("http://phish.test/")
+	b2 := New(Options{Transport: tr})
+	if len(b2.NetLog) != 0 {
+		t.Error("new browser must start with empty logs")
+	}
+}
+
+func TestSubmitBareInputs(t *testing.T) {
+	html := `<html><body><div><label>Email</label><input name="email"></div>
+<div><label>Code</label><input name="code"></div></body></html>`
+	s := &site.Site{ID: "bare", Host: "bare.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: html, Next: "/in", Mode: site.NextRedirect,
+				Validate: map[string]string{"email": site.ValidateEmail}},
+			{Path: "/in", HTML: "<html><body>in</body></html>"},
+		},
+		Images: map[string][]byte{}}
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://bare.test/")
+	ins := p.VisibleInputs()
+	p.Type(ins[0], "a@b.cd")
+	p.Type(ins[1], "123456")
+	np, err := p.SubmitBareInputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(np.URL, "/in") {
+		t.Errorf("bare submit landed at %q", np.URL)
+	}
+	// Empty page: nothing to submit.
+	empty := &site.Site{ID: "e", Host: "e.test",
+		Pages:  []*site.Page{{Path: "/", HTML: "<html><body><p>x</p></body></html>"}},
+		Images: map[string][]byte{}}
+	b2 := newBrowser(empty)
+	p2, _ := b2.Navigate("http://e.test/")
+	if _, err := p2.SubmitBareInputs(); err != ErrNoNavigation {
+		t.Errorf("empty bare submit err = %v", err)
+	}
+}
+
+func TestRedirectLoopBounded(t *testing.T) {
+	// A site that 302s to itself forever must not hang the browser.
+	reg := phishserver.NewRegistry()
+	b := New(Options{Transport: loopTransport{}})
+	_ = reg
+	_, err := b.Navigate("http://loop.test/")
+	if err == nil {
+		t.Fatal("redirect loop should error")
+	}
+	if !strings.Contains(err.Error(), "redirect") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+type loopTransport struct{}
+
+func (loopTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	rec.Header().Set("Location", "/again")
+	rec.WriteHeader(http.StatusFound)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+func TestTypeIntoSelect(t *testing.T) {
+	s := testSite()
+	s.Pages[0].HTML = `<html><body><form action="/"><select name="state"><option>Alabama</option><option>Alaska</option></select><button>Go</button></form></body></html>`
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://phish.test/")
+	sel := p.Doc.ElementsByTag("select")[0]
+	p.Type(sel, "Alaska")
+	if v := sel.AttrOr("value", ""); v != "Alaska" {
+		t.Errorf("select value = %q", v)
+	}
+	changed := false
+	for _, e := range p.EventLog {
+		if e.Type == "change" {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("change event not fired for select")
+	}
+}
+
+func TestDataURIImage(t *testing.T) {
+	logo := raster.New(20, 10, raster.Teal)
+	html := `<html><body><img src="` + raster.EncodeDataURI(logo) + `" width="20" height="10"></body></html>`
+	s := &site.Site{ID: "du", Host: "du.test",
+		Pages:  []*site.Page{{Path: "/", HTML: html}},
+		Images: map[string][]byte{}}
+	b := newBrowser(s)
+	p, err := b.Navigate("http://du.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, px := range p.Screenshot().Pix {
+		if px == raster.Teal {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("data-URI image not rendered")
+	}
+}
+
+func TestPressEnterWithoutForm(t *testing.T) {
+	html := `<html><body><div><input name="q"></div></body></html>`
+	s := &site.Site{ID: "nf", Host: "nf.test",
+		Pages:  []*site.Page{{Path: "/", HTML: html}},
+		Images: map[string][]byte{}}
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://nf.test/")
+	in := p.VisibleInputs()[0]
+	if _, err := p.PressEnter(in); err != ErrNoNavigation {
+		t.Errorf("formless Enter err = %v", err)
+	}
+	if _, err := p.PressEnter(nil); err != ErrNoNavigation {
+		t.Errorf("nil Enter err = %v", err)
+	}
+}
+
+func TestClickAnchorWithoutHref(t *testing.T) {
+	s := testSite()
+	s.Pages[0].HTML = `<html><body><a id="x">dead link</a><a id="y" href="#">hash</a></body></html>`
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://phish.test/")
+	if _, err := p.Click(p.Doc.ElementByID("x")); err != ErrNoNavigation {
+		t.Errorf("href-less anchor err = %v", err)
+	}
+	if _, err := p.Click(p.Doc.ElementByID("y")); err != ErrNoNavigation {
+		t.Errorf("hash anchor err = %v", err)
+	}
+}
+
+func TestButtonDataHref(t *testing.T) {
+	s := testSite()
+	s.Pages[0].HTML = `<html><body><button id="go" type="button" data-href="/pay">Proceed</button></body></html>`
+	b := newBrowser(s)
+	p, _ := b.Navigate("http://phish.test/")
+	np, err := p.Click(p.Doc.ElementByID("go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(np.URL, "/pay") {
+		t.Errorf("data-href click landed at %q", np.URL)
+	}
+}

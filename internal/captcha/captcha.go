@@ -1,0 +1,275 @@
+// Package captcha renders the CAPTCHA challenge widgets that appear in the
+// synthetic phishing corpus, replacing the public CAPTCHA image dataset the
+// paper fine-tunes its detector on. Eight visual classes are produced,
+// matching Table 5: six text-based CAPTCHA styles (distorted character
+// strings over different noise backgrounds) and two visual styles (an
+// image-grid challenge and an "I'm not a robot" checkbox widget). Each style
+// has a stable overall geometry with per-instance randomness, exactly the
+// regime an object detector is trained for.
+package captcha
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/raster"
+)
+
+// Kind identifies a CAPTCHA class.
+type Kind int
+
+// The CAPTCHA classes of Table 5.
+const (
+	Text1   Kind = iota // clean text on white with dot noise
+	Text2               // text with strike-through lines on light gray
+	Text3               // text over colored vertical stripes
+	Text4               // vertically jittered ("wavy") text
+	Text5               // light text on dark background
+	Text6               // text under a grid overlay
+	Visual1             // 3x3 image-selection grid
+	Visual2             // "I'm not a robot" checkbox widget
+	NumKinds
+)
+
+// String returns the Table 5 name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Text1, Text2, Text3, Text4, Text5, Text6:
+		return fmt.Sprintf("text-type%d", int(k)+1)
+	case Visual1:
+		return "visual-type1"
+	case Visual2:
+		return "visual-type2"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsText reports whether k is a text-based CAPTCHA.
+func (k Kind) IsText() bool { return k >= Text1 && k <= Text6 }
+
+// IsVisual reports whether k is a visual CAPTCHA.
+func (k Kind) IsVisual() bool { return k == Visual1 || k == Visual2 }
+
+// TextKinds returns the six text-based kinds.
+func TextKinds() []Kind { return []Kind{Text1, Text2, Text3, Text4, Text5, Text6} }
+
+// VisualKinds returns the two visual kinds.
+func VisualKinds() []Kind { return []Kind{Visual1, Visual2} }
+
+// AllKinds returns every kind.
+func AllKinds() []Kind { return append(TextKinds(), VisualKinds()...) }
+
+const challengeChars = "ABCDEFGHJKLMNPQRSTUVWXYZ23456789"
+
+// Challenge returns a random challenge string of n characters.
+func Challenge(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(challengeChars[rng.Intn(len(challengeChars))])
+	}
+	return b.String()
+}
+
+// Render draws a CAPTCHA of the given kind and returns its image along with
+// the challenge text (empty for visual kinds). Geometry varies slightly with
+// the rng so no two instances are pixel-identical.
+func Render(kind Kind, rng *rand.Rand) (*raster.Image, string) {
+	switch kind {
+	case Text1:
+		return renderText1(rng)
+	case Text2:
+		return renderText2(rng)
+	case Text3:
+		return renderText3(rng)
+	case Text4:
+		return renderText4(rng)
+	case Text5:
+		return renderText5(rng)
+	case Text6:
+		return renderText6(rng)
+	case Visual1:
+		return renderVisual1(rng), ""
+	case Visual2:
+		return renderVisual2(rng), ""
+	default:
+		return raster.New(60, 24, raster.White), ""
+	}
+}
+
+func textBase(rng *rand.Rand, bg raster.Color) (*raster.Image, string, int, int) {
+	text := Challenge(rng, 5+rng.Intn(3))
+	w := raster.StringWidth(text) + 16 + rng.Intn(8)
+	h := 26 + rng.Intn(6)
+	img := raster.New(w, h, bg)
+	img.Outline(raster.R(0, 0, w, h), raster.Gray)
+	x := 8 + rng.Intn(4)
+	y := (h - raster.GlyphH) / 2
+	return img, text, x, y
+}
+
+func renderText1(rng *rand.Rand) (*raster.Image, string) {
+	img, text, x, y := textBase(rng, raster.White)
+	img.DrawString(text, x, y, raster.Black)
+	for i := 0; i < 24; i++ {
+		img.Set(1+rng.Intn(img.W-2), 1+rng.Intn(img.H-2), raster.Gray)
+	}
+	return img, text
+}
+
+func renderText2(rng *rand.Rand) (*raster.Image, string) {
+	img, text, x, y := textBase(rng, raster.LightGray)
+	img.DrawString(text, x, y, raster.Black)
+	// Strike-through lines.
+	for l := 0; l < 2; l++ {
+		ly := y + 1 + rng.Intn(raster.GlyphH)
+		for px := 2; px < img.W-2; px++ {
+			img.Set(px, ly, raster.Maroon)
+		}
+	}
+	return img, text
+}
+
+func renderText3(rng *rand.Rand) (*raster.Image, string) {
+	img, text, x, y := textBase(rng, raster.White)
+	stripeColors := []raster.Color{raster.Yellow, raster.Pink, raster.Teal}
+	for sx := 1; sx < img.W-1; sx += 4 {
+		c := stripeColors[(sx/4)%len(stripeColors)]
+		img.Fill(raster.R(sx, 1, 2, img.H-2), c)
+	}
+	img.DrawString(text, x, y, raster.Black)
+	return img, text
+}
+
+func renderText4(rng *rand.Rand) (*raster.Image, string) {
+	text := Challenge(rng, 5+rng.Intn(2))
+	w := len(text)*raster.AdvanceX + 20
+	h := 32 + rng.Intn(4)
+	img := raster.New(w, h, raster.White)
+	img.Outline(raster.R(0, 0, w, h), raster.Gray)
+	x := 8
+	for i, r := range text {
+		jitter := rng.Intn(9) - 4
+		img.DrawGlyph(r, x+i*raster.AdvanceX, h/2-raster.GlyphH/2+jitter, raster.Black)
+	}
+	return img, text
+}
+
+func renderText5(rng *rand.Rand) (*raster.Image, string) {
+	img, text, x, y := textBase(rng, raster.Navy)
+	img.DrawString(text, x, y, raster.Yellow)
+	return img, text
+}
+
+func renderText6(rng *rand.Rand) (*raster.Image, string) {
+	img, text, x, y := textBase(rng, raster.White)
+	img.DrawString(text, x, y, raster.Black)
+	// Grid overlay.
+	for gx := 3; gx < img.W-1; gx += 7 {
+		for py := 1; py < img.H-1; py++ {
+			if img.At(gx, py) == raster.White {
+				img.Set(gx, py, raster.LightGray)
+			}
+		}
+	}
+	for gy := 3; gy < img.H-1; gy += 7 {
+		for px := 1; px < img.W-1; px++ {
+			if img.At(px, gy) == raster.White {
+				img.Set(px, gy, raster.LightGray)
+			}
+		}
+	}
+	return img, text
+}
+
+// renderVisual1 draws a 3x3 tile-selection grid with a header bar.
+func renderVisual1(rng *rand.Rand) *raster.Image {
+	tile := 22 + rng.Intn(6)
+	gap := 2
+	w := 3*tile + 4*gap
+	headerH := 14
+	h := headerH + 3*tile + 4*gap
+	img := raster.New(w, h, raster.White)
+	img.Outline(raster.R(0, 0, w, h), raster.Gray)
+	img.Fill(raster.R(1, 1, w-2, headerH), raster.Blue)
+	// Image-selection grids share a recognizable structure across
+	// deployments (street scenes, crosswalks, ...): a mostly-stable tile
+	// palette with a couple of per-instance variations, which is what makes
+	// the paper's pHash-based exemplar verification workable.
+	basePattern := [9]raster.Color{
+		raster.Green, raster.Olive, raster.Teal,
+		raster.Brown, raster.Green, raster.Gray,
+		raster.Olive, raster.Teal, raster.Green,
+	}
+	altColors := []raster.Color{raster.Orange, raster.Gray, raster.Brown}
+	varied := [2]int{rng.Intn(9), rng.Intn(9)}
+	for ty := 0; ty < 3; ty++ {
+		for tx := 0; tx < 3; tx++ {
+			idx := ty*3 + tx
+			c := basePattern[idx]
+			if idx == varied[0] || idx == varied[1] {
+				c = altColors[rng.Intn(len(altColors))]
+			}
+			x := gap + tx*(tile+gap)
+			y := headerH + gap + ty*(tile+gap)
+			img.Fill(raster.R(x, y, tile, tile), c)
+		}
+	}
+	return img
+}
+
+// renderVisual2 draws the checkbox widget: a wide light box with a small
+// square checkbox on the left and label text.
+func renderVisual2(rng *rand.Rand) *raster.Image {
+	w := 180 + rng.Intn(30)
+	h := 30 + rng.Intn(6)
+	img := raster.New(w, h, raster.LightGray)
+	img.Outline(raster.R(0, 0, w, h), raster.Gray)
+	// Checkbox.
+	cb := raster.R(8, h/2-6, 12, 12)
+	img.Fill(cb, raster.White)
+	img.Outline(cb, raster.Gray)
+	img.DrawString("I'M NOT A ROBOT", 28, h/2-raster.GlyphH/2, raster.Black)
+	// Badge on the right.
+	img.Fill(raster.R(w-26, h/2-9, 18, 18), raster.Blue)
+	return img
+}
+
+// Provider identifies which CAPTCHA implementation a page embeds, for the
+// known-vs-custom prevalence measurement (Section 5.3.2).
+type Provider string
+
+// Known third-party CAPTCHA providers plus the custom marker.
+const (
+	ProviderRecaptcha Provider = "recaptcha"
+	ProviderHcaptcha  Provider = "hcaptcha"
+	ProviderCustom    Provider = "custom"
+	ProviderNone      Provider = ""
+)
+
+// ScriptURL returns the script src a page using the given known provider
+// would include; DOM analysis detects these (Section 5.3.2 "known
+// CAPTCHAs").
+func ScriptURL(p Provider) string {
+	switch p {
+	case ProviderRecaptcha:
+		return "https://www.google.com/recaptcha/api.js"
+	case ProviderHcaptcha:
+		return "https://js.hcaptcha.com/1/api.js"
+	default:
+		return ""
+	}
+}
+
+// DetectProvider inspects a script URL and returns the provider it belongs
+// to, or ProviderNone.
+func DetectProvider(src string) Provider {
+	switch {
+	case strings.Contains(src, "google.com/recaptcha") || strings.Contains(src, "gstatic.com/recaptcha"):
+		return ProviderRecaptcha
+	case strings.Contains(src, "hcaptcha.com"):
+		return ProviderHcaptcha
+	default:
+		return ProviderNone
+	}
+}

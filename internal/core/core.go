@@ -1,0 +1,164 @@
+// Package core is the public facade of the PhishInPatterns reproduction:
+// it wires the full measurement pipeline of Figure 6 — live phishing feed,
+// intelligent crawler (with its trained input-field classifier, OCR engine
+// and object detector), crawl farm, and data analyzer — into a single
+// Pipeline that callers configure with a corpus size and a seed. The cmd/
+// tools, the examples, and the benchmark harness are all thin wrappers over
+// this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/brands"
+	"repro/internal/browser"
+	"repro/internal/captcha"
+	"repro/internal/crawler"
+	"repro/internal/farm"
+	"repro/internal/feed"
+	"repro/internal/fielddata"
+	"repro/internal/pagegen"
+	"repro/internal/phash"
+	"repro/internal/phishserver"
+	"repro/internal/sitegen"
+	"repro/internal/termclass"
+	"repro/internal/textclass"
+	"repro/internal/vision"
+	"repro/internal/visualphish"
+)
+
+// Options configures a Pipeline.
+type Options struct {
+	// NumSites is the corpus size (paper scale: 51,859). Default 1,000.
+	NumSites int
+	// Seed drives all generation and training randomness.
+	Seed int64
+	// Workers is the farm parallelism (default 30, the paper's setting).
+	Workers int
+	// DetectorTrainPages is the number of generated pages the object
+	// detector is fitted on (paper: 10,000). Default 600, which reaches
+	// comparable accuracy on this substrate far faster.
+	DetectorTrainPages int
+	// MaxPagesPerSite bounds each crawl session.
+	MaxPagesPerSite int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumSites <= 0 {
+		o.NumSites = 1000
+	}
+	if o.Workers <= 0 {
+		o.Workers = farm.DefaultWorkers
+	}
+	if o.DetectorTrainPages <= 0 {
+		o.DetectorTrainPages = 600
+	}
+	if o.MaxPagesPerSite <= 0 {
+		o.MaxPagesPerSite = crawler.DefaultMaxPages
+	}
+	return o
+}
+
+// Pipeline is the assembled measurement system.
+type Pipeline struct {
+	Opts     Options
+	Corpus   *sitegen.Corpus
+	Feed     *feed.Feed
+	Registry *phishserver.Registry
+
+	FieldClassifier  *textclass.Model
+	Detector         *vision.Detector
+	TermClassifier   *termclass.Classifier
+	Gallery          *visualphish.Gallery
+	CaptchaExemplars []phash.Hash
+
+	Crawler *crawler.Crawler
+
+	// Crawl outputs.
+	Logs  []*crawler.SessionLog
+	Stats farm.Stats
+}
+
+// NewPipeline generates the corpus, trains every model, and assembles the
+// crawler; call Crawl to run the measurement.
+func NewPipeline(opts Options) (*Pipeline, error) {
+	opts = opts.withDefaults()
+	p := &Pipeline{Opts: opts}
+
+	// Corpus and feed.
+	p.Corpus = sitegen.Generate(sitegen.ScaledParams(opts.NumSites, opts.Seed))
+	p.Feed = feed.FromCorpus(p.Corpus, opts.Seed+1)
+
+	// Serving registry: every phishing site plus the benign hosts terminal
+	// redirects land on.
+	p.Registry = phishserver.NewRegistry()
+	for _, s := range p.Corpus.Sites {
+		p.Registry.AddSite(s)
+	}
+	for _, b := range brands.All() {
+		p.Registry.AddBenignHost(b.LegitDomain)
+	}
+	for _, h := range []string{"example.com", "example.org", "example.net", "google.com", "youtube.com", "yahoo.com", "godaddy.com", "live.com"} {
+		p.Registry.AddBenignHost(h)
+	}
+
+	// Models.
+	var err error
+	p.FieldClassifier, err = fielddata.TrainMultilingual(opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: training field classifier: %w", err)
+	}
+	p.Detector, err = vision.Train(pagegen.GenerateSet(opts.DetectorTrainPages, opts.Seed+2, pagegen.Config{}), opts.Seed+3)
+	if err != nil {
+		return nil, fmt.Errorf("core: training detector: %w", err)
+	}
+	p.TermClassifier, err = termclass.Train(opts.Seed + 4)
+	if err != nil {
+		return nil, fmt.Errorf("core: training terminal classifier: %w", err)
+	}
+	p.Gallery = analysis.BrandGallery()
+	for _, kind := range captcha.VisualKinds() {
+		for _, crop := range pagegen.CaptchaCrops(kind, 10, opts.Seed+5) {
+			p.CaptchaExemplars = append(p.CaptchaExemplars, phash.Compute(crop))
+		}
+	}
+
+	// Crawler template.
+	transport := phishserver.Transport{Registry: p.Registry}
+	p.Crawler = &crawler.Crawler{
+		Classifier: p.FieldClassifier,
+		Detector:   p.Detector,
+		NewBrowser: func() *browser.Browser {
+			return browser.New(browser.Options{Transport: transport})
+		},
+		MaxPages:  opts.MaxPagesPerSite,
+		FakerSeed: opts.Seed + 6,
+	}
+	return p, nil
+}
+
+// Crawl runs the farm over the filtered feed and attaches feed metadata to
+// the session logs.
+func (p *Pipeline) Crawl() {
+	urls := p.Feed.URLs()
+	p.Logs, p.Stats = farm.Run(farm.Config{Workers: p.Opts.Workers, Crawler: p.Crawler}, urls)
+	analysis.AttachMeta(p.Logs, p.Feed.Filter())
+}
+
+// CrawlSample crawls only the first n feed entries (for quick looks and
+// examples); metadata is attached as in Crawl.
+func (p *Pipeline) CrawlSample(n int) {
+	urls := p.Feed.URLs()
+	if n < len(urls) {
+		urls = urls[:n]
+	}
+	p.Logs, p.Stats = farm.Run(farm.Config{Workers: p.Opts.Workers, Crawler: p.Crawler}, urls)
+	analysis.AttachMeta(p.Logs, p.Feed.Filter())
+}
+
+// CaptchaAnalysisOptions returns the configured verification options for
+// analysis.Captchas.
+func (p *Pipeline) CaptchaAnalysisOptions() analysis.CaptchaOptions {
+	return analysis.CaptchaOptions{Exemplars: p.CaptchaExemplars}
+}

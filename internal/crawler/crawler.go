@@ -1,0 +1,427 @@
+// Package crawler implements the paper's primary contribution: the
+// intelligent phishing crawler of Section 4. Given a phishing URL, it loads
+// the page in a fresh browser profile, identifies and classifies every
+// input field (DOM analysis with an OCR fallback), forges syntactically
+// valid data with the faker, submits it through a ladder of strategies
+// (Enter key, DOM submit button, programmatic form submission, and visual
+// button detection), detects page transitions via URL or lightweight DOM
+// hash, and walks the entire multi-stage phishing UX until no more progress
+// can be made — collecting the logs the analysis layer (Section 5) runs on.
+package crawler
+
+import (
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/dom"
+	"repro/internal/faker"
+	"repro/internal/fieldspec"
+	"repro/internal/ocr"
+	"repro/internal/phash"
+	"repro/internal/raster"
+	"repro/internal/script"
+	"repro/internal/textclass"
+	"repro/internal/vision"
+	"repro/internal/visualphish"
+)
+
+// ConfidenceThreshold is the reject threshold of the field classifier
+// (Section 4.2): predictions below it are labelled unknown.
+const ConfidenceThreshold = 0.8
+
+// MaxDataAttempts is how many times freshly forged data is submitted to one
+// page before the session aborts (Section 4.3: "up to three times").
+const MaxDataAttempts = 3
+
+// DefaultMaxPages bounds the number of page transitions per session,
+// standing in for the paper's 20-minute wall-clock timeout.
+const DefaultMaxPages = 10
+
+// Submit strategy names, in ladder order (Section 4.3).
+const (
+	SubmitEnter       = "enter"
+	SubmitButton      = "button"
+	SubmitFormAction  = "form-action"
+	SubmitVisual      = "visual"
+	SubmitClickThru   = "click-through"
+	SubmitVisualClick = "visual-click-through"
+)
+
+// Session outcomes.
+const (
+	OutcomeCompleted = "completed" // reached a page with nothing left to do
+	OutcomeStuck     = "stuck"     // data never accepted / no interactable element
+	OutcomePageLimit = "page-limit"
+	OutcomeError     = "error"
+)
+
+// FieldLog records one identified, classified, and filled input field.
+type FieldLog struct {
+	Description string
+	HTMLType    string
+	Label       fieldspec.Type
+	Confidence  float64
+	UsedOCR     bool
+	Value       string
+	// Box is the field's rendering bounding box, used by the CAPTCHA
+	// verification heuristic (a text CAPTCHA needs an input beside it).
+	Box raster.Rect
+}
+
+// PageLog records everything collected about one visited page.
+type PageLog struct {
+	Index        int
+	URL          string
+	Host         string
+	Status       int
+	Title        string
+	Text         string
+	DOMHash      string
+	PHash        phash.Hash
+	Fields       []FieldLog
+	UsedOCR      bool
+	SubmitMethod string
+	DataAttempts int
+	Listeners    []script.Listener
+	ScriptSrcs   []string
+	Detections   []vision.Detection
+	// DetectionHashes holds the perceptual hash of each detection's crop
+	// (parallel to Detections), enabling the visual-CAPTCHA exemplar
+	// verification of Section 5.3.2 without retaining screenshots.
+	DetectionHashes []phash.Hash
+}
+
+// HasInputs reports whether the page presented any fillable fields.
+func (p *PageLog) HasInputs() bool { return len(p.Fields) > 0 }
+
+// FieldTypes returns the classified types of the page's fields.
+func (p *PageLog) FieldTypes() []fieldspec.Type {
+	out := make([]fieldspec.Type, len(p.Fields))
+	for i, f := range p.Fields {
+		out[i] = f.Label
+	}
+	return out
+}
+
+// SessionLog is the full record of one crawl session.
+type SessionLog struct {
+	SiteID     string
+	SeedURL    string
+	Brand      string
+	Category   string
+	CampaignID string
+	Pages      []PageLog
+	NetLog     []browser.NetRequest
+	Outcome    string
+	// FirstPageEmbedding supports campaign clustering and the cloning
+	// analysis without retaining full screenshots.
+	FirstPageEmbedding visualphish.Embedding
+}
+
+// Crawler drives sessions. It is stateless across sessions except for the
+// injected models, so one Crawler can be shared by the farm's workers.
+type Crawler struct {
+	// Classifier labels input-field descriptions (nil disables
+	// classification: every field becomes unknown).
+	Classifier *textclass.Model
+	// Detector finds buttons and CAPTCHAs visually (nil disables the
+	// visual submit strategy).
+	Detector *vision.Detector
+	// OCR reads labels out of renderings.
+	OCR *ocr.Engine
+	// NewBrowser builds the fresh per-session browser profile.
+	NewBrowser func() *browser.Browser
+	// MaxPages bounds transitions per session.
+	MaxPages int
+	// FakerSeed seeds the per-session forged-data generator.
+	FakerSeed int64
+
+	// DisableOCR turns off the visual label fallback of Section 4.1 — the
+	// ablation quantifying what a DOM-only crawler would miss.
+	DisableOCR bool
+	// URLOnlyTransitions disables the DOM-hash progress check of Section
+	// 4.4, detecting transitions by URL change alone — the ablation
+	// quantifying premature session termination on JS-swap pages.
+	URLOnlyTransitions bool
+}
+
+// Crawl runs one end-to-end session against seedURL.
+func (c *Crawler) Crawl(seedURL string) *SessionLog {
+	maxPages := c.MaxPages
+	if maxPages <= 0 {
+		maxPages = DefaultMaxPages
+	}
+	eng := c.OCR
+	if eng == nil && !c.DisableOCR {
+		eng = ocr.New()
+	}
+	if c.DisableOCR {
+		eng = nil
+	}
+	b := c.NewBrowser()
+	fk := faker.New(c.FakerSeed)
+	log := &SessionLog{SeedURL: seedURL}
+
+	page, err := b.Navigate(seedURL)
+	if err != nil {
+		log.Outcome = OutcomeError
+		return log
+	}
+	log.FirstPageEmbedding = visualphish.EmbedCropped(page.Screenshot())
+
+	for step := 0; ; step++ {
+		if step >= maxPages {
+			log.Outcome = OutcomePageLimit
+			break
+		}
+		pl := c.observePage(page, step, eng)
+		fields := identifyFields(page, eng)
+		c.classifyAndLog(&pl, fields)
+
+		var next *browser.Page
+		if len(fields) > 0 {
+			next = c.fillAndSubmit(page, fields, &pl, fk)
+		} else {
+			next = c.clickThrough(page, &pl)
+		}
+		log.Pages = append(log.Pages, pl)
+		if next == nil {
+			if pl.SubmitMethod == "" && len(fields) == 0 {
+				// Nothing to interact with: natural end of the UX.
+				log.Outcome = OutcomeCompleted
+			} else {
+				log.Outcome = OutcomeStuck
+			}
+			break
+		}
+		page = next
+	}
+	log.NetLog = b.NetLog
+	return log
+}
+
+// observePage collects the per-page metadata of Section 4.5.
+func (c *Crawler) observePage(p *browser.Page, index int, eng *ocr.Engine) PageLog {
+	shot := p.Screenshot()
+	pl := PageLog{
+		Index:      index,
+		URL:        p.URL,
+		Host:       p.Host(),
+		Status:     p.Status,
+		Title:      dom.Title(p.Doc),
+		Text:       p.Doc.InnerText(),
+		DOMHash:    p.DOMHash(),
+		PHash:      phash.Compute(shot),
+		Listeners:  append([]script.Listener(nil), p.ListenerLog...),
+		ScriptSrcs: script.ExternalScripts(p.Doc),
+	}
+	if c.Detector != nil {
+		pl.Detections = c.Detector.Detect(shot)
+		for _, det := range pl.Detections {
+			pl.DetectionHashes = append(pl.DetectionHashes, phash.Compute(shot.Sub(det.Box)))
+		}
+	}
+	return pl
+}
+
+func (c *Crawler) classifyAndLog(pl *PageLog, fields []FieldInfo) {
+	for _, f := range fields {
+		fl := FieldLog{
+			Description: f.Description,
+			HTMLType:    f.HTMLType,
+			UsedOCR:     f.UsedOCR,
+			Label:       fieldspec.Unknown,
+			Box:         f.Box,
+		}
+		if c.Classifier != nil && f.Description != "" {
+			label, conf := c.Classifier.PredictThreshold(
+				f.Description, ConfidenceThreshold, string(fieldspec.Unknown))
+			fl.Label = fieldspec.Type(label)
+			fl.Confidence = conf
+		}
+		if fl.UsedOCR {
+			pl.UsedOCR = true
+		}
+		pl.Fields = append(pl.Fields, fl)
+	}
+}
+
+// fillAndSubmit forges data for every field and walks the submit-strategy
+// ladder, retrying with fresh data when the site rejects a submission
+// (detected as "no page transition"). Returns the new page, or nil when the
+// site never accepted the data.
+func (c *Crawler) fillAndSubmit(p *browser.Page, fields []FieldInfo, pl *PageLog, fk *faker.Faker) *browser.Page {
+	beforeURL, beforeHash := p.URL, p.DOMHash()
+	transitioned := func(np *browser.Page) bool {
+		if np == nil {
+			return false
+		}
+		if c.URLOnlyTransitions {
+			return np.URL != beforeURL
+		}
+		return np.URL != beforeURL || np.DOMHash() != beforeHash
+	}
+	// record notes which strategy actually performed a submission (a POST
+	// reached the site), even when the site re-served the same page: the
+	// Section 5.1.2 "12% required visual detection" measurement counts the
+	// interaction used, not whether the flow continued.
+	record := func(method string) {
+		if pl.SubmitMethod == "" {
+			pl.SubmitMethod = method
+		}
+	}
+	// Consent checkboxes ("I agree to the terms") gate many real sign-up
+	// forms; tick them all before submitting, as a user would.
+	for _, cb := range dom.MustQuery(p.Doc, `input[type=checkbox]`) {
+		cb.SetAttr("value", "on")
+		cb.SetAttr("checked", "checked")
+	}
+	for attempt := 0; attempt < MaxDataAttempts; attempt++ {
+		pl.DataAttempts = attempt + 1
+		// Forge and enter data (fresh values every attempt).
+		for i, f := range fields {
+			value := fk.ForType(pl.Fields[i].Label)
+			pl.Fields[i].Value = value
+			p.Type(f.Node, value)
+		}
+		// Strategy 1: Enter key with focus on the first input.
+		if np, err := p.PressEnter(fields[0].Node); err == nil && np != nil {
+			record(SubmitEnter)
+			if transitioned(np) {
+				pl.SubmitMethod = SubmitEnter
+				return np
+			}
+		}
+		// Strategy 2: DOM submit button (or a link styled as a button).
+		if btn := findSubmitElement(p); btn != nil {
+			if np, err := p.Click(btn); err == nil && np != nil {
+				record(SubmitButton)
+				if transitioned(np) {
+					pl.SubmitMethod = SubmitButton
+					return np
+				}
+			}
+		}
+		// Strategy 3: programmatic form.submit().
+		if form := fields[0].Node.Closest("form"); form != nil {
+			if np, err := p.SubmitForm(form); err == nil && np != nil {
+				record(SubmitFormAction)
+				if transitioned(np) {
+					pl.SubmitMethod = SubmitFormAction
+					return np
+				}
+			}
+		}
+		// Strategy 4: visual submit-button detection.
+		if np, performed := c.visualSubmit(p, transitioned); performed {
+			record(SubmitVisual)
+			if np != nil {
+				pl.SubmitMethod = SubmitVisual
+				return np
+			}
+		}
+	}
+	return nil
+}
+
+// visualSubmit uses the object detector to find button-looking regions and
+// clicks their centers. It reports whether any click actually performed an
+// interaction, and returns the new page when the interaction progressed.
+func (c *Crawler) visualSubmit(p *browser.Page, transitioned func(*browser.Page) bool) (*browser.Page, bool) {
+	if c.Detector == nil {
+		return nil, false
+	}
+	performed := false
+	dets := c.Detector.DetectClass(p.Screenshot(), vision.ClassButton)
+	for _, det := range dets {
+		np, err := p.ClickAt(det.Box.CenterX(), det.Box.CenterY())
+		if err != nil || np == nil {
+			continue
+		}
+		performed = true
+		if transitioned(np) {
+			return np, true
+		}
+	}
+	return nil, performed
+}
+
+// clickThrough handles input-less pages (Section 4.4): find a button-like
+// element to advance, falling back to visual detection.
+func (c *Crawler) clickThrough(p *browser.Page, pl *PageLog) *browser.Page {
+	beforeURL, beforeHash := p.URL, p.DOMHash()
+	transitioned := func(np *browser.Page) bool {
+		if np == nil {
+			return false
+		}
+		if c.URLOnlyTransitions {
+			return np.URL != beforeURL
+		}
+		return np.URL != beforeURL || np.DOMHash() != beforeHash
+	}
+	// DOM buttons and button-like links first.
+	for _, el := range clickCandidates(p.Doc) {
+		if np, err := p.Click(el); err == nil && transitioned(np) {
+			pl.SubmitMethod = SubmitClickThru
+			return np
+		}
+	}
+	// Visual detection of buttons that exist only as pixels.
+	if np, _ := c.visualSubmit(p, transitioned); np != nil {
+		pl.SubmitMethod = SubmitVisualClick
+		return np
+	}
+	return nil
+}
+
+// buttonWords are link texts that mark an anchor as a styled button.
+var buttonWords = []string{
+	"next", "continue", "verify", "proceed", "submit", "download", "view",
+	"sign in", "log in", "login", "start", "get started", "confirm", "ok",
+	"accept", "agree", "unlock",
+}
+
+// findSubmitElement performs the DOM analysis of Section 4.3: button
+// elements, input[type=submit|image], and hyperlinks styled as buttons.
+func findSubmitElement(p *browser.Page) *dom.Node {
+	doc := p.Doc
+	if btn := dom.MustQuery(doc, `button, input[type=submit], input[type=image]`); len(btn) > 0 {
+		return btn[0]
+	}
+	// Heuristics for links styled as buttons.
+	if a := doc.FindFirst(func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && n.Tag == "a" && looksLikeButton(n)
+	}); a != nil {
+		return a
+	}
+	return nil
+}
+
+// clickCandidates returns, in preference order, the elements worth clicking
+// on an input-less page.
+func clickCandidates(doc *dom.Node) []*dom.Node {
+	out := dom.MustQuery(doc, `button, input[type=submit], input[type=image], input[type=button]`)
+	out = append(out, doc.Find(func(n *dom.Node) bool {
+		return n.Type == dom.ElementNode && n.Tag == "a" && looksLikeButton(n)
+	})...)
+	return out
+}
+
+// looksLikeButton applies the styled-link heuristics: a button-ish class
+// name or short imperative text.
+func looksLikeButton(a *dom.Node) bool {
+	class := strings.ToLower(a.AttrOr("class", ""))
+	if strings.Contains(class, "btn") || strings.Contains(class, "button") {
+		return true
+	}
+	text := strings.ToLower(strings.TrimSpace(a.InnerText()))
+	if text == "" || len(text) > 24 {
+		return false
+	}
+	for _, w := range buttonWords {
+		if text == w || strings.HasPrefix(text, w+" ") {
+			return true
+		}
+	}
+	return false
+}

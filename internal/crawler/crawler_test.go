@@ -1,0 +1,490 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/dom"
+	"repro/internal/fielddata"
+	"repro/internal/fieldspec"
+	"repro/internal/layout"
+	"repro/internal/pagegen"
+	"repro/internal/phishserver"
+	"repro/internal/raster"
+	"repro/internal/site"
+	"repro/internal/textclass"
+	"repro/internal/vision"
+)
+
+var (
+	modelsOnce sync.Once
+	fieldModel *textclass.Model
+	detector   *vision.Detector
+)
+
+func models(t testing.TB) (*textclass.Model, *vision.Detector) {
+	modelsOnce.Do(func() {
+		var err error
+		fieldModel, err = fielddata.TrainDefault(1)
+		if err != nil {
+			panic(err)
+		}
+		detector, err = vision.Train(pagegen.GenerateSet(200, 1, pagegen.Config{}), 2)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fieldModel, detector
+}
+
+func newCrawler(t testing.TB, sites ...*site.Site) *Crawler {
+	m, d := models(t)
+	reg := phishserver.NewRegistry()
+	for _, s := range sites {
+		reg.AddSite(s)
+	}
+	reg.AddBenignHost("netflix.com")
+	reg.AddBenignHost("example.com")
+	return &Crawler{
+		Classifier: m,
+		Detector:   d,
+		NewBrowser: func() *browser.Browser {
+			return browser.New(browser.Options{Transport: phishserver.Transport{Registry: reg}})
+		},
+		FakerSeed: 7,
+	}
+}
+
+func loginPaymentSite() *site.Site {
+	login := `<html><head><title>Sign in</title></head><body>
+<form action="/"><div><label>Email address</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="password"></div>
+<button>Sign in</button></form></body></html>`
+	payment := `<html><body><form action="/pay">
+<div><label>Card number</label><input name="card"></div>
+<div><label>Expiry date MM/YY</label><input name="exp"></div>
+<div><label>CVV security code</label><input name="cvv"></div>
+<button>Pay now</button></form></body></html>`
+	done := `<html><body><div>Congratulations! Your subscription is confirmed.</div></body></html>`
+	return &site.Site{
+		ID: "lp", Host: "lp.test", Brand: "Netflix",
+		Pages: []*site.Page{
+			{Path: "/", HTML: login, Next: "/pay", Mode: site.NextRedirect,
+				Validate: map[string]string{"email": site.ValidateEmail},
+				Fields:   []fieldspec.Type{fieldspec.Email, fieldspec.Password}},
+			{Path: "/pay", HTML: payment, Next: "/done", Mode: site.NextRedirect,
+				Validate: map[string]string{"card": site.ValidateLuhn},
+				Fields:   []fieldspec.Type{fieldspec.Card, fieldspec.ExpDate, fieldspec.CVV}},
+			{Path: "/done", HTML: done},
+		},
+		Images: map[string][]byte{},
+	}
+}
+
+func TestCrawlMultiPageFlow(t *testing.T) {
+	c := newCrawler(t, loginPaymentSite())
+	log := c.Crawl("http://lp.test/")
+	if log.Outcome != OutcomeCompleted {
+		t.Fatalf("outcome = %s, pages = %d", log.Outcome, len(log.Pages))
+	}
+	if len(log.Pages) != 3 {
+		t.Fatalf("visited %d pages, want 3", len(log.Pages))
+	}
+	// Page 1 fields classified as email + password.
+	p1 := log.Pages[0]
+	if got := p1.FieldTypes(); len(got) != 2 || got[0] != fieldspec.Email || got[1] != fieldspec.Password {
+		t.Errorf("page 1 field types = %v", got)
+	}
+	// Page 2 asks for financial data.
+	p2 := log.Pages[1]
+	types := map[fieldspec.Type]bool{}
+	for _, ft := range p2.FieldTypes() {
+		types[ft] = true
+	}
+	if !types[fieldspec.Card] {
+		t.Errorf("page 2 types = %v, want card present", p2.FieldTypes())
+	}
+	// Terminal page has no fields and confirmation text.
+	p3 := log.Pages[2]
+	if p3.HasInputs() {
+		t.Error("terminal page should have no inputs")
+	}
+	if !strings.Contains(p3.Text, "Congratulations") {
+		t.Errorf("terminal text = %q", p3.Text)
+	}
+	// Submit methods recorded.
+	if p1.SubmitMethod == "" || p2.SubmitMethod == "" {
+		t.Error("submit methods not recorded")
+	}
+	// Forged values are syntactically valid (server accepted them).
+	if p1.Fields[0].Value == "" || !strings.Contains(p1.Fields[0].Value, "@") {
+		t.Errorf("forged email = %q", p1.Fields[0].Value)
+	}
+}
+
+func TestCrawlClickThroughFirst(t *testing.T) {
+	clickHTML := `<html><body><div>Your mailbox is almost full.</div>
+<a class="btn" href="/login">Continue</a></body></html>`
+	loginHTML := `<html><body><form action="/login">
+<div><label>Email</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="pw"></div>
+<button>Next</button></form></body></html>`
+	s := &site.Site{ID: "ct", Host: "ct.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: clickHTML},
+			{Path: "/login", HTML: loginHTML, Next: "/end", Mode: site.NextRedirect},
+			{Path: "/end", HTML: "<html><body><div>done</div></body></html>"},
+		},
+		Images: map[string][]byte{}}
+	c := newCrawler(t, s)
+	log := c.Crawl("http://ct.test/")
+	if len(log.Pages) != 3 {
+		t.Fatalf("visited %d pages: %+v", len(log.Pages), log.Outcome)
+	}
+	if log.Pages[0].HasInputs() {
+		t.Error("click-through page should log no inputs")
+	}
+	if log.Pages[0].SubmitMethod != SubmitClickThru {
+		t.Errorf("page 1 method = %q", log.Pages[0].SubmitMethod)
+	}
+	if !log.Pages[1].HasInputs() {
+		t.Error("login page should log inputs")
+	}
+}
+
+// buildOCRSite constructs a Figure 3-style page: anonymous inputs, labels
+// only in a background image aligned with the rendered input boxes.
+func buildOCRSite(t testing.TB) *site.Site {
+	t.Helper()
+	formHTML := `<form action="/">
+<div><span style="width:140px"> </span><input name="f1"></div>
+<div><span style="width:140px"> </span><input name="f2"></div>
+<button>OK</button></form>`
+	wrap := func(inner string) string {
+		return "<html><body><div id=\"bgwrap\" style=\"background-image:url(/bg.pxi)\">" + inner + "</div></body></html>"
+	}
+	// First pass: lay out without the image to find the boxes.
+	doc := dom.Parse(wrap(formHTML))
+	lay := layout.Compute(doc, browser.ViewportWidth)
+	wrapBox, _ := lay.Box(doc.ElementByID("bgwrap"))
+	inputs := doc.ElementsByTag("input")
+	if len(inputs) != 2 {
+		t.Fatalf("expected 2 inputs, got %d", len(inputs))
+	}
+	bg := raster.New(wrapBox.W, wrapBox.H, raster.White)
+	labels := []string{"CARD NUMBER", "SECURITY CODE"}
+	for i, in := range inputs {
+		b, _ := lay.Box(in)
+		bg.DrawString(labels[i], b.X-wrapBox.X-raster.StringWidth(labels[i])-8, b.Y-wrapBox.Y+3, raster.Black)
+	}
+	return &site.Site{ID: "ocr", Host: "ocr.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: wrap(formHTML), Next: "/end", Mode: site.NextRedirect},
+			{Path: "/end", HTML: "<html><body><div>bye</div></body></html>"},
+		},
+		Images: map[string][]byte{"/bg.pxi": raster.Encode(bg)}}
+}
+
+func TestCrawlOCRObfuscatedPage(t *testing.T) {
+	s := buildOCRSite(t)
+	c := newCrawler(t, s)
+	log := c.Crawl("http://ocr.test/")
+	if len(log.Pages) < 2 {
+		t.Fatalf("crawl did not progress: %s", log.Outcome)
+	}
+	p1 := log.Pages[0]
+	if !p1.UsedOCR {
+		t.Fatal("OCR fallback not used on obfuscated page")
+	}
+	// At least one field should be classified from the OCR-read label.
+	got := p1.FieldTypes()
+	foundCard := false
+	for _, ft := range got {
+		if ft == fieldspec.Card || ft == fieldspec.CVV {
+			foundCard = true
+		}
+	}
+	if !foundCard {
+		descs := []string{}
+		for _, f := range p1.Fields {
+			descs = append(descs, fmt.Sprintf("%q->%s", f.Description, f.Label))
+		}
+		t.Errorf("OCR fields not classified: %v", descs)
+	}
+}
+
+func TestCrawlVisualSubmitOnly(t *testing.T) {
+	// No form, no DOM button: bare inputs plus a canvas click zone. Only
+	// the visual strategy can advance.
+	base := `<div><label>Email</label><input name="email"></div>
+<canvas data-label="SUBMIT" width="76" height="18"></canvas>`
+	// Compute where layout puts the canvas so the click zone matches, as
+	// the site generator does when it wires canvas-submit tricks.
+	probe := dom.Parse("<html><body>" + base + "</body></html>")
+	probeLay := layout.Compute(probe, browser.ViewportWidth)
+	cbox, _ := probeLay.Box(probe.ElementsByTag("canvas")[0])
+	html := fmt.Sprintf(`<html><head>
+<script type="application/x-behavior">{"clickzones":[{"x":%d,"y":%d,"w":%d,"h":%d,"action":"submit"}]}</script>
+</head><body>%s</body></html>`, cbox.X, cbox.Y, cbox.W, cbox.H, base)
+	s := &site.Site{ID: "vs", Host: "vs.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: html, Next: "/end", Mode: site.NextRedirect},
+			{Path: "/end", HTML: "<html><body><div>in</div></body></html>"},
+		},
+		Images: map[string][]byte{}}
+	c := newCrawler(t, s)
+	log := c.Crawl("http://vs.test/")
+	if len(log.Pages) < 2 {
+		t.Fatalf("visual-only site not crawled: %s", log.Outcome)
+	}
+	if log.Pages[0].SubmitMethod != SubmitVisual {
+		t.Errorf("method = %q, want %q", log.Pages[0].SubmitMethod, SubmitVisual)
+	}
+}
+
+func TestCrawlRetriesOnFlakyValidation(t *testing.T) {
+	html := `<html><body><form action="/">
+<div><label>Full name</label><input name="nm"></div>
+<button>Go</button></form></body></html>`
+	s := &site.Site{ID: "fl", Host: "fl.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: html, Next: "/end", Mode: site.NextRedirect,
+				Validate: map[string]string{"nm": site.ValidateFlaky}},
+			{Path: "/end", HTML: "<html><body><div>ok</div></body></html>"},
+		},
+		Images: map[string][]byte{}}
+	// Try a few seeds: at least one should need >1 attempt, and most
+	// should eventually pass (flaky accepts ~half of values).
+	sawRetry, sawSuccess := false, false
+	for seed := int64(1); seed <= 6; seed++ {
+		c := newCrawler(t, s)
+		c.FakerSeed = seed
+		log := c.Crawl("http://fl.test/")
+		if len(log.Pages) >= 2 {
+			sawSuccess = true
+			if log.Pages[0].DataAttempts > 1 {
+				sawRetry = true
+			}
+		}
+	}
+	if !sawSuccess {
+		t.Error("no seed ever passed flaky validation")
+	}
+	if !sawRetry {
+		t.Log("note: no retry observed across seeds (acceptable but unexpected)")
+	}
+}
+
+func TestCrawlStuckOnUnsolvableValidation(t *testing.T) {
+	// A "captcha" field validated against a challenge the crawler cannot
+	// know: every attempt fails, the session ends stuck after 3 tries.
+	html := `<html><body><form action="/">
+<div><label>Enter the characters shown above</label><input name="cap"></div>
+<button>Verify</button></form></body></html>`
+	s := &site.Site{ID: "st", Host: "st.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: html, Next: "/end", Mode: site.NextRedirect,
+				Validate: map[string]string{"cap": "never"}},
+			{Path: "/end", HTML: "<html><body>unreachable</body></html>"},
+		},
+		Images: map[string][]byte{}}
+	// "never" is not a known validator name; make it impossible via email
+	// validation of a non-email faker value instead.
+	s.Pages[0].Validate["cap"] = site.ValidateEmail
+	c := newCrawler(t, s)
+	log := c.Crawl("http://st.test/")
+	if log.Outcome != OutcomeStuck {
+		t.Errorf("outcome = %s, want stuck", log.Outcome)
+	}
+	if log.Pages[0].DataAttempts != MaxDataAttempts {
+		t.Errorf("attempts = %d, want %d", log.Pages[0].DataAttempts, MaxDataAttempts)
+	}
+}
+
+func TestCrawlInlineSwapDetectedViaDOMHash(t *testing.T) {
+	// Two structurally different pages at the same URL (inline mode): the
+	// DOM hash must register progress.
+	p1 := `<html><body><form action="/"><div><label>User ID</label><input name="u"></div><button>Next</button></form></body></html>`
+	p2 := `<html><body><form action="/"><div><label>Password</label><input type="password" name="p"></div><div><label>Code</label><input name="c"></div><button>Next</button></form></body></html>`
+	s := &site.Site{ID: "in", Host: "in.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: p1, Next: "/p2", Mode: site.NextInline},
+			{Path: "/p2", HTML: p2},
+		},
+		Images: map[string][]byte{}}
+	c := newCrawler(t, s)
+	log := c.Crawl("http://in.test/")
+	if len(log.Pages) < 2 {
+		t.Fatalf("inline transition not detected: outcome %s", log.Outcome)
+	}
+	if log.Pages[0].URL != log.Pages[1].URL {
+		t.Error("inline transition should keep the URL")
+	}
+	if log.Pages[0].DOMHash == log.Pages[1].DOMHash {
+		t.Error("DOM hashes should differ across the swap")
+	}
+}
+
+func TestCrawlDoubleLogin(t *testing.T) {
+	login := `<html><body><form action="/"><div><label>Email</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="pw"></div><button>Sign in</button></form></body></html>`
+	retry := `<html><body><div class="err">Password invalid! Try again.</div>
+<form action="/"><div><label>Email</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="pw"></div><button>Sign in</button></form></body></html>`
+	s := &site.Site{ID: "dl", Host: "dl.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: login, Next: "/in", Mode: site.NextRedirect, DoubleLoginHTML: retry},
+			{Path: "/in", HTML: "<html><body><div>welcome</div></body></html>"},
+		},
+		Images: map[string][]byte{}}
+	c := newCrawler(t, s)
+	log := c.Crawl("http://dl.test/")
+	if len(log.Pages) < 3 {
+		t.Fatalf("double-login flow yielded %d pages (outcome %s)", len(log.Pages), log.Outcome)
+	}
+	// Two consecutive pages asking for the same login data types.
+	t1, t2 := log.Pages[0].FieldTypes(), log.Pages[1].FieldTypes()
+	if len(t1) != 2 || len(t2) != 2 || t1[0] != t2[0] || t1[1] != t2[1] {
+		t.Errorf("consecutive login pages differ: %v vs %v", t1, t2)
+	}
+}
+
+func TestCrawlErrorOutcome(t *testing.T) {
+	c := newCrawler(t) // no sites registered
+	c.NewBrowser = func() *browser.Browser {
+		return browser.New(browser.Options{Transport: failingTransport{}})
+	}
+	log := c.Crawl("http://nowhere.test/")
+	if log.Outcome != OutcomeError {
+		t.Errorf("outcome = %s, want error", log.Outcome)
+	}
+}
+
+type failingTransport struct{}
+
+func (failingTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return nil, errors.New("network down")
+}
+
+func TestCrawlPageLimit(t *testing.T) {
+	// An endless chain of click-through pages must stop at MaxPages.
+	var pages []*site.Page
+	for i := 0; i < 30; i++ {
+		next := fmt.Sprintf("/p%d", i+1)
+		pages = append(pages, &site.Page{
+			Path: fmt.Sprintf("/p%d", i),
+			HTML: fmt.Sprintf(`<html><body><div>step %d</div><a class="btn" href="%s">Next</a></body></html>`, i, next),
+		})
+	}
+	pages = append(pages, &site.Page{Path: "/p30", HTML: "<html><body>end</body></html>"})
+	// Fix first page path.
+	pages[0].Path = "/"
+	pages[0].HTML = `<html><body><div>step 0</div><a class="btn" href="/p1">Next</a></body></html>`
+	s := &site.Site{ID: "loop", Host: "loop.test", Pages: pages, Images: map[string][]byte{}}
+	c := newCrawler(t, s)
+	c.MaxPages = 5
+	log := c.Crawl("http://loop.test/")
+	if log.Outcome != OutcomePageLimit {
+		t.Errorf("outcome = %s, want page-limit", log.Outcome)
+	}
+	if len(log.Pages) != 5 {
+		t.Errorf("visited %d pages, want 5", len(log.Pages))
+	}
+}
+
+func TestSplitIdent(t *testing.T) {
+	cases := map[string]string{
+		"card_number": "card number",
+		"cardNumber":  "card number",
+		"card-number": "card number",
+		"CVV2":        "cvv2",
+		"user.email":  "user email",
+		"":            "",
+	}
+	for in, want := range cases {
+		if got := splitIdent(in); got != want {
+			t.Errorf("splitIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLooksLikeButton(t *testing.T) {
+	yes := []*dom.Node{
+		parseFirst(`<a class="btn btn-primary" href="/x">whatever</a>`, "a"),
+		parseFirst(`<a href="/x">Continue</a>`, "a"),
+		parseFirst(`<a href="/x">Download</a>`, "a"),
+		parseFirst(`<a href="/x">view document</a>`, "a"),
+	}
+	for _, n := range yes {
+		if !looksLikeButton(n) {
+			t.Errorf("looksLikeButton(%s) = false", dom.Render(n))
+		}
+	}
+	no := []*dom.Node{
+		parseFirst(`<a href="/x">Read our full privacy policy and terms of service</a>`, "a"),
+		parseFirst(`<a href="/x">misc</a>`, "a"),
+	}
+	for _, n := range no {
+		if looksLikeButton(n) {
+			t.Errorf("looksLikeButton(%s) = true", dom.Render(n))
+		}
+	}
+}
+
+func parseFirst(src, tag string) *dom.Node {
+	return dom.Parse(src).ElementsByTag(tag)[0]
+}
+
+func TestNetLogCapturedInSession(t *testing.T) {
+	c := newCrawler(t, loginPaymentSite())
+	log := c.Crawl("http://lp.test/")
+	if len(log.NetLog) == 0 {
+		t.Fatal("session net log empty")
+	}
+	posts := 0
+	for _, r := range log.NetLog {
+		if r.Method == "POST" {
+			posts++
+		}
+	}
+	if posts < 2 {
+		t.Errorf("expected >= 2 POSTs in net log, got %d", posts)
+	}
+}
+
+func BenchmarkCrawlSession(b *testing.B) {
+	c := newCrawler(b, loginPaymentSite())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Crawl("http://lp.test/")
+	}
+}
+
+func TestCrawlTicksConsentCheckbox(t *testing.T) {
+	html := `<html><body><form action="/">
+<div><label>Email</label><input name="email"></div>
+<div><input type="checkbox" name="agree"><span>I agree to the terms</span></div>
+<button>Sign up</button></form></body></html>`
+	s := &site.Site{ID: "cb", Host: "cb.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: html, Next: "/in", Mode: site.NextRedirect,
+				Validate: map[string]string{"agree": site.ValidateAny, "email": site.ValidateEmail}},
+			{Path: "/in", HTML: "<html><body><div>welcome</div></body></html>"},
+		},
+		Images: map[string][]byte{}}
+	c := newCrawler(t, s)
+	log := c.Crawl("http://cb.test/")
+	if len(log.Pages) < 2 {
+		t.Fatalf("consent-gated form not passed: outcome %s", log.Outcome)
+	}
+	// The checkbox is not a data field (it carries no user data).
+	if got := len(log.Pages[0].Fields); got != 1 {
+		t.Errorf("fields logged = %d, want 1 (checkbox excluded)", got)
+	}
+}

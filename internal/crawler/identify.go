@@ -1,0 +1,144 @@
+package crawler
+
+import (
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/dom"
+	"repro/internal/ocr"
+	"repro/internal/raster"
+	"repro/internal/textclass"
+)
+
+// ocrSearchDist is the pixel distance (left and above the input box) the
+// OCR label search covers, the "threshold distance, measured in pixels" of
+// Section 4.1.
+const ocrSearchDist = 150
+
+// FieldInfo is the output of input-field identification for one element:
+// everything Section 4.1 collects before classification.
+type FieldInfo struct {
+	Node *dom.Node
+	// Box is the rendering bounding box.
+	Box raster.Rect
+	// Description is the assembled text describing what the field asks
+	// for: node properties, neighbour text, and OCR results when needed.
+	Description string
+	// HTMLType is the element's type attribute.
+	HTMLType string
+	// UsedOCR marks fields whose description required visual analysis
+	// because DOM analysis yielded nothing useful (the 27% measurement).
+	UsedOCR bool
+}
+
+// identifyFields runs Section 4.1 over a page: find the visible inputs,
+// assemble each one's description from DOM context, and fall back to OCR on
+// the rendered page when the DOM is uninformative. A nil engine disables
+// the OCR fallback (the DOM-only ablation).
+func identifyFields(p *browser.Page, eng *ocr.Engine) []FieldInfo {
+	lay := p.Render().Layout
+	shot := p.Screenshot()
+	var out []FieldInfo
+	for _, n := range p.VisibleInputs() {
+		box, _ := lay.Box(n)
+		info := FieldInfo{
+			Node:     n,
+			Box:      box,
+			HTMLType: strings.ToLower(n.AttrOr("type", "")),
+		}
+		desc := domDescription(p.Doc, n)
+		if len(textclass.Tokenize(desc)) == 0 && eng != nil {
+			// DOM analysis found nothing useful: visual analysis of the
+			// regions to the left and above the box (Figure 3 defence).
+			desc = eng.TextNear(shot, box, ocrSearchDist)
+			info.UsedOCR = true
+		}
+		info.Description = strings.TrimSpace(desc)
+		out = append(out, info)
+	}
+	return out
+}
+
+// domDescription assembles the field's description from DOM context only:
+// its own properties, the form it belongs to, label elements, and
+// neighbouring text nodes (Section 4.1 steps 1-2).
+func domDescription(doc *dom.Node, n *dom.Node) string {
+	var parts []string
+	add := func(s string) {
+		s = strings.TrimSpace(s)
+		if s != "" {
+			parts = append(parts, s)
+		}
+	}
+	// Node properties.
+	add(splitIdent(n.AttrOr("name", "")))
+	add(splitIdent(n.ID()))
+	add(n.AttrOr("placeholder", ""))
+	add(n.AttrOr("aria-label", ""))
+	if t := n.AttrOr("type", ""); t != "" && t != "text" {
+		add(t)
+	}
+	// label element bound via for=.
+	if id := n.ID(); id != "" {
+		if lbl, err := dom.QueryFirst(doc, `label[for="`+id+`"]`); err == nil && lbl != nil {
+			add(lbl.InnerText())
+		}
+	}
+	// Enclosing label.
+	if lbl := n.Closest("label"); lbl != nil {
+		add(lbl.InnerText())
+	}
+	// Select options hint at the data type (state lists, month lists).
+	if n.Tag == "select" {
+		opts := n.ElementsByTag("option")
+		for i, o := range opts {
+			if i >= 2 {
+				break
+			}
+			add(o.InnerText())
+		}
+	}
+	// Preceding siblings: the label usually sits just before the input.
+	for sib, hops := n.PrevSibling, 0; sib != nil && hops < 3; sib, hops = sib.PrevSibling, hops+1 {
+		switch sib.Type {
+		case dom.TextNode:
+			add(sib.Data)
+		case dom.ElementNode:
+			if sib.Tag == "label" || sib.Tag == "span" || sib.Tag == "div" || sib.Tag == "b" || sib.Tag == "p" {
+				add(sib.InnerText())
+			}
+		}
+	}
+	// Parent's own text (text nodes directly inside the wrapper).
+	if n.Parent != nil {
+		add(n.Parent.OwnText())
+	}
+	return strings.Join(parts, " ")
+}
+
+// splitIdent breaks identifier-style strings (card_number, cardNumber,
+// card-number) into words.
+func splitIdent(s string) string {
+	if s == "" {
+		return ""
+	}
+	var b strings.Builder
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case r == '_' || r == '-' || r == '.' || r == '[' || r == ']':
+			b.WriteByte(' ')
+			prevLower = false
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				b.WriteByte(' ')
+			}
+			b.WriteRune(r + ('a' - 'A'))
+			prevLower = false
+		default:
+			b.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,399 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleDocument(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><html><head><title>Login</title></head>
+		<body><form id="f"><input type="text" name="user"><input type="password" name="pass">
+		<button type="submit">Sign in</button></form></body></html>`)
+	if doc.Type != DocumentNode {
+		t.Fatalf("root type = %v, want document", doc.Type)
+	}
+	if got := Title(doc); got != "Login" {
+		t.Errorf("Title = %q, want Login", got)
+	}
+	inputs := doc.ElementsByTag("input")
+	if len(inputs) != 2 {
+		t.Fatalf("len(inputs) = %d, want 2", len(inputs))
+	}
+	if v, _ := inputs[1].Attr("type"); v != "password" {
+		t.Errorf("second input type = %q, want password", v)
+	}
+	form := doc.ElementByID("f")
+	if form == nil || form.Tag != "form" {
+		t.Fatalf("ElementByID(f) = %v, want form", form)
+	}
+	if btn := doc.FindFirst(func(n *Node) bool { return n.Tag == "button" }); btn == nil || btn.InnerText() != "Sign in" {
+		t.Errorf("button text wrong: %v", btn)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []string{
+		"<div><span>unclosed",
+		"</div>stray end tag",
+		"<p>first<p>second<p>third",
+		"<input><input><input>",
+		"<div class=unquoted attr>x</div>",
+		"< notatag",
+		"<div",
+		"",
+		"<!-- unterminated comment",
+		"<b><i>cross</b>ing</i>",
+	}
+	for _, src := range cases {
+		doc := Parse(src) // must not panic
+		if doc == nil {
+			t.Fatalf("Parse(%q) returned nil", src)
+		}
+	}
+}
+
+func TestImpliedEndTags(t *testing.T) {
+	doc := Parse("<ul><li>a<li>b<li>c</ul>")
+	lis := doc.ElementsByTag("li")
+	if len(lis) != 3 {
+		t.Fatalf("len(li) = %d, want 3", len(lis))
+	}
+	for _, li := range lis {
+		if li.Parent.Tag != "ul" {
+			t.Errorf("li parent = %q, want ul", li.Parent.Tag)
+		}
+	}
+}
+
+func TestVoidElements(t *testing.T) {
+	doc := Parse("<div><img src=x><br><input name=q>text</div>")
+	div := doc.ElementsByTag("div")[0]
+	// text must be a child of div, not of input.
+	if got := div.OwnText(); got != "text" {
+		t.Errorf("div own text = %q, want text", got)
+	}
+	img := doc.ElementsByTag("img")[0]
+	if img.FirstChild != nil {
+		t.Error("img should have no children")
+	}
+}
+
+func TestRawTextScript(t *testing.T) {
+	doc := Parse(`<script>if (a < b) { document.write("<div>not a tag</div>"); }</script><div id=real></div>`)
+	divs := doc.ElementsByTag("div")
+	if len(divs) != 1 {
+		t.Fatalf("len(div) = %d, want 1 (script content must stay raw)", len(divs))
+	}
+	if divs[0].ID() != "real" {
+		t.Errorf("div id = %q, want real", divs[0].ID())
+	}
+	script := doc.ElementsByTag("script")[0]
+	if !strings.Contains(script.OwnText(), "a < b") {
+		t.Errorf("script text lost: %q", script.OwnText())
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	doc := Parse(`<input ID="Email" Type="TEXT" placeholder="Enter your email" data-x='single' checked>`)
+	in := doc.ElementsByTag("input")[0]
+	if v, ok := in.Attr("id"); !ok || v != "Email" {
+		t.Errorf("id = %q, %v", v, ok)
+	}
+	if v := in.AttrOr("placeholder", ""); v != "Enter your email" {
+		t.Errorf("placeholder = %q", v)
+	}
+	if v := in.AttrOr("data-x", ""); v != "single" {
+		t.Errorf("data-x = %q", v)
+	}
+	if _, ok := in.Attr("checked"); !ok {
+		t.Error("boolean attribute checked missing")
+	}
+	in.SetAttr("value", "abc")
+	if v := in.AttrOr("value", ""); v != "abc" {
+		t.Errorf("SetAttr value = %q", v)
+	}
+	in.SetAttr("value", "def")
+	if v := in.AttrOr("value", ""); v != "def" {
+		t.Errorf("SetAttr overwrite = %q", v)
+	}
+	in.RemoveAttr("value")
+	if _, ok := in.Attr("value"); ok {
+		t.Error("RemoveAttr failed")
+	}
+}
+
+func TestEntities(t *testing.T) {
+	doc := Parse(`<p>Fish &amp; Chips &lt;now&gt; &quot;cheap&quot; &nbsp;here</p>`)
+	got := doc.InnerText()
+	want := `Fish & Chips <now> "cheap" here`
+	if got != want {
+		t.Errorf("InnerText = %q, want %q", got, want)
+	}
+}
+
+func TestTreeMutation(t *testing.T) {
+	parent := NewElement("div")
+	a := NewElement("span", "id", "a")
+	b := NewElement("span", "id", "b")
+	c := NewElement("span", "id", "c")
+	parent.AppendChild(a)
+	parent.AppendChild(c)
+	parent.InsertBefore(b, c)
+	var ids []string
+	for _, ch := range parent.Children() {
+		ids = append(ids, ch.ID())
+	}
+	if strings.Join(ids, "") != "abc" {
+		t.Fatalf("order = %v, want a b c", ids)
+	}
+	b.Detach()
+	if len(parent.Children()) != 2 {
+		t.Fatalf("after detach: %d children", len(parent.Children()))
+	}
+	if b.Parent != nil || b.NextSibling != nil || b.PrevSibling != nil {
+		t.Error("detached node retains links")
+	}
+	parent.RemoveChildren()
+	if parent.FirstChild != nil || parent.LastChild != nil {
+		t.Error("RemoveChildren left children")
+	}
+}
+
+func TestAppendChildReparents(t *testing.T) {
+	p1 := NewElement("div")
+	p2 := NewElement("div")
+	c := NewElement("span")
+	p1.AppendChild(c)
+	p2.AppendChild(c)
+	if len(p1.Children()) != 0 {
+		t.Error("child not removed from old parent")
+	}
+	if c.Parent != p2 {
+		t.Error("child not attached to new parent")
+	}
+}
+
+func TestClone(t *testing.T) {
+	doc := Parse(`<div id="a"><span>hi</span><input name="x"></div>`)
+	div := doc.ElementsByTag("div")[0]
+	cp := div.Clone()
+	if cp.Parent != nil {
+		t.Error("clone should be detached")
+	}
+	if Render(cp) != Render(div) {
+		t.Errorf("clone renders differently:\n%s\n%s", Render(cp), Render(div))
+	}
+	// Mutating the clone must not affect the original.
+	cp.FirstChild.Detach()
+	if len(div.Children()) != 2 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestClosestAndAncestors(t *testing.T) {
+	doc := Parse(`<form id="f"><div><label><input id="i"></label></div></form>`)
+	in := doc.ElementByID("i")
+	if f := in.Closest("form"); f == nil || f.ID() != "f" {
+		t.Errorf("Closest(form) = %v", f)
+	}
+	if l := in.Closest("label"); l == nil {
+		t.Error("Closest(label) = nil")
+	}
+	if x := in.Closest("table"); x != nil {
+		t.Errorf("Closest(table) = %v, want nil", x)
+	}
+	anc := in.Ancestors()
+	if len(anc) < 4 { // label, div, form, (body synthesized? no), document
+		t.Errorf("len(ancestors) = %d, want >= 4", len(anc))
+	}
+}
+
+func TestInnerTextSkipsScriptStyle(t *testing.T) {
+	doc := Parse(`<div>visible<script>var hidden = 1;</script><style>.x{}</style>more</div>`)
+	got := doc.InnerText()
+	if strings.Contains(got, "hidden") || strings.Contains(got, ".x") {
+		t.Errorf("InnerText leaked script/style: %q", got)
+	}
+	if !strings.Contains(got, "visible") || !strings.Contains(got, "more") {
+		t.Errorf("InnerText dropped content: %q", got)
+	}
+}
+
+func TestStructureHashStability(t *testing.T) {
+	a := Parse(`<div><input><span>x</span><button>go</button></div>`)
+	b := Parse(`<div><input><span>y</span><button>stop</button></div>`)
+	if StructureHash(a) != StructureHash(b) {
+		t.Error("text changes should not change the structure hash")
+	}
+	c := Parse(`<div><input><input><span>x</span><button>go</button></div>`)
+	if StructureHash(a) == StructureHash(c) {
+		t.Error("adding an input must change the structure hash")
+	}
+}
+
+func TestStructureHashIgnoresNonShapeTags(t *testing.T) {
+	a := Parse(`<div><input></div>`)
+	b := Parse(`<div><p><em><input></em></p></div>`)
+	if StructureHash(a) != StructureHash(b) {
+		t.Errorf("p/em should not contribute: %q vs %q", StructureString(a), StructureString(b))
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	doc := Parse(`<form><div><label>Email</label><input><button>Go</button></div></form>`)
+	got := StructureString(doc)
+	want := "form|div|label|input|button|"
+	if got != want {
+		t.Errorf("StructureString = %q, want %q", got, want)
+	}
+	if ShapeTagCount(doc) != 5 {
+		t.Errorf("ShapeTagCount = %d, want 5", ShapeTagCount(doc))
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<div id="a" class="b c"><span>hello</span><input type="text" name="q"><br></div>`
+	doc := Parse(src)
+	out := Render(doc)
+	doc2 := Parse(out)
+	if StructureString(doc) != StructureString(doc2) {
+		t.Errorf("round trip changed structure: %q vs %q", StructureString(doc), StructureString(doc2))
+	}
+	if doc.InnerText() != doc2.InnerText() {
+		t.Errorf("round trip changed text: %q vs %q", doc.InnerText(), doc2.InnerText())
+	}
+}
+
+// Property: parsing never panics and always yields a document whose rendered
+// output reparses to the same structure hash (parse∘render is a fixpoint).
+func TestParseRenderFixpointProperty(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		once := Render(doc)
+		doc2 := Parse(once)
+		twice := Render(doc2)
+		return StructureHash(doc) == StructureHash(doc2) && once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Escape output never contains raw <, >, or " and unescapes back.
+func TestEscapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		e := Escape(s)
+		if strings.ContainsAny(e, "<>") {
+			return false
+		}
+		return unescape(e) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every node found by Find satisfies the predicate and appears in
+// document order (verified by walking with a counter).
+func TestFindOrderProperty(t *testing.T) {
+	doc := Parse(`<div><span>a</span><div><span>b</span></div><span>c</span></div>`)
+	order := map[*Node]int{}
+	i := 0
+	doc.Walk(func(n *Node) bool { order[n] = i; i++; return true })
+	spans := doc.ElementsByTag("span")
+	for j := 1; j < len(spans); j++ {
+		if order[spans[j-1]] >= order[spans[j]] {
+			t.Fatal("Find results out of document order")
+		}
+	}
+}
+
+func TestHasClass(t *testing.T) {
+	n := NewElement("a", "class", "btn btn-primary large")
+	for _, c := range []string{"btn", "btn-primary", "large"} {
+		if !n.HasClass(c) {
+			t.Errorf("HasClass(%q) = false", c)
+		}
+	}
+	if n.HasClass("btn-") || n.HasClass("primary") {
+		t.Error("HasClass matched a substring")
+	}
+}
+
+func TestPath(t *testing.T) {
+	doc := Parse(`<html><body><div><input id="x"></div></body></html>`)
+	in := doc.ElementByID("x")
+	if got := in.Path(); got != "#document/html/body/div/input" {
+		t.Errorf("Path = %q", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	doc := Parse(`<div><span>a</span></div>`)
+	// document, div, span, text = 4
+	if got := doc.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+}
+
+func TestTokenizerComment(t *testing.T) {
+	z := NewTokenizer(`<!-- hello --><div>`)
+	tok := z.Next()
+	if tok.Type != CommentToken || strings.TrimSpace(tok.Data) != "hello" {
+		t.Errorf("comment token = %+v", tok)
+	}
+	tok = z.Next()
+	if tok.Type != StartTagToken || tok.Tag != "div" {
+		t.Errorf("tag token = %+v", tok)
+	}
+}
+
+func TestTokenizerDoctype(t *testing.T) {
+	z := NewTokenizer(`<!DOCTYPE html><p>`)
+	tok := z.Next()
+	if tok.Type != DoctypeToken {
+		t.Errorf("doctype token = %+v", tok)
+	}
+}
+
+func TestTokenizerSelfClosing(t *testing.T) {
+	z := NewTokenizer(`<br/><img src="x" />`)
+	tok := z.Next()
+	if tok.Type != SelfClosingTagToken || tok.Tag != "br" {
+		t.Errorf("br = %+v", tok)
+	}
+	tok = z.Next()
+	if tok.Type != SelfClosingTagToken || tok.Tag != "img" {
+		t.Errorf("img = %+v", tok)
+	}
+	if v := tok.Attrs[0].Value; v != "x" {
+		t.Errorf("img src = %q", v)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString(`<div class="row"><label>Field</label><input type="text" name="f"><span>hint</span></div>`)
+	}
+	src := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}
+
+func BenchmarkStructureHash(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		sb.WriteString(`<div><input><span>x</span></div>`)
+	}
+	doc := Parse(sb.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StructureHash(doc)
+	}
+}

@@ -1,0 +1,45 @@
+package dom_test
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+)
+
+func ExampleParse() {
+	doc := dom.Parse(`<html><body>
+		<form><label>Email</label><input name="email" type="email"></form>
+	</body></html>`)
+	for _, in := range doc.ElementsByTag("input") {
+		fmt.Println(in.AttrOr("name", ""), in.AttrOr("type", ""))
+	}
+	// Output: email email
+}
+
+func ExampleQuery() {
+	doc := dom.Parse(`<body>
+		<form id="f"><input type="password"><button class="btn">Go</button></form>
+		<a class="btn" href="/next">Next</a>
+	</body>`)
+	buttons, _ := dom.Query(doc, `#f button, a.btn`)
+	for _, b := range buttons {
+		fmt.Println(b.Tag, b.InnerText())
+	}
+	// Output:
+	// button Go
+	// a Next
+}
+
+func ExampleStructureHash() {
+	before := dom.Parse(`<div><input><button>Next</button></div>`)
+	after := dom.Parse(`<div><input><input><button>Pay</button></div>`)
+	// Text changes don't alter the hash; structural changes do.
+	fmt.Println(dom.StructureHash(before) == dom.StructureHash(after))
+	// Output: false
+}
+
+func ExampleNode_InnerText() {
+	doc := dom.Parse(`<p>Please <b>verify</b> your account<script>evil()</script></p>`)
+	fmt.Println(doc.InnerText())
+	// Output: Please verify your account
+}

@@ -1,0 +1,66 @@
+package dom
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+)
+
+// shapeTags are the element tags retained by the lightweight DOM hash. Per
+// Section 4.4 of the paper, input, div, span, button, and label elements are
+// "often sufficient to shape the structure of a phishing page". We also keep
+// select and form, which the crawler treats as input-bearing structure.
+var shapeTags = map[string]bool{
+	"input":  true,
+	"div":    true,
+	"span":   true,
+	"button": true,
+	"label":  true,
+	"select": true,
+	"form":   true,
+}
+
+// StructureHash computes the lightweight DOM hash used for page-transition
+// detection: traverse the tree depth-first, keep only the shape tags,
+// concatenate their tag names in order, and hash the result. Two renderings
+// of the same page produce the same hash; a page whose content JavaScript
+// swapped out produces a different one even when the URL is unchanged.
+func StructureHash(root *Node) string {
+	var b strings.Builder
+	root.Walk(func(n *Node) bool {
+		if n.Type == ElementNode && shapeTags[n.Tag] {
+			b.WriteString(n.Tag)
+			b.WriteByte('|')
+		}
+		return true
+	})
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// StructureString returns the pre-hash concatenation, useful in tests and
+// debugging to see exactly which elements shaped the hash.
+func StructureString(root *Node) string {
+	var b strings.Builder
+	root.Walk(func(n *Node) bool {
+		if n.Type == ElementNode && shapeTags[n.Tag] {
+			b.WriteString(n.Tag)
+			b.WriteByte('|')
+		}
+		return true
+	})
+	return b.String()
+}
+
+// ShapeTagCount returns the number of shape-contributing elements, a cheap
+// structural size signal used by analysis code.
+func ShapeTagCount(root *Node) int {
+	count := 0
+	root.Walk(func(n *Node) bool {
+		if n.Type == ElementNode && shapeTags[n.Tag] {
+			count++
+		}
+		return true
+	})
+	return count
+}

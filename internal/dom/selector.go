@@ -1,0 +1,292 @@
+package dom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A minimal CSS selector engine covering the subset the crawler's DOM
+// analysis needs: tag, #id, .class, [attr], [attr=value], compound
+// selectors, the descendant (space) and child (>) combinators, and
+// comma-separated groups. It exists for the same reason Puppeteer scripts
+// lean on querySelector: "find the submit control" style queries read far
+// better as selectors than as hand-rolled tree walks.
+
+// Query returns every element in root's subtree matching the selector, in
+// document order. Invalid selectors return an error.
+func Query(root *Node, selector string) ([]*Node, error) {
+	groups, err := parseSelectorList(selector)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Node
+	seen := map[*Node]bool{}
+	root.Walk(func(n *Node) bool {
+		if n.Type != ElementNode {
+			return true
+		}
+		for _, g := range groups {
+			if g.matches(n, root) && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+				break
+			}
+		}
+		return true
+	})
+	return out, nil
+}
+
+// QueryFirst returns the first match in document order, or nil.
+func QueryFirst(root *Node, selector string) (*Node, error) {
+	ms, err := Query(root, selector)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, nil
+	}
+	return ms[0], nil
+}
+
+// MustQuery is Query for selectors known valid at compile time; it panics
+// on a parse error.
+func MustQuery(root *Node, selector string) []*Node {
+	ms, err := Query(root, selector)
+	if err != nil {
+		panic(err)
+	}
+	return ms
+}
+
+// --- selector model ---
+
+// simpleSelector is one compound selector: tag#id.class[attr=value]...
+type simpleSelector struct {
+	tag     string // empty or "*" matches any
+	id      string
+	classes []string
+	attrs   []attrCond
+}
+
+type attrCond struct {
+	name  string
+	value string
+	// hasValue distinguishes [name] from [name=""].
+	hasValue bool
+}
+
+// complexSelector is a chain of simple selectors joined by combinators; the
+// last element is the subject.
+type complexSelector struct {
+	parts []simpleSelector
+	// combinators[i] joins parts[i] and parts[i+1]: ' ' or '>'.
+	combinators []byte
+}
+
+func (c complexSelector) matches(n *Node, root *Node) bool {
+	return matchFrom(c, len(c.parts)-1, n, root)
+}
+
+func matchFrom(c complexSelector, idx int, n *Node, root *Node) bool {
+	if !c.parts[idx].matches(n) {
+		return false
+	}
+	if idx == 0 {
+		return true
+	}
+	switch c.combinators[idx-1] {
+	case '>':
+		p := n.Parent
+		if p == nil || p.Type != ElementNode {
+			return false
+		}
+		return matchFrom(c, idx-1, p, root)
+	default: // descendant
+		for p := n.Parent; p != nil; p = p.Parent {
+			if p.Type == ElementNode && matchFrom(c, idx-1, p, root) {
+				return true
+			}
+			if p == root {
+				break
+			}
+		}
+		return false
+	}
+}
+
+func (s simpleSelector) matches(n *Node) bool {
+	if s.tag != "" && s.tag != "*" && n.Tag != s.tag {
+		return false
+	}
+	if s.id != "" && n.ID() != s.id {
+		return false
+	}
+	for _, c := range s.classes {
+		if !n.HasClass(c) {
+			return false
+		}
+	}
+	for _, a := range s.attrs {
+		v, ok := n.Attr(a.name)
+		if !ok {
+			return false
+		}
+		if a.hasValue && v != a.value {
+			return false
+		}
+	}
+	return true
+}
+
+// --- parser ---
+
+func parseSelectorList(src string) ([]complexSelector, error) {
+	var out []complexSelector
+	for _, part := range strings.Split(src, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("dom: empty selector in %q", src)
+		}
+		c, err := parseComplex(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseComplex(src string) (complexSelector, error) {
+	var c complexSelector
+	i := 0
+	expectSelector := true
+	for i < len(src) {
+		switch {
+		case src[i] == ' ' || src[i] == '\t':
+			i++
+			// A run of spaces is a descendant combinator unless followed
+			// by '>' (which takes precedence).
+			if !expectSelector && i < len(src) && src[i] != '>' {
+				c.combinators = append(c.combinators, ' ')
+				expectSelector = true
+			}
+		case src[i] == '>':
+			if expectSelector && len(c.parts) == 0 {
+				return c, fmt.Errorf("dom: selector %q starts with combinator", src)
+			}
+			// Collapse a pending descendant combinator into child.
+			if expectSelector && len(c.combinators) > 0 && c.combinators[len(c.combinators)-1] == ' ' {
+				c.combinators[len(c.combinators)-1] = '>'
+			} else {
+				c.combinators = append(c.combinators, '>')
+			}
+			expectSelector = true
+			i++
+		default:
+			s, n, err := parseSimple(src[i:])
+			if err != nil {
+				return c, fmt.Errorf("dom: selector %q: %w", src, err)
+			}
+			c.parts = append(c.parts, s)
+			expectSelector = false
+			i += n
+		}
+	}
+	if len(c.parts) == 0 {
+		return c, fmt.Errorf("dom: selector %q has no subject", src)
+	}
+	if len(c.combinators) != len(c.parts)-1 {
+		return c, fmt.Errorf("dom: selector %q ends with a combinator", src)
+	}
+	return c, nil
+}
+
+// parseSimple parses one compound selector and returns it with the number
+// of bytes consumed.
+func parseSimple(src string) (simpleSelector, int, error) {
+	var s simpleSelector
+	i := 0
+	readName := func() string {
+		start := i
+		for i < len(src) {
+			ch := src[i]
+			if ch == '.' || ch == '#' || ch == '[' || ch == ']' || ch == ' ' ||
+				ch == '>' || ch == '=' || ch == ',' {
+				break
+			}
+			i++
+		}
+		return src[start:i]
+	}
+	if i < len(src) && (isTagNameStart(src[i]) || src[i] == '*') {
+		if src[i] == '*' {
+			s.tag = "*"
+			i++
+		} else {
+			s.tag = strings.ToLower(readName())
+		}
+	}
+	for i < len(src) {
+		switch src[i] {
+		case '#':
+			i++
+			name := readName()
+			if name == "" {
+				return s, i, fmt.Errorf("empty id at offset %d", i)
+			}
+			s.id = name
+		case '.':
+			i++
+			name := readName()
+			if name == "" {
+				return s, i, fmt.Errorf("empty class at offset %d", i)
+			}
+			s.classes = append(s.classes, name)
+		case '[':
+			i++
+			name := strings.ToLower(readName())
+			if name == "" {
+				return s, i, fmt.Errorf("empty attribute name at offset %d", i)
+			}
+			cond := attrCond{name: name}
+			if i < len(src) && src[i] == '=' {
+				i++
+				cond.hasValue = true
+				if i < len(src) && (src[i] == '"' || src[i] == '\'') {
+					quote := src[i]
+					i++
+					start := i
+					for i < len(src) && src[i] != quote {
+						i++
+					}
+					if i >= len(src) {
+						return s, i, fmt.Errorf("unterminated attribute value")
+					}
+					cond.value = src[start:i]
+					i++
+				} else {
+					start := i
+					for i < len(src) && src[i] != ']' {
+						i++
+					}
+					cond.value = src[start:i]
+				}
+			}
+			if i >= len(src) || src[i] != ']' {
+				return s, i, fmt.Errorf("unterminated attribute selector")
+			}
+			i++
+			s.attrs = append(s.attrs, cond)
+		default:
+			if s.tag == "" && s.id == "" && len(s.classes) == 0 && len(s.attrs) == 0 {
+				return s, i, fmt.Errorf("unexpected %q at offset %d", src[i], i)
+			}
+			return s, i, nil
+		}
+	}
+	if s.tag == "" && s.id == "" && len(s.classes) == 0 && len(s.attrs) == 0 {
+		return s, i, fmt.Errorf("empty selector")
+	}
+	return s, i, nil
+}

@@ -1,0 +1,187 @@
+package dom
+
+import "testing"
+
+const selectorDoc = `<html><body>
+<form id="login" class="auth form">
+  <div class="row"><label for="em">Email</label><input id="em" name="email" type="email"></div>
+  <div class="row"><input name="pw" type="password"></div>
+  <button type="submit" class="btn primary">Go</button>
+</form>
+<div id="footer">
+  <a class="btn" href="/next">Next</a>
+  <a href="/privacy">Privacy</a>
+  <input type="submit" value="Alt">
+</div>
+</body></html>`
+
+func q(t *testing.T, sel string) []*Node {
+	t.Helper()
+	doc := Parse(selectorDoc)
+	ms, err := Query(doc, sel)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sel, err)
+	}
+	return ms
+}
+
+func TestTagSelector(t *testing.T) {
+	if got := len(q(t, "input")); got != 3 {
+		t.Errorf("input matches = %d, want 3", got)
+	}
+	if got := len(q(t, "a")); got != 2 {
+		t.Errorf("a matches = %d, want 2", got)
+	}
+}
+
+func TestUniversalSelector(t *testing.T) {
+	all := q(t, "*")
+	if len(all) < 10 {
+		t.Errorf("* matched only %d elements", len(all))
+	}
+}
+
+func TestIDSelector(t *testing.T) {
+	ms := q(t, "#login")
+	if len(ms) != 1 || ms[0].Tag != "form" {
+		t.Errorf("#login = %v", ms)
+	}
+	if got := q(t, "form#login"); len(got) != 1 {
+		t.Errorf("form#login = %d", len(got))
+	}
+	if got := q(t, "div#login"); len(got) != 0 {
+		t.Errorf("div#login should not match")
+	}
+}
+
+func TestClassSelector(t *testing.T) {
+	if got := len(q(t, ".btn")); got != 2 {
+		t.Errorf(".btn = %d, want 2 (button + styled link)", got)
+	}
+	if got := len(q(t, "a.btn")); got != 1 {
+		t.Errorf("a.btn = %d, want 1", got)
+	}
+	if got := len(q(t, ".btn.primary")); got != 1 {
+		t.Errorf(".btn.primary = %d, want 1", got)
+	}
+	if got := len(q(t, ".auth.form")); got != 1 {
+		t.Errorf("multi-class on form = %d", got)
+	}
+}
+
+func TestAttributeSelector(t *testing.T) {
+	if got := len(q(t, "[type]")); got != 4 {
+		t.Errorf("[type] = %d, want 4", got)
+	}
+	if got := len(q(t, "input[type=password]")); got != 1 {
+		t.Errorf("input[type=password] = %d", got)
+	}
+	if got := len(q(t, `input[type="submit"]`)); got != 1 {
+		t.Errorf(`quoted value = %d`, got)
+	}
+	if got := len(q(t, "[name=email]")); got != 1 {
+		t.Errorf("[name=email] = %d", got)
+	}
+	if got := len(q(t, "label[for=em]")); got != 1 {
+		t.Errorf("label[for=em] = %d", got)
+	}
+}
+
+func TestDescendantCombinator(t *testing.T) {
+	if got := len(q(t, "form input")); got != 2 {
+		t.Errorf("form input = %d, want 2", got)
+	}
+	if got := len(q(t, "#footer input")); got != 1 {
+		t.Errorf("#footer input = %d, want 1", got)
+	}
+	if got := len(q(t, "body form .row input")); got != 2 {
+		t.Errorf("deep descendant = %d", got)
+	}
+}
+
+func TestChildCombinator(t *testing.T) {
+	// Inputs are children of .row, not of form.
+	if got := len(q(t, "form > input")); got != 0 {
+		t.Errorf("form > input = %d, want 0", got)
+	}
+	if got := len(q(t, "div.row > input")); got != 2 {
+		t.Errorf("div.row > input = %d, want 2", got)
+	}
+	if got := len(q(t, "form > button")); got != 1 {
+		t.Errorf("form > button = %d", got)
+	}
+	// Spaces around > are optional.
+	if got := len(q(t, "form>button")); got != 1 {
+		t.Errorf("form>button = %d", got)
+	}
+}
+
+func TestSelectorGroups(t *testing.T) {
+	ms := q(t, "button, input[type=submit], a.btn")
+	if len(ms) != 3 {
+		t.Errorf("group = %d, want 3", len(ms))
+	}
+	// Document order preserved, no duplicates.
+	doc := Parse(selectorDoc)
+	ms2, _ := Query(doc, "input, [name]")
+	seen := map[*Node]bool{}
+	for _, m := range ms2 {
+		if seen[m] {
+			t.Fatal("duplicate in group result")
+		}
+		seen[m] = true
+	}
+}
+
+func TestQueryFirst(t *testing.T) {
+	doc := Parse(selectorDoc)
+	n, err := QueryFirst(doc, "input")
+	if err != nil || n == nil || n.AttrOr("name", "") != "email" {
+		t.Errorf("QueryFirst = %v, %v", n, err)
+	}
+	n, err = QueryFirst(doc, "video")
+	if err != nil || n != nil {
+		t.Errorf("no-match QueryFirst = %v, %v", n, err)
+	}
+}
+
+func TestInvalidSelectors(t *testing.T) {
+	doc := Parse(selectorDoc)
+	for _, sel := range []string{"", " ", ">", "div >", "#", ".", "[", "[x", `[x="y`, "div,,a", "??"} {
+		if _, err := Query(doc, sel); err == nil {
+			t.Errorf("Query(%q) should fail", sel)
+		}
+	}
+}
+
+func TestMustQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQuery should panic on bad selector")
+		}
+	}()
+	MustQuery(Parse(selectorDoc), "[")
+}
+
+func TestMatchScopedToRoot(t *testing.T) {
+	doc := Parse(selectorDoc)
+	form := doc.ElementByID("login")
+	// Querying within the form must not see the footer's input.
+	ms, err := Query(form, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("scoped input = %d, want 2", len(ms))
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	doc := Parse(selectorDoc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Query(doc, "form .row > input[type=password]"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package dom
+
+import (
+	"strings"
+)
+
+// TokenType identifies the kind of a lexical token produced by the Tokenizer.
+type TokenType int
+
+const (
+	// ErrorToken signals end of input.
+	ErrorToken TokenType = iota
+	// TextToken is character data between tags.
+	TextToken
+	// StartTagToken is <tag ...>.
+	StartTagToken
+	// EndTagToken is </tag>.
+	EndTagToken
+	// SelfClosingTagToken is <tag ... />.
+	SelfClosingTagToken
+	// CommentToken is <!-- ... -->.
+	CommentToken
+	// DoctypeToken is <!DOCTYPE ...>.
+	DoctypeToken
+)
+
+// Token is a single lexical token.
+type Token struct {
+	Type  TokenType
+	Tag   string // lower-cased tag name for tag tokens
+	Data  string // text for TextToken/CommentToken/DoctypeToken
+	Attrs []Attr
+}
+
+// Tokenizer splits HTML source into tokens. It is a single-pass scanner with
+// the small amount of context sensitivity HTML requires: the contents of
+// <script> and <style> are treated as raw text until the matching end tag.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, indicates we are inside a raw-text element and
+	// must scan until its end tag.
+	rawTag string
+}
+
+// NewTokenizer returns a tokenizer over src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token. After the input is exhausted it returns a
+// token with Type == ErrorToken forever.
+func (z *Tokenizer) Next() Token {
+	if z.pos >= len(z.src) {
+		return Token{Type: ErrorToken}
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.src[z.pos] == '<' {
+		return z.nextTag()
+	}
+	return z.nextText()
+}
+
+func (z *Tokenizer) nextText() Token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: unescape(z.src[start:z.pos])}
+}
+
+func (z *Tokenizer) nextRawText() Token {
+	end := "</" + z.rawTag
+	idx := indexFold(z.src[z.pos:], end)
+	if idx < 0 {
+		// Unterminated raw text: consume the rest.
+		t := Token{Type: TextToken, Data: z.src[z.pos:]}
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return t
+	}
+	if idx == 0 {
+		// At the end tag itself.
+		z.rawTag = ""
+		return z.nextTag()
+	}
+	t := Token{Type: TextToken, Data: z.src[z.pos : z.pos+idx]}
+	z.pos += idx
+	z.rawTag = ""
+	return t
+}
+
+func (z *Tokenizer) nextTag() Token {
+	// Invariant: z.src[z.pos] == '<'.
+	if strings.HasPrefix(z.src[z.pos:], "<!--") {
+		return z.nextComment()
+	}
+	if len(z.src) > z.pos+1 && (z.src[z.pos+1] == '!' || z.src[z.pos+1] == '?') {
+		return z.nextDeclaration()
+	}
+	if len(z.src) > z.pos+1 && z.src[z.pos+1] == '/' {
+		return z.nextEndTag()
+	}
+	if len(z.src) > z.pos+1 && isTagNameStart(z.src[z.pos+1]) {
+		return z.nextStartTag()
+	}
+	// A bare '<' that does not begin a tag: treat as text.
+	z.pos++
+	return Token{Type: TextToken, Data: "<"}
+}
+
+func (z *Tokenizer) nextComment() Token {
+	z.pos += len("<!--")
+	end := strings.Index(z.src[z.pos:], "-->")
+	var data string
+	if end < 0 {
+		data = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		data = z.src[z.pos : z.pos+end]
+		z.pos += end + len("-->")
+	}
+	return Token{Type: CommentToken, Data: data}
+}
+
+func (z *Tokenizer) nextDeclaration() Token {
+	start := z.pos
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	if end < 0 {
+		z.pos = len(z.src)
+		return Token{Type: DoctypeToken, Data: z.src[start:]}
+	}
+	data := z.src[z.pos+2 : z.pos+end]
+	z.pos += end + 1
+	if strings.HasPrefix(strings.ToLower(strings.TrimSpace(data)), "doctype") {
+		return Token{Type: DoctypeToken, Data: strings.TrimSpace(data)}
+	}
+	return Token{Type: CommentToken, Data: data}
+}
+
+func (z *Tokenizer) nextEndTag() Token {
+	z.pos += 2 // consume "</"
+	start := z.pos
+	for z.pos < len(z.src) && isTagNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	tag := strings.ToLower(z.src[start:z.pos])
+	// Skip to '>'.
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++
+	}
+	return Token{Type: EndTagToken, Tag: tag}
+}
+
+func (z *Tokenizer) nextStartTag() Token {
+	z.pos++ // consume '<'
+	start := z.pos
+	for z.pos < len(z.src) && isTagNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	tag := strings.ToLower(z.src[start:z.pos])
+	attrs, selfClosing := z.scanAttrs()
+	t := Token{Tag: tag, Attrs: attrs}
+	if selfClosing {
+		t.Type = SelfClosingTagToken
+	} else {
+		t.Type = StartTagToken
+		if tag == "script" || tag == "style" || tag == "textarea" || tag == "title" {
+			z.rawTag = tag
+		}
+	}
+	return t
+}
+
+// scanAttrs consumes attributes up to and including the closing '>'.
+func (z *Tokenizer) scanAttrs() (attrs []Attr, selfClosing bool) {
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			return attrs, false
+		}
+		switch z.src[z.pos] {
+		case '>':
+			z.pos++
+			return attrs, false
+		case '/':
+			z.pos++
+			z.skipSpace()
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				return attrs, true
+			}
+			continue
+		}
+		name := z.scanAttrName()
+		if name == "" {
+			// Unexpected byte; skip it to guarantee progress.
+			z.pos++
+			continue
+		}
+		z.skipSpace()
+		var value string
+		if z.pos < len(z.src) && z.src[z.pos] == '=' {
+			z.pos++
+			z.skipSpace()
+			value = z.scanAttrValue()
+		}
+		attrs = append(attrs, Attr{Name: strings.ToLower(name), Value: value})
+	}
+}
+
+func (z *Tokenizer) scanAttrName() string {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '=' || c == '>' || c == '/' || isSpace(c) {
+			break
+		}
+		z.pos++
+	}
+	return z.src[start:z.pos]
+}
+
+func (z *Tokenizer) scanAttrValue() string {
+	if z.pos >= len(z.src) {
+		return ""
+	}
+	quote := z.src[z.pos]
+	if quote == '"' || quote == '\'' {
+		z.pos++
+		start := z.pos
+		for z.pos < len(z.src) && z.src[z.pos] != quote {
+			z.pos++
+		}
+		v := z.src[start:z.pos]
+		if z.pos < len(z.src) {
+			z.pos++
+		}
+		return unescape(v)
+	}
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if isSpace(c) || c == '>' {
+			break
+		}
+		z.pos++
+	}
+	return unescape(z.src[start:z.pos])
+}
+
+func (z *Tokenizer) skipSpace() {
+	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
+		z.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isTagNameStart(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isTagNameChar(c byte) bool {
+	return isTagNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == ':'
+}
+
+// indexFold returns the index of the first case-insensitive occurrence of sub
+// in s, or -1.
+func indexFold(s, sub string) int {
+	if sub == "" {
+		return 0
+	}
+	n := len(sub)
+	for i := 0; i+n <= len(s); i++ {
+		if strings.EqualFold(s[i:i+n], sub) {
+			return i
+		}
+	}
+	return -1
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+	"&copy;", "(c)",
+	"&reg;", "(r)",
+	"&mdash;", "—",
+	"&ndash;", "–",
+	"&hellip;", "...",
+	"&bull;", "•",
+)
+
+// unescape decodes the handful of HTML entities that occur in our corpora.
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// Escape encodes text for safe embedding in HTML character data.
+func Escape(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

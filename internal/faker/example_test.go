@@ -1,0 +1,23 @@
+package faker_test
+
+import (
+	"fmt"
+
+	"repro/internal/faker"
+	"repro/internal/fieldspec"
+)
+
+func ExampleFaker_ForType() {
+	f := faker.New(1)
+	card := f.ForType(fieldspec.Card)
+	fmt.Println(len(card), faker.LuhnValid(card))
+	// Output: 16 true
+}
+
+func ExampleLuhnValid() {
+	fmt.Println(faker.LuhnValid("4111111111111111"))
+	fmt.Println(faker.LuhnValid("4111111111111112"))
+	// Output:
+	// true
+	// false
+}

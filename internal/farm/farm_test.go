@@ -1,0 +1,152 @@
+package farm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fielddata"
+	"repro/internal/phishserver"
+	"repro/internal/site"
+	"repro/internal/textclass"
+)
+
+func quickSite(host string) *site.Site {
+	return &site.Site{
+		ID: host, Host: host,
+		Pages: []*site.Page{
+			{Path: "/", HTML: `<html><body><form action="/"><div><label>Email</label><input name="e"></div><button>Go</button></form></body></html>`,
+				Next: "/done", Mode: site.NextRedirect},
+			{Path: "/done", HTML: "<html><body><div>done</div></body></html>"},
+		},
+		Images: map[string][]byte{},
+	}
+}
+
+var classifierOnce sync.Once
+var sharedClassifier *textclass.Model
+
+func testCrawler(reg *phishserver.Registry, browsers *int64) *crawler.Crawler {
+	classifierOnce.Do(func() {
+		var err error
+		sharedClassifier, err = fielddata.TrainDefault(1)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return &crawler.Crawler{
+		Classifier: sharedClassifier,
+		NewBrowser: func() *browser.Browser {
+			if browsers != nil {
+				atomic.AddInt64(browsers, 1)
+			}
+			return browser.New(browser.Options{Transport: phishserver.Transport{Registry: reg}})
+		},
+		FakerSeed: 1,
+	}
+}
+
+func TestRunCrawlsAll(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	var urls []string
+	for i := 0; i < 40; i++ {
+		s := quickSite(fmtHost(i))
+		reg.AddSite(s)
+		urls = append(urls, s.SeedURL())
+	}
+	var browsers int64
+	logs, stats := Run(Config{Workers: 8, Crawler: testCrawler(reg, &browsers)}, urls)
+	if len(logs) != 40 {
+		t.Fatalf("got %d logs", len(logs))
+	}
+	for i, l := range logs {
+		if l == nil {
+			t.Fatalf("log %d nil", i)
+		}
+		if l.SeedURL != urls[i] {
+			t.Fatal("logs out of input order")
+		}
+		if len(l.Pages) != 2 {
+			t.Errorf("site %d crawled %d pages (outcome %s)", i, len(l.Pages), l.Outcome)
+		}
+	}
+	// Fresh browser profile per session (the clean-container property).
+	if browsers != 40 {
+		t.Errorf("browsers created = %d, want 40", browsers)
+	}
+	if stats.Sites != 40 || stats.Elapsed <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.SitesPerDay() <= 0 {
+		t.Error("throughput not computed")
+	}
+	if stats.Outcomes[crawler.OutcomeCompleted] == 0 {
+		t.Errorf("outcomes = %v", stats.Outcomes)
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	s := quickSite("one.test")
+	reg.AddSite(s)
+	logs, _ := Run(Config{Crawler: testCrawler(reg, nil)}, []string{s.SeedURL()})
+	if len(logs) != 1 || logs[0] == nil {
+		t.Fatal("single-site run failed")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	logs, stats := Run(Config{Crawler: testCrawler(reg, nil)}, nil)
+	if len(logs) != 0 || stats.Sites != 0 {
+		t.Error("empty run should be trivial")
+	}
+}
+
+func TestDistinctFakerSeedsAcrossSessions(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	var urls []string
+	for i := 0; i < 6; i++ {
+		s := quickSite(fmtHost(100 + i))
+		reg.AddSite(s)
+		urls = append(urls, s.SeedURL())
+	}
+	logs, _ := Run(Config{Workers: 2, Crawler: testCrawler(reg, nil)}, urls)
+	values := map[string]int{}
+	for _, l := range logs {
+		for _, p := range l.Pages {
+			for _, f := range p.Fields {
+				if f.Value != "" {
+					values[f.Value]++
+				}
+			}
+		}
+	}
+	if len(values) < 4 {
+		t.Errorf("forged values not diverse across sessions: %v", values)
+	}
+}
+
+func fmtHost(i int) string {
+	const digits = "0123456789"
+	return "s" + string(digits[i/100%10]) + string(digits[i/10%10]) + string(digits[i%10]) + ".test"
+}
+
+func BenchmarkFarmThroughput(b *testing.B) {
+	reg := phishserver.NewRegistry()
+	var urls []string
+	for i := 0; i < 64; i++ {
+		s := quickSite(fmtHost(i))
+		reg.AddSite(s)
+		urls = append(urls, s.SeedURL())
+	}
+	c := testCrawler(reg, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := Run(Config{Workers: 30, Crawler: c}, urls)
+		b.ReportMetric(stats.SitesPerDay(), "sites/day")
+	}
+}

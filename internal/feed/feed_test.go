@@ -1,0 +1,87 @@
+package feed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sitegen"
+)
+
+func TestFromCorpusRatios(t *testing.T) {
+	c := sitegen.Generate(sitegen.ScaledParams(500, 1))
+	f := FromCorpus(c, 2)
+	if f.SeedCount() <= 500 {
+		t.Errorf("seed count = %d, want > 500 (noise included)", f.SeedCount())
+	}
+	filtered := f.Filter()
+	if len(filtered) != 500 {
+		t.Errorf("filtered = %d, want 500", len(filtered))
+	}
+	// The seed/filtered ratio matches Table 1's 56,027/51,859.
+	wantNoise := 500 * (sitegen.PaperSeedURLs - sitegen.PaperFilteredSites) / sitegen.PaperFilteredSites
+	if got := f.SeedCount() - 500; got != wantNoise {
+		t.Errorf("noise = %d, want %d", got, wantNoise)
+	}
+}
+
+func TestEntriesCarryMetadata(t *testing.T) {
+	c := sitegen.Generate(sitegen.ScaledParams(50, 3))
+	f := FromCorpus(c, 4)
+	for _, e := range f.Filter() {
+		if e.Site == nil || e.Brand == "" || e.Sector == "" {
+			t.Fatalf("incomplete entry: %+v", e)
+		}
+		if !strings.HasPrefix(e.URL, "http://") {
+			t.Errorf("bad URL %q", e.URL)
+		}
+		if e.URL != e.Site.SeedURL() {
+			t.Errorf("URL mismatch: %q vs %q", e.URL, e.Site.SeedURL())
+		}
+	}
+}
+
+func TestNoiseEntriesAreBenign(t *testing.T) {
+	c := sitegen.Generate(sitegen.ScaledParams(200, 5))
+	f := FromCorpus(c, 6)
+	noise := 0
+	for _, e := range f.Entries {
+		if e.Noise {
+			noise++
+			if e.Site != nil {
+				t.Error("noise entry has a backing site")
+			}
+			if !strings.Contains(e.URL, "example.") {
+				t.Errorf("noise URL %q not on a benign host", e.URL)
+			}
+		}
+	}
+	if noise == 0 {
+		t.Error("no noise entries")
+	}
+}
+
+func TestURLsMatchFilter(t *testing.T) {
+	c := sitegen.Generate(sitegen.ScaledParams(30, 7))
+	f := FromCorpus(c, 8)
+	urls := f.URLs()
+	filtered := f.Filter()
+	if len(urls) != len(filtered) {
+		t.Fatalf("len mismatch: %d vs %d", len(urls), len(filtered))
+	}
+	for i := range urls {
+		if urls[i] != filtered[i].URL {
+			t.Fatal("order mismatch")
+		}
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	c := sitegen.Generate(sitegen.ScaledParams(50, 9))
+	a := FromCorpus(c, 10)
+	b := FromCorpus(c, 10)
+	for i := range a.Entries {
+		if a.Entries[i].URL != b.Entries[i].URL {
+			t.Fatal("same seed produced different feed order")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package fielddata builds the labelled input-field corpus the field
+// classifier is trained and evaluated on, standing in for the 1,310 samples
+// the paper's authors hand-labelled from crawled pages (Section 4.2, Table
+// 6). Samples are synthesized the way the crawler actually sees field
+// descriptions: a label phrase from the taxonomy's keyword bank, decorated
+// with the attribute tokens, boilerplate, and noise that surround real
+// fields ("enter your ...", "* required", id/name fragments, OCR artifacts).
+package fielddata
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/fieldspec"
+	"repro/internal/textclass"
+)
+
+// CorpusSize is the paper's labelled-sample count.
+const CorpusSize = 1310
+
+// TrainSize is the paper's training split (the remaining 310 are test).
+const TrainSize = 1000
+
+var prefixes = []string{
+	"", "enter your", "your", "please enter", "enter", "confirm your",
+	"type your", "re-enter", "provide your", "",
+}
+
+var suffixes = []string{
+	"", "required", "*", "here", "below", "(required)", "field", "",
+}
+
+var attrDecor = []string{
+	"", "txt", "input", "fld", "form", "value", "user form",
+}
+
+// ocrNoise simulates OCR artifacts: dropped or duplicated short tokens.
+var ocrNoise = []string{"", "", "", "l", "il", "co"}
+
+// Generate synthesizes one sample for the given type.
+func Generate(rng *rand.Rand, t fieldspec.Type) textclass.Sample {
+	phrase := fieldspec.PhraseAt(t, rng.Intn(1<<20))
+	parts := []string{}
+	if p := prefixes[rng.Intn(len(prefixes))]; p != "" {
+		parts = append(parts, p)
+	}
+	parts = append(parts, phrase)
+	if s := suffixes[rng.Intn(len(suffixes))]; s != "" {
+		parts = append(parts, s)
+	}
+	// Attribute-style tokens the identifier harvests from id/name.
+	if a := attrDecor[rng.Intn(len(attrDecor))]; a != "" {
+		parts = append(parts, a)
+	}
+	// Occasionally append a second phrasing of the same concept, as when
+	// both a label element and a placeholder are present.
+	if rng.Intn(3) == 0 {
+		parts = append(parts, fieldspec.PhraseAt(t, rng.Intn(1<<20)))
+	}
+	if n := ocrNoise[rng.Intn(len(ocrNoise))]; n != "" {
+		parts = append(parts, n)
+	}
+	return textclass.Sample{Text: strings.Join(parts, " "), Label: string(t)}
+}
+
+// Corpus returns the full labelled corpus (CorpusSize samples), balanced
+// across the taxonomy with extra weight on the most common field types,
+// roughly matching the per-category counts of Table 6.
+func Corpus(seed int64) []textclass.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	// Table 6 test-split counts scaled up to the full corpus keep the same
+	// class balance the paper had.
+	weights := map[fieldspec.Type]int{
+		fieldspec.Email: 23, fieldspec.UserID: 6, fieldspec.Password: 36,
+		fieldspec.Name: 52, fieldspec.Address: 18, fieldspec.Phone: 23,
+		fieldspec.City: 12, fieldspec.State: 5, fieldspec.Question: 10,
+		fieldspec.Answer: 14, fieldspec.Date: 10, fieldspec.Code: 21,
+		fieldspec.License: 5, fieldspec.SSN: 11,
+		fieldspec.Card: 25, fieldspec.ExpDate: 18, fieldspec.CVV: 13,
+		fieldspec.Search: 8,
+	}
+	totalW := 0
+	for _, w := range weights {
+		totalW += w
+	}
+	var out []textclass.Sample
+	for _, t := range fieldspec.All() {
+		n := weights[t] * CorpusSize / totalW
+		if n < 10 {
+			n = 10
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, Generate(rng, t))
+		}
+	}
+	// Top up or trim to exactly CorpusSize.
+	for len(out) < CorpusSize {
+		t := fieldspec.All()[rng.Intn(len(fieldspec.All()))]
+		out = append(out, Generate(rng, t))
+	}
+	out = out[:CorpusSize]
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Split divides the corpus into the paper's 1,000-sample training set and
+// 310-sample test set.
+func Split(corpus []textclass.Sample) (train, test []textclass.Sample) {
+	n := TrainSize
+	if n > len(corpus) {
+		n = len(corpus)
+	}
+	return corpus[:n], corpus[n:]
+}
+
+// TrainDefault trains the field classifier on the default corpus with the
+// paper's protocol and returns it.
+func TrainDefault(seed int64) (*textclass.Model, error) {
+	train, _ := Split(Corpus(seed))
+	return textclass.Train(train, textclass.TrainConfig{Seed: seed, Epochs: 40})
+}
+
+// GenerateLang synthesizes one sample for the given type in the given
+// language, using the localized keyword banks (the paper's Section 6
+// multi-language extension).
+func GenerateLang(rng *rand.Rand, lang fieldspec.Lang, t fieldspec.Type) textclass.Sample {
+	if lang == fieldspec.LangEN {
+		return Generate(rng, t)
+	}
+	phrase := fieldspec.PhraseAtLang(lang, t, rng.Intn(1<<20))
+	parts := []string{phrase}
+	if rng.Intn(3) == 0 {
+		parts = append(parts, fieldspec.PhraseAtLang(lang, t, rng.Intn(1<<20)))
+	}
+	if s := suffixes[rng.Intn(len(suffixes))]; s != "" && s != "required" && s != "below" && s != "here" {
+		parts = append(parts, s)
+	}
+	return textclass.Sample{Text: strings.Join(parts, " "), Label: string(t)}
+}
+
+// CorpusMultilingual extends the default corpus with localized samples for
+// every language and the field types its bank covers, keeping labels
+// unchanged so one classifier serves all languages.
+func CorpusMultilingual(seed int64) []textclass.Sample {
+	out := Corpus(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for _, lang := range fieldspec.Langs() {
+		if lang == fieldspec.LangEN {
+			continue
+		}
+		for _, t := range fieldspec.All() {
+			if !fieldspec.LangSupports(lang, t) {
+				continue
+			}
+			for i := 0; i < 12; i++ {
+				out = append(out, GenerateLang(rng, lang, t))
+			}
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// TrainMultilingual trains the classifier on the multilingual corpus.
+func TrainMultilingual(seed int64) (*textclass.Model, error) {
+	return textclass.Train(CorpusMultilingual(seed), textclass.TrainConfig{Seed: seed, Epochs: 40})
+}

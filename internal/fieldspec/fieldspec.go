@@ -1,0 +1,265 @@
+// Package fieldspec defines the input-field data-type taxonomy used
+// throughout the system: the 18 field categories of Table 6 in the paper,
+// their higher-level context groups (Login, Personal, Social, Financial,
+// Other — Figure 7), and the keyword banks that tie natural-language field
+// labels to categories. The keyword banks serve two roles: they parameterize
+// the synthetic corpus (sites label their inputs with phrases drawn from
+// them) and they seed the labelled training data for the field classifier.
+package fieldspec
+
+import (
+	"sort"
+	"strings"
+)
+
+// Type is an input-field data type, e.g. Email or Password.
+type Type string
+
+// The complete label set from Table 6 of the paper, plus Unknown which the
+// classifier emits when its confidence falls below threshold.
+const (
+	Email    Type = "email"
+	UserID   Type = "userid"
+	Password Type = "password"
+
+	Name     Type = "name"
+	Address  Type = "address"
+	Phone    Type = "phone"
+	City     Type = "city"
+	State    Type = "state"
+	Question Type = "question"
+	Answer   Type = "answer"
+	Date     Type = "date"
+	Code     Type = "code"
+
+	License Type = "license"
+	SSN     Type = "ssn"
+
+	Card    Type = "card"
+	ExpDate Type = "expdate"
+	CVV     Type = "cvv"
+
+	Search Type = "search"
+
+	Unknown Type = "unknown"
+)
+
+// Group is a higher-level context group from Figure 7.
+type Group string
+
+// Context groups.
+const (
+	GroupLogin     Group = "Login"
+	GroupPersonal  Group = "Personal"
+	GroupSocial    Group = "Social"
+	GroupFinancial Group = "Financial"
+	GroupOther     Group = "Other"
+)
+
+// groups maps every field type to its context group.
+var groups = map[Type]Group{
+	Email: GroupLogin, UserID: GroupLogin, Password: GroupLogin,
+	Name: GroupPersonal, Address: GroupPersonal, Phone: GroupPersonal,
+	City: GroupPersonal, State: GroupPersonal, Question: GroupPersonal,
+	Answer: GroupPersonal, Date: GroupPersonal, Code: GroupPersonal,
+	License: GroupSocial, SSN: GroupSocial,
+	Card: GroupFinancial, ExpDate: GroupFinancial, CVV: GroupFinancial,
+	Search: GroupOther, Unknown: GroupOther,
+}
+
+// GroupOf returns the context group for a field type.
+func GroupOf(t Type) Group {
+	if g, ok := groups[t]; ok {
+		return g
+	}
+	return GroupOther
+}
+
+// All returns every concrete (non-Unknown) field type in a stable order.
+func All() []Type {
+	out := make([]Type, 0, len(groups)-1)
+	for t := range groups {
+		if t != Unknown {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllWithUnknown returns every field type including Unknown.
+func AllWithUnknown() []Type {
+	return append(All(), Unknown)
+}
+
+// Valid reports whether t is a known field type (including Unknown).
+func Valid(t Type) bool {
+	_, ok := groups[t]
+	return ok
+}
+
+// Keywords maps each field type to the label phrases phishing pages (and
+// legitimate sites) use to ask for it. Entries are lower-case; matching is
+// token-based.
+var Keywords = map[Type][]string{
+	Email: {
+		"email", "email address", "e-mail", "your email", "enter your email",
+		"mail address", "login email", "registered email", "work email",
+		"email or phone", "correo", "email id",
+	},
+	UserID: {
+		"user id", "userid", "username", "user name", "login id",
+		"account id", "member id", "customer id", "login name",
+		"online id", "access id", "user",
+	},
+	Password: {
+		"password", "passwd", "pass word", "your password", "enter password",
+		"account password", "login password", "pin password", "pwd",
+		"current password", "confirm password", "passcode", "contrasena",
+		"mot de passe", "kennwort", "repeat password",
+	},
+	Name: {
+		"name", "full name", "first name", "last name", "surname",
+		"given name", "family name", "cardholder name", "name on card",
+		"your name", "middle name", "first and last name",
+	},
+	Address: {
+		"address", "street address", "billing address", "home address",
+		"address line", "mailing address", "shipping address", "street",
+		"residence address", "apt suite", "zip code", "postal code", "zip",
+	},
+	Phone: {
+		"phone", "phone number", "telephone", "mobile", "mobile number",
+		"cell phone", "contact number", "tel", "mobile phone",
+		"phone no", "cellphone", "daytime phone",
+	},
+	City: {
+		"city", "town", "city name", "your city", "city town",
+		"locality", "municipality",
+	},
+	State: {
+		"state", "province", "region", "state province", "county",
+		"state region", "territory",
+	},
+	Question: {
+		"security question", "secret question", "challenge question",
+		"question", "choose a question", "memorable question",
+		"security challenge",
+	},
+	Answer: {
+		"answer", "security answer", "secret answer", "your answer",
+		"memorable answer", "mother maiden name", "maiden name",
+		"first pet", "pet name", "favorite teacher",
+	},
+	Date: {
+		"date", "date of birth", "birth date", "birthday", "dob",
+		"birthdate", "day month year", "dd mm yyyy", "mm dd yyyy",
+	},
+	Code: {
+		"code", "verification code", "otp", "one time password",
+		"one-time code", "sms code", "security code sent", "2fa code",
+		"auth code", "confirmation code", "access code", "token",
+		"enter the code", "6 digit code", "verification pin",
+		"two factor", "authentication code", "otp sent to your phone",
+		"otp sent to the registered mobile number",
+		"verification code sent via sms", "code we sent by text message",
+	},
+	License: {
+		"driver license", "drivers license", "driving licence",
+		"license number", "licence number", "dl number", "driver id",
+		"driving license number",
+	},
+	SSN: {
+		"ssn", "social security", "social security number",
+		"last 4 ssn", "tax id", "national id", "nin", "itin",
+		"social insurance number",
+	},
+	Card: {
+		"card number", "credit card", "debit card", "card no",
+		"credit card number", "cc number", "pan", "account number card",
+		"16 digit card", "visa mastercard", "payment card", "card details",
+		"atm card number",
+	},
+	ExpDate: {
+		"expiration", "expiry", "expiration date", "expiry date",
+		"exp date", "valid thru", "mm yy", "mm yyyy", "card expiry",
+		"good thru",
+	},
+	CVV: {
+		"cvv", "cvc", "cvv2", "security code", "card verification",
+		"3 digit", "3 digit code", "cvn", "card security code",
+		"code on back",
+	},
+	Search: {
+		"search", "search here", "find", "search query", "keywords",
+		"what are you looking for", "search our site",
+	},
+}
+
+// DefaultValue is the predetermined string the crawler enters into fields
+// classified as unknown (Section 4.3).
+const DefaultValue = "information"
+
+// CanonicalPhrase returns a representative label phrase for t, used by page
+// generators when they need a deterministic label.
+func CanonicalPhrase(t Type) string {
+	if ks := Keywords[t]; len(ks) > 0 {
+		return ks[0]
+	}
+	return string(t)
+}
+
+// PhraseAt returns the i-th (mod len) keyword phrase for t, giving generators
+// deterministic variety.
+func PhraseAt(t Type, i int) string {
+	ks := Keywords[t]
+	if len(ks) == 0 {
+		return string(t)
+	}
+	return ks[((i%len(ks))+len(ks))%len(ks)]
+}
+
+// GuessFromHTMLType maps an HTML input "type" attribute directly to a field
+// type when the markup is honest, or Unknown when it carries no signal.
+func GuessFromHTMLType(htmlType string) Type {
+	switch strings.ToLower(strings.TrimSpace(htmlType)) {
+	case "email":
+		return Email
+	case "password":
+		return Password
+	case "tel":
+		return Phone
+	case "date":
+		return Date
+	case "search":
+		return Search
+	default:
+		return Unknown
+	}
+}
+
+// LoginTypes returns the set of login-credential types used by the
+// double-login detector (Section 5.2.2): username, email, password, phone.
+func LoginTypes() map[Type]bool {
+	return map[Type]bool{Email: true, UserID: true, Password: true, Phone: true}
+}
+
+// TwoFactorKeywords are the keywords, compiled per Section 5.3.3, whose
+// presence in a Code field's label marks the field as a 2FA/OTP request.
+var TwoFactorKeywords = []string{
+	"otp", "one time", "one-time", "sms", "2fa", "two factor", "two-factor",
+	"verification code", "code sent", "authentication code", "text message",
+	"mobile number with", "6 digit", "security code sent",
+}
+
+// IsTwoFactorLabel reports whether a Code-field label indicates a 2FA
+// request.
+func IsTwoFactorLabel(label string) bool {
+	l := strings.ToLower(label)
+	for _, k := range TwoFactorKeywords {
+		if strings.Contains(l, k) {
+			return true
+		}
+	}
+	return false
+}

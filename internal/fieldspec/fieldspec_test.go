@@ -1,0 +1,161 @@
+package fieldspec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryTypeHasGroup(t *testing.T) {
+	for _, ty := range AllWithUnknown() {
+		g := GroupOf(ty)
+		switch g {
+		case GroupLogin, GroupPersonal, GroupSocial, GroupFinancial, GroupOther:
+		default:
+			t.Errorf("type %s has bad group %q", ty, g)
+		}
+	}
+}
+
+func TestTable6GroupAssignments(t *testing.T) {
+	// Spot-check against Table 6's section headings.
+	want := map[Type]Group{
+		Email: GroupLogin, UserID: GroupLogin, Password: GroupLogin,
+		Name: GroupPersonal, Code: GroupPersonal, Date: GroupPersonal,
+		License: GroupSocial, SSN: GroupSocial,
+		Card: GroupFinancial, ExpDate: GroupFinancial, CVV: GroupFinancial,
+		Search: GroupOther,
+	}
+	for ty, g := range want {
+		if got := GroupOf(ty); got != g {
+			t.Errorf("GroupOf(%s) = %s, want %s", ty, got, g)
+		}
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	// Table 6 lists 18 concrete categories.
+	if got := len(All()); got != 18 {
+		t.Errorf("len(All()) = %d, want 18", got)
+	}
+	for _, ty := range All() {
+		if ty == Unknown {
+			t.Error("All() must not include Unknown")
+		}
+	}
+	if got := len(AllWithUnknown()); got != 19 {
+		t.Errorf("len(AllWithUnknown()) = %d, want 19", got)
+	}
+}
+
+func TestAllSortedAndStable(t *testing.T) {
+	a, b := All(), All()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("All() not stable")
+		}
+		if i > 0 && a[i-1] >= a[i] {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func TestEveryTypeHasKeywords(t *testing.T) {
+	for _, ty := range All() {
+		ks := Keywords[ty]
+		if len(ks) < 5 {
+			t.Errorf("type %s has only %d keywords, want >= 5", ty, len(ks))
+		}
+		for _, k := range ks {
+			if k != strings.ToLower(k) {
+				t.Errorf("keyword %q for %s is not lower-case", k, ty)
+			}
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid(Email) || !Valid(Unknown) {
+		t.Error("known types reported invalid")
+	}
+	if Valid(Type("bogus")) {
+		t.Error("bogus type reported valid")
+	}
+}
+
+func TestGuessFromHTMLType(t *testing.T) {
+	cases := map[string]Type{
+		"email": Email, "EMAIL": Email, " password ": Password,
+		"tel": Phone, "date": Date, "search": Search,
+		"text": Unknown, "": Unknown, "checkbox": Unknown,
+	}
+	for in, want := range cases {
+		if got := GuessFromHTMLType(in); got != want {
+			t.Errorf("GuessFromHTMLType(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestPhraseAt(t *testing.T) {
+	if CanonicalPhrase(Email) != "email" {
+		t.Errorf("CanonicalPhrase(Email) = %q", CanonicalPhrase(Email))
+	}
+	n := len(Keywords[Password])
+	if PhraseAt(Password, 0) != PhraseAt(Password, n) {
+		t.Error("PhraseAt should wrap modulo len")
+	}
+	if PhraseAt(Password, -1) == "" {
+		t.Error("PhraseAt should handle negative indices")
+	}
+}
+
+func TestLoginTypes(t *testing.T) {
+	lt := LoginTypes()
+	for _, ty := range []Type{Email, UserID, Password, Phone} {
+		if !lt[ty] {
+			t.Errorf("LoginTypes missing %s", ty)
+		}
+	}
+	if lt[Card] || lt[SSN] {
+		t.Error("LoginTypes includes non-login types")
+	}
+}
+
+func TestIsTwoFactorLabel(t *testing.T) {
+	positives := []string{
+		"Enter the OTP sent to your phone",
+		"An otp has been sent to the registered mobile number",
+		"2-step verification code",
+		"We sent an SMS to your number",
+		"Enter your 2FA code",
+		"6 digit code",
+	}
+	for _, p := range positives {
+		if !IsTwoFactorLabel(p) {
+			t.Errorf("IsTwoFactorLabel(%q) = false, want true", p)
+		}
+	}
+	negatives := []string{"postal code", "zip code", "promo code please", "enter your name"}
+	for _, n := range negatives {
+		if IsTwoFactorLabel(n) {
+			t.Errorf("IsTwoFactorLabel(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestKeywordsDistinguishCVVFromCode(t *testing.T) {
+	// "security code" belongs to CVV bank; "verification code" to Code bank.
+	found := func(ty Type, phrase string) bool {
+		for _, k := range Keywords[ty] {
+			if k == phrase {
+				return true
+			}
+		}
+		return false
+	}
+	if !found(CVV, "security code") {
+		t.Error("CVV bank should contain 'security code'")
+	}
+	if !found(Code, "verification code") {
+		t.Error("Code bank should contain 'verification code'")
+	}
+}

@@ -1,0 +1,87 @@
+package fieldspec
+
+// Multi-language support: the paper's Section 6 notes its framework only
+// handles English-language phishing and names "training the input field
+// classifier with input text labels from languages other than English" as
+// the extension — which this file provides. French matters particularly:
+// La Banque Postale is a Table 7 top-10 target, and its phishing pages are
+// French. Accented characters are normalized by the tokenizer, so the
+// keyword banks below are written the way tokens come out of it.
+
+// Lang identifies a label language.
+type Lang string
+
+// Supported label languages.
+const (
+	LangEN Lang = "en"
+	LangFR Lang = "fr"
+	LangES Lang = "es"
+)
+
+// Langs returns the supported languages.
+func Langs() []Lang { return []Lang{LangEN, LangFR, LangES} }
+
+// keywordsFR labels the most common field types in French.
+var keywordsFR = map[Type][]string{
+	Email:    {"adresse e-mail", "votre adresse email", "courriel", "saisissez votre email", "adresse de messagerie"},
+	UserID:   {"identifiant", "votre identifiant client", "nom d'utilisateur", "numero client"},
+	Password: {"mot de passe", "votre mot de passe", "saisissez votre mot de passe", "code secret"},
+	Name:     {"nom complet", "votre nom", "nom et prenom", "titulaire de la carte"},
+	Address:  {"adresse postale", "votre adresse", "adresse de facturation", "code postal"},
+	Phone:    {"numero de telephone", "telephone portable", "votre mobile", "numero de portable"},
+	City:     {"ville", "votre ville", "commune"},
+	Date:     {"date de naissance", "votre date de naissance", "jj mm aaaa"},
+	Code:     {"code de verification", "code recu par sms", "saisissez le code", "code a usage unique"},
+	Card:     {"numero de carte", "carte bancaire", "numero de carte bancaire", "seize chiffres de la carte"},
+	ExpDate:  {"date d'expiration", "date de validite", "expire fin"},
+	CVV:      {"cryptogramme visuel", "cryptogramme", "trois chiffres au dos", "code de securite de la carte"},
+}
+
+// keywordsES labels the most common field types in Spanish.
+var keywordsES = map[Type][]string{
+	Email:    {"correo electronico", "su correo", "direccion de correo", "introduzca su email"},
+	UserID:   {"nombre de usuario", "su usuario", "identificador de cliente"},
+	Password: {"contrasena", "su contrasena", "introduzca su contrasena", "clave secreta"},
+	Name:     {"nombre completo", "su nombre", "nombre y apellidos", "titular de la tarjeta"},
+	Address:  {"direccion postal", "su direccion", "direccion de facturacion", "codigo postal"},
+	Phone:    {"numero de telefono", "telefono movil", "su movil"},
+	City:     {"ciudad", "su ciudad", "localidad"},
+	Date:     {"fecha de nacimiento", "su fecha de nacimiento", "dd mm aaaa"},
+	Code:     {"codigo de verificacion", "codigo recibido por sms", "introduzca el codigo", "codigo de un solo uso"},
+	Card:     {"numero de tarjeta", "tarjeta de credito", "numero de tarjeta bancaria", "dieciseis digitos"},
+	ExpDate:  {"fecha de caducidad", "fecha de vencimiento", "valida hasta"},
+	CVV:      {"codigo de seguridad", "tres digitos del reverso", "cvv de la tarjeta"},
+}
+
+// KeywordsFor returns the keyword bank for a language; English uses the
+// full Table 6 bank, other languages cover the common field types.
+func KeywordsFor(lang Lang) map[Type][]string {
+	switch lang {
+	case LangFR:
+		return keywordsFR
+	case LangES:
+		return keywordsES
+	default:
+		return Keywords
+	}
+}
+
+// PhraseAtLang returns the i-th (mod len) phrase for t in the given
+// language, falling back to English for types the language bank lacks.
+func PhraseAtLang(lang Lang, t Type, i int) string {
+	bank := KeywordsFor(lang)
+	ks := bank[t]
+	if len(ks) == 0 {
+		return PhraseAt(t, i)
+	}
+	return ks[((i%len(ks))+len(ks))%len(ks)]
+}
+
+// LangSupports reports whether the language bank covers the field type
+// natively (without the English fallback).
+func LangSupports(lang Lang, t Type) bool {
+	if lang == LangEN {
+		return len(Keywords[t]) > 0
+	}
+	return len(KeywordsFor(lang)[t]) > 0
+}

@@ -1,0 +1,75 @@
+package fieldspec
+
+import "testing"
+
+func TestLangs(t *testing.T) {
+	ls := Langs()
+	if len(ls) != 3 || ls[0] != LangEN {
+		t.Fatalf("Langs = %v", ls)
+	}
+}
+
+func TestKeywordsForCoverage(t *testing.T) {
+	// The core data-stealing types must be covered in every language.
+	must := []Type{Email, Password, Card, ExpDate, CVV, Code, Name, Phone}
+	for _, lang := range []Lang{LangFR, LangES} {
+		bank := KeywordsFor(lang)
+		for _, ty := range must {
+			if len(bank[ty]) == 0 {
+				t.Errorf("%s bank missing %s", lang, ty)
+			}
+		}
+	}
+	if len(KeywordsFor(LangEN)) != len(Keywords) {
+		t.Error("English bank should be the full Table 6 bank")
+	}
+}
+
+func TestPhraseAtLang(t *testing.T) {
+	if got := PhraseAtLang(LangFR, Password, 0); got != "mot de passe" {
+		t.Errorf("FR password = %q", got)
+	}
+	if got := PhraseAtLang(LangES, Password, 0); got != "contrasena" {
+		t.Errorf("ES password = %q", got)
+	}
+	// Fallback: a type the FR bank lacks uses the English phrase.
+	if got := PhraseAtLang(LangFR, Search, 0); got != PhraseAt(Search, 0) {
+		t.Errorf("FR search fallback = %q", got)
+	}
+	// Wrapping.
+	n := len(KeywordsFor(LangFR)[Email])
+	if PhraseAtLang(LangFR, Email, 0) != PhraseAtLang(LangFR, Email, n) {
+		t.Error("PhraseAtLang should wrap")
+	}
+}
+
+func TestLangSupports(t *testing.T) {
+	if !LangSupports(LangFR, Card) || !LangSupports(LangES, Code) {
+		t.Error("core types should be supported")
+	}
+	if LangSupports(LangFR, Search) {
+		t.Error("FR bank does not cover search")
+	}
+	if !LangSupports(LangEN, Search) {
+		t.Error("EN covers everything")
+	}
+}
+
+func TestLocalizedPhrasesAreTokenizable(t *testing.T) {
+	// Every localized phrase must survive the tokenizer (lower-case ASCII
+	// words), since that is how the classifier sees them.
+	for _, lang := range []Lang{LangFR, LangES} {
+		for ty, phrases := range KeywordsFor(lang) {
+			for _, p := range phrases {
+				for _, r := range p {
+					if r >= 'A' && r <= 'Z' {
+						t.Errorf("%s %s phrase %q contains upper-case", lang, ty, p)
+					}
+					if r > 127 {
+						t.Errorf("%s %s phrase %q contains non-ASCII %q (write it tokenizer-normalized)", lang, ty, p, r)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package guard implements the browser-embedded defense sketched in the
+// paper's Discussion (Section 6): when a user lands on a suspicious page,
+// the browser buffers their keystrokes instead of passing them to the page,
+// while in the background a crawler session interacts with the page using
+// forged data. If the background session exhibits phishing behaviour, the
+// user is alerted and the buffered data never reaches the page; if the page
+// looks benign, the buffered input is replayed transparently.
+//
+// The verdict combines the signals this system already measures: forged
+// data being accepted blindly, multi-stage data harvesting, keylogger
+// listeners, exfiltration beacons, and reassuring terminal pages.
+package guard
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/crawler"
+	"repro/internal/fieldspec"
+)
+
+// Signal is one piece of evidence contributing to a verdict.
+type Signal struct {
+	// Name is a short identifier, e.g. "forged-data-accepted".
+	Name string
+	// Weight is the signal's contribution to the score.
+	Weight int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Verdict is the outcome of a background investigation.
+type Verdict struct {
+	Phishing bool
+	Score    int
+	Signals  []Signal
+}
+
+// PhishingThreshold is the score at or above which a page is judged
+// phishing. Signals are weighted so a single benign-looking trait cannot
+// cross it.
+const PhishingThreshold = 4
+
+// Judge evaluates a background crawl session.
+func Judge(log *crawler.SessionLog) Verdict {
+	var v Verdict
+	add := func(name string, weight int, detail string) {
+		v.Signals = append(v.Signals, Signal{name, weight, detail})
+		v.Score += weight
+	}
+
+	// Forged data accepted: the strongest signal. A legitimate login
+	// rejects credentials it has never seen; a phishing site accepts
+	// anything syntactically valid (Section 4.3).
+	submitted, advanced := 0, 0
+	for i, pg := range log.Pages {
+		if pg.SubmitMethod == "" || !pg.HasInputs() {
+			continue
+		}
+		submitted++
+		if i+1 < len(log.Pages) {
+			advanced++
+		}
+	}
+	if advanced > 0 {
+		add("forged-data-accepted", 3, fmt.Sprintf("forged data accepted on %d page(s)", advanced))
+	}
+
+	// Multi-stage harvesting of different data categories.
+	groups := map[fieldspec.Group]bool{}
+	for _, pg := range log.Pages {
+		for _, f := range pg.Fields {
+			if f.Label != fieldspec.Unknown {
+				groups[fieldspec.GroupOf(f.Label)] = true
+			}
+		}
+	}
+	if analysis.IsMultiPage(log) && len(groups) >= 2 {
+		add("multi-stage-harvesting", 2, fmt.Sprintf("requests %d data categories across pages", len(groups)))
+	}
+
+	// Sensitive data categories beyond login.
+	if groups[fieldspec.GroupFinancial] || groups[fieldspec.GroupSocial] {
+		add("sensitive-data-request", 1, "asks for financial or identity data")
+	}
+
+	// Keylogger behaviour.
+	kl := analysis.Keylogging([]*crawler.SessionLog{log})
+	switch {
+	case kl.DataExfiltrated > 0:
+		add("keystroke-exfiltration", 3, "typed data sent before submission")
+	case kl.ImmediateRequest > 0:
+		add("keystroke-beacon", 2, "network request fired while typing")
+	case kl.Monitoring > 0:
+		add("keydown-listener", 1, "page monitors keystrokes")
+	}
+
+	// Reassuring terminal page or redirect to the legitimate site after
+	// harvesting (Sections 5.2.3).
+	if len(log.Pages) >= 2 {
+		last := log.Pages[len(log.Pages)-1]
+		lower := strings.ToLower(last.Text)
+		if !last.HasInputs() {
+			for _, marker := range []string{"congratulations", "thank you", "your data was not", "simulation", "verified successfully"} {
+				if strings.Contains(lower, marker) {
+					add("reassuring-termination", 1, fmt.Sprintf("terminal page says %q", marker))
+					break
+				}
+			}
+		}
+		if analysis.ESLD(last.URL) != analysis.ESLD(log.SeedURL) {
+			add("redirect-after-harvest", 1, "redirects off-site after data entry")
+		}
+	}
+
+	v.Phishing = v.Score >= PhishingThreshold
+	return v
+}
+
+// Buffer holds the user's keystrokes while the investigation runs.
+type Buffer struct {
+	fields map[string]string
+	order  []string
+}
+
+// NewBuffer returns an empty keystroke buffer.
+func NewBuffer() *Buffer {
+	return &Buffer{fields: map[string]string{}}
+}
+
+// Type records a keystroke for the named field without delivering it.
+func (b *Buffer) Type(field string, r rune) {
+	if _, ok := b.fields[field]; !ok {
+		b.order = append(b.order, field)
+	}
+	b.fields[field] += string(r)
+}
+
+// TypeString records a whole string.
+func (b *Buffer) TypeString(field, s string) {
+	for _, r := range s {
+		b.Type(field, r)
+	}
+}
+
+// Fields returns the buffered values in first-typed order.
+func (b *Buffer) Fields() []struct{ Name, Value string } {
+	out := make([]struct{ Name, Value string }, 0, len(b.order))
+	for _, f := range b.order {
+		out = append(out, struct{ Name, Value string }{f, b.fields[f]})
+	}
+	return out
+}
+
+// Discard drops the buffered data (the phishing outcome).
+func (b *Buffer) Discard() {
+	b.fields = map[string]string{}
+	b.order = nil
+}
+
+// Len returns the number of buffered fields.
+func (b *Buffer) Len() int { return len(b.order) }

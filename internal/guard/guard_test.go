@@ -1,0 +1,125 @@
+package guard_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fielddata"
+	"repro/internal/guard"
+	"repro/internal/phishserver"
+	"repro/internal/site"
+	"repro/internal/textclass"
+)
+
+var (
+	clfOnce sync.Once
+	clf     *textclass.Model
+)
+
+func classifier(t testing.TB) *textclass.Model {
+	clfOnce.Do(func() {
+		var err error
+		clf, err = fielddata.TrainDefault(1)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return clf
+}
+
+func crawlerFor(t testing.TB, sites ...*site.Site) *crawler.Crawler {
+	reg := phishserver.NewRegistry()
+	for _, s := range sites {
+		reg.AddSite(s)
+	}
+	reg.AddBenignHost("netflix.com")
+	return &crawler.Crawler{
+		Classifier: classifier(t),
+		NewBrowser: func() *browser.Browser {
+			return browser.New(browser.Options{Transport: phishserver.Transport{Registry: reg}})
+		},
+		FakerSeed: 3,
+	}
+}
+
+func phishingSite() *site.Site {
+	login := `<html><head>
+<script type="application/x-behavior">{"listeners":[{"target":"input","event":"keydown","action":"send-data"}]}</script>
+</head><body><form action="/"><div><label>Email</label><input name="e"></div>
+<div><label>Password</label><input type="password" name="p"></div><button>Next</button></form></body></html>`
+	pay := `<html><body><form action="/pay"><div><label>Card number</label><input name="c"></div>
+<div><label>CVV</label><input name="v"></div><button>Pay</button></form></body></html>`
+	done := `<html><body><div>Congratulations! Your account has been verified successfully.</div></body></html>`
+	return &site.Site{ID: "ph", Host: "ph.test",
+		Pages: []*site.Page{
+			{Path: "/", HTML: login, Next: "/pay", Mode: site.NextRedirect},
+			{Path: "/pay", HTML: pay, Next: "/done", Mode: site.NextRedirect},
+			{Path: "/done", HTML: done},
+		},
+		Images: map[string][]byte{}}
+}
+
+// benignSite models a legitimate login: forged credentials are rejected
+// (served the same page again), and nothing leaks while typing.
+func benignSite() *site.Site {
+	login := `<html><body><form action="/"><div><label>Email</label><input name="email"></div>
+<div><label>Password</label><input type="password" name="pw"></div><button>Sign in</button></form></body></html>`
+	return &site.Site{ID: "ok", Host: "ok.test",
+		Pages: []*site.Page{
+			// ValidateFlaky on an impossible field keeps forged data out:
+			// a real account check rejects unknown credentials.
+			{Path: "/", HTML: login, Next: "/inbox", Mode: site.NextRedirect,
+				Validate: map[string]string{"pw": site.ValidateEmail}},
+			{Path: "/inbox", HTML: "<html><body>inbox</body></html>"},
+		},
+		Images: map[string][]byte{}}
+}
+
+func TestJudgePhishing(t *testing.T) {
+	c := crawlerFor(t, phishingSite())
+	log := c.Crawl("http://ph.test/")
+	v := guard.Judge(log)
+	if !v.Phishing {
+		t.Fatalf("phishing site judged benign: score %d signals %+v", v.Score, v.Signals)
+	}
+	names := map[string]bool{}
+	for _, s := range v.Signals {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"forged-data-accepted", "multi-stage-harvesting", "keystroke-exfiltration"} {
+		if !names[want] {
+			t.Errorf("missing signal %q in %+v", want, v.Signals)
+		}
+	}
+}
+
+func TestJudgeBenign(t *testing.T) {
+	c := crawlerFor(t, benignSite())
+	log := c.Crawl("http://ok.test/")
+	v := guard.Judge(log)
+	if v.Phishing {
+		t.Fatalf("benign site judged phishing: score %d signals %+v", v.Score, v.Signals)
+	}
+}
+
+func TestBufferLifecycle(t *testing.T) {
+	b := guard.NewBuffer()
+	b.TypeString("email", "me@example.com")
+	b.TypeString("password", "hunter2")
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	fs := b.Fields()
+	if fs[0].Name != "email" || fs[0].Value != "me@example.com" {
+		t.Errorf("fields = %+v", fs)
+	}
+	if fs[1].Name != "password" || fs[1].Value != "hunter2" {
+		t.Errorf("fields = %+v", fs)
+	}
+	b.Discard()
+	if b.Len() != 0 || len(b.Fields()) != 0 {
+		t.Error("discard did not clear buffer")
+	}
+}

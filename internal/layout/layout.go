@@ -1,0 +1,386 @@
+// Package layout computes rendering bounding boxes for DOM elements: the
+// getBoundingClientRect equivalent the paper's crawler injects into pages
+// (Listing 1 in the Appendix). It implements a simplified CSS flow model —
+// block elements stack vertically, inline elements flow and wrap — plus the
+// handful of style properties the phishing corpus uses: explicit width and
+// height, display:none, visibility:hidden, colors, and background images.
+package layout
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/raster"
+)
+
+// Style is the resolved visual style of an element.
+type Style struct {
+	Display         string // "block", "inline", or "none"
+	Hidden          bool   // visibility:hidden — occupies space but invisible
+	Color           raster.Color
+	Background      raster.Color
+	HasBackground   bool
+	BackgroundImage string // URL from background-image:url(...)
+	Width, Height   int    // explicit pixel sizes; -1 when unset
+}
+
+var blockTags = map[string]bool{
+	"html": true, "body": true, "div": true, "form": true, "p": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "ul": true, "ol": true,
+	"li": true, "table": true, "tr": true, "header": true, "footer": true,
+	"section": true, "article": true, "nav": true, "main": true,
+	"fieldset": true, "hr": true, "br": true, "center": true,
+}
+
+// Default intrinsic sizes for interactive elements.
+const (
+	inputW, inputH   = 160, 14
+	selectW, selectH = 120, 14
+	imgW, imgH       = 48, 24
+	padding          = 4
+	vGap             = 4
+)
+
+// Result holds the computed layout of a document.
+type Result struct {
+	boxes  map[*dom.Node]raster.Rect
+	styles map[*dom.Node]Style
+	// Height is the total content height in pixels.
+	Height int
+	// Width is the viewport width used.
+	Width int
+}
+
+// Box returns the bounding box of n and whether n was laid out (hidden
+// subtrees are not).
+func (r *Result) Box(n *dom.Node) (raster.Rect, bool) {
+	b, ok := r.boxes[n]
+	return b, ok
+}
+
+// Style returns the resolved style of n.
+func (r *Result) Style(n *dom.Node) Style {
+	if s, ok := r.styles[n]; ok {
+		return s
+	}
+	return defaultStyle()
+}
+
+// Visible reports whether n occupies visible space in the rendering.
+func (r *Result) Visible(n *dom.Node) bool {
+	s, ok := r.styles[n]
+	if !ok {
+		return false
+	}
+	if s.Display == "none" || s.Hidden {
+		return false
+	}
+	b := r.boxes[n]
+	return b.W > 0 && b.H > 0
+}
+
+func defaultStyle() Style {
+	return Style{Display: "inline", Color: raster.Black, Width: -1, Height: -1}
+}
+
+// ParseStyle resolves the style of an element from its tag, style attribute,
+// and width/height attributes.
+func ParseStyle(n *dom.Node) Style {
+	s := defaultStyle()
+	if n.Type != dom.ElementNode {
+		return s
+	}
+	if blockTags[n.Tag] {
+		s.Display = "block"
+	}
+	switch n.Tag {
+	case "a":
+		s.Color = raster.Blue
+	case "button":
+		s.Background = raster.LightGray
+		s.HasBackground = true
+	}
+	if w, err := strconv.Atoi(n.AttrOr("width", "")); err == nil {
+		s.Width = w
+	}
+	if h, err := strconv.Atoi(n.AttrOr("height", "")); err == nil {
+		s.Height = h
+	}
+	if t, _ := n.Attr("type"); n.Tag == "input" && strings.EqualFold(t, "hidden") {
+		s.Display = "none"
+	}
+	style, _ := n.Attr("style")
+	for _, decl := range strings.Split(style, ";") {
+		k, v, ok := strings.Cut(decl, ":")
+		if !ok {
+			continue
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		switch k {
+		case "display":
+			lv := strings.ToLower(v)
+			if lv == "none" || lv == "block" || lv == "inline" {
+				s.Display = lv
+			}
+		case "visibility":
+			s.Hidden = strings.EqualFold(v, "hidden")
+		case "color":
+			s.Color = raster.ParseColor(v)
+		case "background", "background-color":
+			s.Background = raster.ParseColor(v)
+			s.HasBackground = true
+		case "background-image":
+			s.BackgroundImage = extractURL(v)
+		case "width":
+			if px, ok := parsePx(v); ok {
+				s.Width = px
+			}
+		case "height":
+			if px, ok := parsePx(v); ok {
+				s.Height = px
+			}
+		}
+	}
+	return s
+}
+
+func parsePx(v string) (int, bool) {
+	v = strings.TrimSuffix(strings.TrimSpace(v), "px")
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	return n, err == nil
+}
+
+func extractURL(v string) string {
+	i := strings.Index(v, "url(")
+	if i < 0 {
+		return ""
+	}
+	rest := v[i+4:]
+	j := strings.IndexByte(rest, ')')
+	if j < 0 {
+		return ""
+	}
+	u := strings.TrimSpace(rest[:j])
+	u = strings.Trim(u, `'"`)
+	return u
+}
+
+// Compute lays out the document within the given viewport width and returns
+// the boxes for every visible node.
+func Compute(doc *dom.Node, viewportW int) *Result {
+	if viewportW < 64 {
+		viewportW = 64
+	}
+	res := &Result{
+		boxes:  make(map[*dom.Node]raster.Rect),
+		styles: make(map[*dom.Node]Style),
+		Width:  viewportW,
+	}
+	body := dom.Body(doc)
+	h := layoutBlock(res, body, padding, padding, viewportW-2*padding)
+	res.Height = h + 2*padding
+	if res.Height < 1 {
+		res.Height = 1
+	}
+	return res
+}
+
+// layoutBlock lays out the children of n in a column starting at (x, y) with
+// the given width, records n's own box, and returns the content height.
+func layoutBlock(res *Result, n *dom.Node, x, y, w int) int {
+	style := ParseStyle(n)
+	res.styles[n] = style
+	if style.Display == "none" {
+		res.boxes[n] = raster.R(x, y, 0, 0)
+		return 0
+	}
+	if style.Width >= 0 && style.Width < w {
+		w = style.Width
+	}
+	startY := y
+	cy := y
+	// Inline run accumulator.
+	var run []*dom.Node
+	flushRun := func() {
+		if len(run) == 0 {
+			return
+		}
+		cy += layoutInlineRun(res, run, x, cy, w)
+		run = nil
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		switch c.Type {
+		case dom.TextNode:
+			run = append(run, c)
+		case dom.ElementNode:
+			cs := ParseStyle(c)
+			if cs.Display == "none" {
+				res.styles[c] = cs
+				res.boxes[c] = raster.R(x, cy, 0, 0)
+				continue
+			}
+			if cs.Display == "block" {
+				flushRun()
+				if c.Tag == "br" || c.Tag == "hr" {
+					res.styles[c] = cs
+					res.boxes[c] = raster.R(x, cy, w, 2)
+					cy += vGap
+					continue
+				}
+				ch := layoutBlock(res, c, x+padding, cy+padding, w-2*padding)
+				// The recursive call recorded the box; extend for padding.
+				b := res.boxes[c]
+				b.X, b.Y = x, cy
+				b.W, b.H = w, ch+2*padding
+				if cs.Height >= 0 {
+					b.H = cs.Height
+				}
+				res.boxes[c] = b
+				cy += b.H + vGap
+			} else {
+				run = append(run, c)
+			}
+		}
+	}
+	flushRun()
+	h := cy - startY
+	if style.Height >= 0 {
+		h = style.Height
+	}
+	res.boxes[n] = raster.R(x, startY, w, h)
+	return h
+}
+
+// layoutInlineRun flows inline nodes left to right with wrapping and returns
+// the total height consumed.
+func layoutInlineRun(res *Result, nodes []*dom.Node, x, y, w int) int {
+	cx, cy := x, y
+	rowH := 0
+	place := func(n *dom.Node, nw, nh int) {
+		if nw > w {
+			nw = w
+		}
+		if cx+nw > x+w && cx > x {
+			cx = x
+			cy += rowH + 2
+			rowH = 0
+		}
+		res.boxes[n] = raster.R(cx, cy, nw, nh)
+		cx += nw + raster.AdvanceX
+		if nh > rowH {
+			rowH = nh
+		}
+	}
+	for _, n := range nodes {
+		switch {
+		case n.Type == dom.TextNode:
+			res.styles[n] = defaultStyle()
+			text := strings.Join(strings.Fields(n.Data), " ")
+			if text == "" {
+				continue
+			}
+			tw := raster.StringWidth(text)
+			if tw <= w-(cx-x) || tw <= w {
+				lines := raster.WrapString(text, w)
+				nh := len(lines) * raster.LineH
+				place(n, minInt(tw, w), nh)
+			} else {
+				lines := raster.WrapString(text, w)
+				nh := len(lines) * raster.LineH
+				place(n, w, nh)
+			}
+		case n.Type == dom.ElementNode:
+			s := ParseStyle(n)
+			res.styles[n] = s
+			nw, nh := intrinsicSize(n, s, w)
+			place(n, nw, nh)
+			// Inline containers (span, a, label, b, ...) get their entire
+			// subtree boxed at the same position for hit-testing and
+			// painting.
+			if isInlineContainer(n.Tag) {
+				assignSubtree(res, n, res.boxes[n], s)
+			}
+		}
+	}
+	return cy + rowH + 2 - y
+}
+
+// assignSubtree gives every descendant of n the container's box. Text
+// descendants inherit the container's style so they paint in its color.
+func assignSubtree(res *Result, n *dom.Node, box raster.Rect, s Style) {
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == dom.TextNode {
+			res.styles[c] = s
+			res.boxes[c] = box
+		} else if c.Type == dom.ElementNode {
+			cs := ParseStyle(c)
+			cs.Color = s.Color
+			res.styles[c] = cs
+			res.boxes[c] = box
+			assignSubtree(res, c, box, s)
+		}
+	}
+}
+
+func isInlineContainer(tag string) bool {
+	switch tag {
+	case "span", "a", "label", "b", "i", "em", "strong", "u", "small", "font", "td", "th":
+		return true
+	}
+	return false
+}
+
+// intrinsicSize returns the natural size of an inline element.
+func intrinsicSize(n *dom.Node, s Style, maxW int) (int, int) {
+	w, h := 0, raster.LineH
+	switch n.Tag {
+	case "input":
+		w, h = inputW, inputH
+		if t, _ := n.Attr("type"); strings.EqualFold(t, "checkbox") || strings.EqualFold(t, "radio") {
+			w, h = 10, 10
+		}
+	case "select":
+		w, h = selectW, selectH
+	case "button":
+		label := n.InnerText()
+		w = raster.StringWidth(label) + 14
+		if w < 40 {
+			w = 40
+		}
+		h = inputH
+	case "img":
+		w, h = imgW, imgH
+	case "textarea":
+		w, h = inputW, inputH*3
+	default:
+		text := n.InnerText()
+		tw := raster.StringWidth(text)
+		if tw > maxW {
+			lines := raster.WrapString(text, maxW)
+			return maxW, len(lines) * raster.LineH
+		}
+		w = tw
+		if w == 0 {
+			w = 2
+		}
+	}
+	if s.Width >= 0 {
+		w = s.Width
+	}
+	if s.Height >= 0 {
+		h = s.Height
+	}
+	if w > maxW {
+		w = maxW
+	}
+	return w, h
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

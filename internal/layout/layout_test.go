@@ -1,0 +1,223 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/raster"
+)
+
+func TestBlocksStackVertically(t *testing.T) {
+	doc := dom.Parse(`<body><div id="a">first</div><div id="b">second</div></body>`)
+	res := Compute(doc, 400)
+	a, okA := res.Box(doc.ElementByID("a"))
+	b, okB := res.Box(doc.ElementByID("b"))
+	if !okA || !okB {
+		t.Fatal("blocks not laid out")
+	}
+	if b.Y < a.Y+a.H {
+		t.Errorf("b (%v) overlaps a (%v)", b, a)
+	}
+	if res.Height <= 0 {
+		t.Error("content height not computed")
+	}
+}
+
+func TestInlineFlowAndWrap(t *testing.T) {
+	doc := dom.Parse(`<body><div><input id="i1"><input id="i2"><input id="i3"></div></body>`)
+	res := Compute(doc, 400)
+	b1, _ := res.Box(doc.ElementByID("i1"))
+	b2, _ := res.Box(doc.ElementByID("i2"))
+	b3, _ := res.Box(doc.ElementByID("i3"))
+	if b2.X <= b1.X {
+		t.Errorf("i2 should be right of i1: %v %v", b1, b2)
+	}
+	// Three 160px inputs cannot fit in 400px: the third must wrap.
+	if b3.Y <= b1.Y {
+		t.Errorf("i3 should wrap to a new row: %v vs %v", b3, b1)
+	}
+}
+
+func TestDisplayNoneExcluded(t *testing.T) {
+	doc := dom.Parse(`<body><div id="x" style="display:none"><input id="i"></div><div id="y">shown</div></body>`)
+	res := Compute(doc, 400)
+	if res.Visible(doc.ElementByID("x")) {
+		t.Error("display:none element reported visible")
+	}
+	if res.Visible(doc.ElementByID("i")) {
+		t.Error("child of display:none reported visible")
+	}
+	if !res.Visible(doc.ElementByID("y")) {
+		t.Error("normal element reported invisible")
+	}
+}
+
+func TestVisibilityHiddenOccupiesSpace(t *testing.T) {
+	doc := dom.Parse(`<body><div id="h" style="visibility:hidden">ghost</div><div id="v">real</div></body>`)
+	res := Compute(doc, 400)
+	h, _ := res.Box(doc.ElementByID("h"))
+	v, _ := res.Box(doc.ElementByID("v"))
+	if res.Visible(doc.ElementByID("h")) {
+		t.Error("hidden element reported visible")
+	}
+	if v.Y <= h.Y {
+		t.Error("hidden element should still occupy vertical space")
+	}
+}
+
+func TestHiddenInputType(t *testing.T) {
+	doc := dom.Parse(`<body><input type="hidden" id="h" name="csrf"></body>`)
+	res := Compute(doc, 400)
+	if res.Visible(doc.ElementByID("h")) {
+		t.Error("input type=hidden reported visible")
+	}
+}
+
+func TestExplicitSizes(t *testing.T) {
+	doc := dom.Parse(`<body><input id="i" style="width: 250px; height: 30px"></body>`)
+	res := Compute(doc, 400)
+	b, _ := res.Box(doc.ElementByID("i"))
+	if b.W != 250 || b.H != 30 {
+		t.Errorf("box = %v, want 250x30", b)
+	}
+}
+
+func TestWidthHeightAttributes(t *testing.T) {
+	doc := dom.Parse(`<body><img id="m" width="100" height="60" src="x"></body>`)
+	res := Compute(doc, 400)
+	b, _ := res.Box(doc.ElementByID("m"))
+	if b.W != 100 || b.H != 60 {
+		t.Errorf("img box = %v, want 100x60", b)
+	}
+}
+
+func TestParseStyleColors(t *testing.T) {
+	n := dom.NewElement("div", "style", "color: red; background-color: navy")
+	s := ParseStyle(n)
+	if s.Color != raster.Red {
+		t.Errorf("color = %v", s.Color)
+	}
+	if !s.HasBackground || s.Background != raster.Navy {
+		t.Errorf("background = %v %v", s.HasBackground, s.Background)
+	}
+}
+
+func TestParseStyleBackgroundImage(t *testing.T) {
+	cases := map[string]string{
+		`background-image: url(/bg.pxi)`:        "/bg.pxi",
+		`background-image: url('/bg.pxi')`:      "/bg.pxi",
+		`background-image: url("/a/b.pxi")`:     "/a/b.pxi",
+		`background-image: none`:                "",
+		`color:red;background-image:url(x.pxi)`: "x.pxi",
+	}
+	for style, want := range cases {
+		n := dom.NewElement("div", "style", style)
+		if got := ParseStyle(n).BackgroundImage; got != want {
+			t.Errorf("style %q -> %q, want %q", style, got, want)
+		}
+	}
+}
+
+func TestButtonSizedByLabel(t *testing.T) {
+	doc := dom.Parse(`<body><button id="short">Go</button><button id="long">Continue to the next step</button></body>`)
+	res := Compute(doc, 600)
+	s, _ := res.Box(doc.ElementByID("short"))
+	l, _ := res.Box(doc.ElementByID("long"))
+	if l.W <= s.W {
+		t.Errorf("long button (%v) should be wider than short (%v)", l, s)
+	}
+}
+
+func TestAnchorColoredBlue(t *testing.T) {
+	n := dom.NewElement("a", "href", "#")
+	if s := ParseStyle(n); s.Color != raster.Blue {
+		t.Errorf("anchor color = %v, want blue", s.Color)
+	}
+}
+
+func TestNestedFormLayout(t *testing.T) {
+	doc := dom.Parse(`<body><form id="f">
+		<div><label>Email</label><input id="e" name="email"></div>
+		<div><label>Password</label><input id="p" name="password" type="password"></div>
+		<button id="b">Sign in</button>
+	</form></body>`)
+	res := Compute(doc, 500)
+	e, _ := res.Box(doc.ElementByID("e"))
+	p, _ := res.Box(doc.ElementByID("p"))
+	b, _ := res.Box(doc.ElementByID("b"))
+	f, _ := res.Box(doc.ElementByID("f"))
+	if p.Y <= e.Y {
+		t.Error("password row should be below email row")
+	}
+	if b.Y <= p.Y {
+		t.Error("button should be below inputs")
+	}
+	for _, in := range []raster.Rect{e, p, b} {
+		if in.X < f.X || in.Y < f.Y || in.X+in.W > f.X+f.W+1 {
+			t.Errorf("child %v escapes form box %v", in, f)
+		}
+	}
+}
+
+func TestLabelLeftOfInput(t *testing.T) {
+	doc := dom.Parse(`<body><div><span id="l">Phone</span><input id="i"></div></body>`)
+	res := Compute(doc, 600)
+	l, _ := res.Box(doc.ElementByID("l"))
+	i, _ := res.Box(doc.ElementByID("i"))
+	if i.X <= l.X {
+		t.Errorf("input (%v) should be right of label (%v)", i, l)
+	}
+	if absInt(i.CenterY()-l.CenterY()) > raster.LineH {
+		t.Errorf("label and input should share a row: %v vs %v", l, i)
+	}
+}
+
+func TestInlineContainerSubtreeBoxed(t *testing.T) {
+	doc := dom.Parse(`<body><div><span id="s"><b>Bold label</b></span></div></body>`)
+	res := Compute(doc, 600)
+	s, _ := res.Box(doc.ElementByID("s"))
+	bNode := doc.ElementsByTag("b")[0]
+	b, ok := res.Box(bNode)
+	if !ok {
+		t.Fatal("nested inline element not boxed")
+	}
+	if b != s {
+		t.Errorf("nested box %v != container box %v", b, s)
+	}
+}
+
+func TestTinyViewportClamped(t *testing.T) {
+	doc := dom.Parse(`<body><div>text</div></body>`)
+	res := Compute(doc, 1)
+	if res.Width < 64 {
+		t.Errorf("viewport should clamp to >= 64, got %d", res.Width)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	doc := dom.Parse("")
+	res := Compute(doc, 400)
+	if res.Height < 1 {
+		t.Error("empty doc height must be >= 1")
+	}
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func BenchmarkCompute(b *testing.B) {
+	doc := dom.Parse(`<body><form>` +
+		`<div><label>Name</label><input></div>` +
+		`<div><label>Email</label><input></div>` +
+		`<div><label>Card number</label><input></div>` +
+		`<div><label>CVV</label><input></div>` +
+		`<button>Submit</button></form></body>`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compute(doc, 800)
+	}
+}

@@ -1,0 +1,275 @@
+// Package metrics implements the evaluation measures reported in the paper:
+// per-class precision, recall and F1 for the input-field classifier
+// (Table 6), accuracy for the terminal-page classifier (Section 5.2.3), and
+// average precision for the CAPTCHA/button/logo object detector (Table 5).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion is a multiclass confusion matrix keyed by label strings.
+type Confusion struct {
+	labels []string
+	index  map[string]int
+	// counts[i][j] is the number of samples with true label i predicted as j.
+	counts [][]int
+}
+
+// NewConfusion returns a confusion matrix over the given label set. Labels
+// encountered later via Add are appended automatically.
+func NewConfusion(labels ...string) *Confusion {
+	c := &Confusion{index: make(map[string]int)}
+	for _, l := range labels {
+		c.ensure(l)
+	}
+	return c
+}
+
+func (c *Confusion) ensure(label string) int {
+	if i, ok := c.index[label]; ok {
+		return i
+	}
+	i := len(c.labels)
+	c.labels = append(c.labels, label)
+	c.index[label] = i
+	for r := range c.counts {
+		c.counts[r] = append(c.counts[r], 0)
+	}
+	c.counts = append(c.counts, make([]int, len(c.labels)))
+	return i
+}
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(truth, pred string) {
+	ti := c.ensure(truth)
+	pi := c.ensure(pred)
+	c.counts[ti][pi]++
+}
+
+// Labels returns the label set in insertion order.
+func (c *Confusion) Labels() []string { return append([]string(nil), c.labels...) }
+
+// Total returns the number of recorded observations.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Support returns the number of observations whose true label is label.
+func (c *Confusion) Support(label string) int {
+	i, ok := c.index[label]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, v := range c.counts[i] {
+		n += v
+	}
+	return n
+}
+
+// Accuracy returns the fraction of observations predicted correctly.
+func (c *Confusion) Accuracy() float64 {
+	total, correct := 0, 0
+	for i, row := range c.counts {
+		for j, v := range row {
+			total += v
+			if i == j {
+				correct += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PRF holds precision, recall, and F1 for one class.
+type PRF struct {
+	Label     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// PerClass returns precision/recall/F1 for every label with nonzero support
+// or predictions, sorted by label.
+func (c *Confusion) PerClass() []PRF {
+	var out []PRF
+	for li, label := range c.labels {
+		tp := c.counts[li][li]
+		fn := 0
+		for j, v := range c.counts[li] {
+			if j != li {
+				fn += v
+			}
+		}
+		fp := 0
+		for i := range c.counts {
+			if i != li {
+				fp += c.counts[i][li]
+			}
+		}
+		if tp+fn+fp == 0 {
+			continue
+		}
+		p := safeDiv(tp, tp+fp)
+		r := safeDiv(tp, tp+fn)
+		f1 := 0.0
+		if p+r > 0 {
+			f1 = 2 * p * r / (p + r)
+		}
+		out = append(out, PRF{Label: label, Precision: p, Recall: r, F1: f1, Support: tp + fn})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// MacroF1 returns the unweighted mean F1 across classes with support, the
+// "average of all F1-score values" the paper reports (90% in Table 6).
+func (c *Confusion) MacroF1() float64 {
+	rows := c.PerClass()
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if r.Support > 0 {
+			sum += r.F1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func safeDiv(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Table formats the per-class results like Table 6.
+func (c *Confusion) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %7s %8s %6s\n", "Category", "Precision", "Recall", "F1-Score", "Count")
+	for _, r := range c.PerClass() {
+		if r.Support == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %9.2f %7.2f %8.2f %6d\n", r.Label, r.Precision, r.Recall, r.F1, r.Support)
+	}
+	fmt.Fprintf(&b, "%-12s %9s %7s %8.2f %6d\n", "Overall", "", "", c.MacroF1(), c.Total())
+	return b.String()
+}
+
+// Detection is one scored detector output used for average precision.
+type Detection struct {
+	Score float64
+	// TruePositive marks whether this detection matched a ground-truth box
+	// (IoU above threshold and not previously matched).
+	TruePositive bool
+}
+
+// AveragePrecision computes AP over ranked detections given the number of
+// ground-truth positives, using the standard all-points interpolation.
+func AveragePrecision(dets []Detection, numPositives int) float64 {
+	if numPositives == 0 {
+		return 0
+	}
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var precisions, recalls []float64
+	tp, fp := 0, 0
+	for _, d := range sorted {
+		if d.TruePositive {
+			tp++
+		} else {
+			fp++
+		}
+		precisions = append(precisions, float64(tp)/float64(tp+fp))
+		recalls = append(recalls, float64(tp)/float64(numPositives))
+	}
+	// Interpolate: precision at recall r is the max precision at recall>=r.
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i+1] > precisions[i] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for i := range precisions {
+		ap += (recalls[i] - prevRecall) * precisions[i]
+		prevRecall = recalls[i]
+	}
+	return ap
+}
+
+// PrecisionRecall computes detection-level precision and recall given true
+// positive, false positive, and false negative counts.
+func PrecisionRecall(tp, fp, fn int) (precision, recall float64) {
+	return safeDiv(tp, tp+fp), safeDiv(tp, tp+fn)
+}
+
+// Histogram is an ordered counter used by the figure benches.
+type Histogram struct {
+	keys   []string
+	counts map[string]int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]int)}
+}
+
+// Add increments key by n.
+func (h *Histogram) Add(key string, n int) {
+	if _, ok := h.counts[key]; !ok {
+		h.keys = append(h.keys, key)
+	}
+	h.counts[key] += n
+}
+
+// Get returns the count for key.
+func (h *Histogram) Get(key string) int { return h.counts[key] }
+
+// Keys returns keys in first-seen order.
+func (h *Histogram) Keys() []string { return append([]string(nil), h.keys...) }
+
+// SortedByCount returns (key, count) pairs in descending count order.
+func (h *Histogram) SortedByCount() []struct {
+	Key   string
+	Count int
+} {
+	out := make([]struct {
+		Key   string
+		Count int
+	}, 0, len(h.keys))
+	for _, k := range h.keys {
+		out = append(out, struct {
+			Key   string
+			Count int
+		}{k, h.counts[k]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Total returns the sum of all counts.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, v := range h.counts {
+		n += v
+	}
+	return n
+}

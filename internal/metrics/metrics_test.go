@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConfusionPerfect(t *testing.T) {
+	c := NewConfusion()
+	for i := 0; i < 10; i++ {
+		c.Add("a", "a")
+		c.Add("b", "b")
+	}
+	if !almostEq(c.Accuracy(), 1.0) {
+		t.Errorf("accuracy = %f", c.Accuracy())
+	}
+	if !almostEq(c.MacroF1(), 1.0) {
+		t.Errorf("macro F1 = %f", c.MacroF1())
+	}
+	for _, r := range c.PerClass() {
+		if !almostEq(r.Precision, 1) || !almostEq(r.Recall, 1) || !almostEq(r.F1, 1) {
+			t.Errorf("class %s: %+v", r.Label, r)
+		}
+	}
+}
+
+func TestConfusionKnownValues(t *testing.T) {
+	// Class a: 8 true, 6 predicted correctly (2 leaked to b).
+	// Class b: 4 true, all correct, plus 2 false positives from a.
+	c := NewConfusion("a", "b")
+	for i := 0; i < 6; i++ {
+		c.Add("a", "a")
+	}
+	for i := 0; i < 2; i++ {
+		c.Add("a", "b")
+	}
+	for i := 0; i < 4; i++ {
+		c.Add("b", "b")
+	}
+	rows := c.PerClass()
+	var ra, rb PRF
+	for _, r := range rows {
+		if r.Label == "a" {
+			ra = r
+		} else {
+			rb = r
+		}
+	}
+	if !almostEq(ra.Precision, 1.0) || !almostEq(ra.Recall, 0.75) {
+		t.Errorf("a: %+v", ra)
+	}
+	if !almostEq(rb.Precision, 4.0/6.0) || !almostEq(rb.Recall, 1.0) {
+		t.Errorf("b: %+v", rb)
+	}
+	if !almostEq(c.Accuracy(), 10.0/12.0) {
+		t.Errorf("accuracy = %f", c.Accuracy())
+	}
+	if c.Support("a") != 8 || c.Support("b") != 4 {
+		t.Errorf("support = %d, %d", c.Support("a"), c.Support("b"))
+	}
+	if c.Total() != 12 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestConfusionUnseenLabelsAppend(t *testing.T) {
+	c := NewConfusion()
+	c.Add("x", "y") // both new
+	c.Add("y", "y")
+	if c.Total() != 2 {
+		t.Errorf("total = %d", c.Total())
+	}
+	if len(c.Labels()) != 2 {
+		t.Errorf("labels = %v", c.Labels())
+	}
+}
+
+func TestConfusionEmptySafe(t *testing.T) {
+	c := NewConfusion()
+	if c.Accuracy() != 0 || c.MacroF1() != 0 || c.Total() != 0 {
+		t.Error("empty confusion should return zeros")
+	}
+	if c.Support("nothing") != 0 {
+		t.Error("support of unknown label should be 0")
+	}
+}
+
+func TestF1Bounds(t *testing.T) {
+	f := func(tpc, fpc, fnc uint8) bool {
+		c := NewConfusion("pos", "neg")
+		for i := 0; i < int(tpc); i++ {
+			c.Add("pos", "pos")
+		}
+		for i := 0; i < int(fpc); i++ {
+			c.Add("neg", "pos")
+		}
+		for i := 0; i < int(fnc); i++ {
+			c.Add("pos", "neg")
+		}
+		for _, r := range c.PerClass() {
+			if r.F1 < 0 || r.F1 > 1 || r.Precision < 0 || r.Precision > 1 || r.Recall < 0 || r.Recall > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	c := NewConfusion()
+	c.Add("email", "email")
+	c.Add("password", "password")
+	tbl := c.Table()
+	for _, want := range []string{"Category", "email", "password", "Overall"} {
+		if !containsStr(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	dets := []Detection{
+		{Score: 0.9, TruePositive: true},
+		{Score: 0.8, TruePositive: true},
+		{Score: 0.7, TruePositive: true},
+	}
+	if ap := AveragePrecision(dets, 3); !almostEq(ap, 1.0) {
+		t.Errorf("perfect AP = %f", ap)
+	}
+}
+
+func TestAveragePrecisionAllWrong(t *testing.T) {
+	dets := []Detection{{Score: 0.9}, {Score: 0.8}}
+	if ap := AveragePrecision(dets, 2); ap != 0 {
+		t.Errorf("all-wrong AP = %f", ap)
+	}
+}
+
+func TestAveragePrecisionKnownValue(t *testing.T) {
+	// Ranked: TP, FP, TP with 2 positives.
+	// precision at rank1 = 1 (recall .5), rank2 = .5, rank3 = 2/3 (recall 1).
+	// Interpolated: recall .5 -> max(1, .5, .667)=1; recall 1 -> 2/3.
+	// AP = .5*1 + .5*(2/3) = 0.8333...
+	dets := []Detection{
+		{Score: 0.9, TruePositive: true},
+		{Score: 0.8, TruePositive: false},
+		{Score: 0.7, TruePositive: true},
+	}
+	ap := AveragePrecision(dets, 2)
+	if !almostEq(ap, 0.5+0.5*(2.0/3.0)) {
+		t.Errorf("AP = %f, want %f", ap, 0.5+0.5*(2.0/3.0))
+	}
+}
+
+func TestAveragePrecisionMissedPositives(t *testing.T) {
+	// One TP detected of 4 positives caps recall at 0.25, so AP <= 0.25.
+	dets := []Detection{{Score: 0.9, TruePositive: true}}
+	ap := AveragePrecision(dets, 4)
+	if !almostEq(ap, 0.25) {
+		t.Errorf("AP = %f, want 0.25", ap)
+	}
+}
+
+func TestAveragePrecisionEmpty(t *testing.T) {
+	if AveragePrecision(nil, 0) != 0 {
+		t.Error("no positives should yield AP 0")
+	}
+	if AveragePrecision(nil, 5) != 0 {
+		t.Error("no detections should yield AP 0")
+	}
+}
+
+func TestAveragePrecisionBoundsProperty(t *testing.T) {
+	f := func(flags []bool, extra uint8) bool {
+		dets := make([]Detection, len(flags))
+		tps := 0
+		for i, tp := range flags {
+			dets[i] = Detection{Score: float64(len(flags) - i), TruePositive: tp}
+			if tp {
+				tps++
+			}
+		}
+		np := tps + int(extra%5)
+		if np == 0 {
+			np = 1
+		}
+		ap := AveragePrecision(dets, np)
+		return ap >= 0 && ap <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	p, r := PrecisionRecall(75, 0, 10)
+	if !almostEq(p, 1.0) {
+		t.Errorf("precision = %f", p)
+	}
+	if !almostEq(r, 75.0/85.0) {
+		t.Errorf("recall = %f", r)
+	}
+	p, r = PrecisionRecall(0, 0, 0)
+	if p != 0 || r != 0 {
+		t.Error("zero counts should be safe")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add("b", 2)
+	h.Add("a", 5)
+	h.Add("b", 3)
+	if h.Get("b") != 5 || h.Get("a") != 5 {
+		t.Errorf("counts = %d, %d", h.Get("b"), h.Get("a"))
+	}
+	if h.Total() != 10 {
+		t.Errorf("total = %d", h.Total())
+	}
+	keys := h.Keys()
+	if len(keys) != 2 || keys[0] != "b" || keys[1] != "a" {
+		t.Errorf("keys = %v", keys)
+	}
+	sorted := h.SortedByCount()
+	if len(sorted) != 2 {
+		t.Fatalf("sorted = %v", sorted)
+	}
+	// Equal counts keep first-seen order (stable).
+	if sorted[0].Key != "b" {
+		t.Errorf("stable sort violated: %v", sorted)
+	}
+}

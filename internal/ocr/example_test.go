@@ -1,0 +1,27 @@
+package ocr_test
+
+import (
+	"fmt"
+
+	"repro/internal/ocr"
+	"repro/internal/raster"
+)
+
+func ExampleEngine_Text() {
+	// A page that painted its field label into pixels instead of the DOM.
+	img := raster.New(240, 20, raster.White)
+	img.DrawString("CARD NUMBER", 4, 4, raster.Black)
+
+	fmt.Println(ocr.New().Text(img))
+	// Output: CARD NUMBER
+}
+
+func ExampleEngine_TextNear() {
+	img := raster.New(400, 60, raster.White)
+	img.DrawString("PASSWORD", 10, 20, raster.Black)
+	inputBox := raster.R(80, 16, 150, 16) // the input sits right of the label
+	img.Outline(inputBox, raster.Gray)
+
+	fmt.Println(ocr.New().TextNear(img, inputBox, 100))
+	// Output: PASSWORD
+}

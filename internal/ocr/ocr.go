@@ -1,0 +1,352 @@
+// Package ocr recognizes text in raster images, standing in for the
+// Tesseract engine in Section 4.1 of the paper. The crawler uses it to read
+// labels that exist only in the page's visual rendering — most importantly
+// the background-image trick of Figure 3, where field names are painted into
+// an image and the DOM contains anonymous input boxes.
+//
+// The recognizer segments dark-on-light text into lines and glyph cells and
+// matches each cell against the system font by Hamming distance, tolerating
+// a configurable amount of pixel noise. Like a real OCR engine it can
+// misread noisy glyphs, return partial results, and costs measurably more
+// than DOM analysis (which is why the crawler only falls back to it).
+package ocr
+
+import (
+	"strings"
+
+	"repro/internal/raster"
+)
+
+// Result is one recognized line of text with its bounding box.
+type Result struct {
+	Text string
+	Box  raster.Rect
+	// Confidence is the mean per-glyph match quality in [0, 1].
+	Confidence float64
+}
+
+// Engine recognizes text. The zero value uses sensible defaults.
+type Engine struct {
+	// MaxGlyphNoise is the number of mismatched pixels tolerated per glyph
+	// before the glyph is rejected. Default 4 (of 35 pixels).
+	MaxGlyphNoise int
+	// MinConfidence drops whole lines whose mean glyph quality is below the
+	// threshold. Default 0.5.
+	MinConfidence float64
+}
+
+// New returns an Engine with default tolerances.
+func New() *Engine {
+	return &Engine{MaxGlyphNoise: 4, MinConfidence: 0.5}
+}
+
+func (e *Engine) maxNoise() int {
+	if e.MaxGlyphNoise > 0 {
+		return e.MaxGlyphNoise
+	}
+	return 4
+}
+
+func (e *Engine) minConf() float64 {
+	if e.MinConfidence > 0 {
+		return e.MinConfidence
+	}
+	return 0.5
+}
+
+// RecognizeRegion extracts all text lines inside the given region of img.
+func (e *Engine) RecognizeRegion(img *raster.Image, region raster.Rect) []Result {
+	sub := img.Sub(region)
+	results := e.Recognize(sub)
+	for i := range results {
+		results[i].Box.X += region.X
+		results[i].Box.Y += region.Y
+	}
+	return results
+}
+
+// Recognize extracts all text lines in img.
+func (e *Engine) Recognize(img *raster.Image) []Result {
+	dark := darkMask(img)
+	var out []Result
+	for _, band := range horizontalBands(dark, img.W, img.H) {
+		if band.h < raster.GlyphH {
+			continue
+		}
+		for _, seg := range lineSegments(dark, img.W, band) {
+			text, conf := e.readSegment(dark, img.W, seg)
+			text = strings.TrimSpace(text)
+			if text == "" || conf < e.minConf() {
+				continue
+			}
+			out = append(out, Result{
+				Text:       text,
+				Box:        raster.R(seg.x, band.y, seg.w, band.h),
+				Confidence: conf,
+			})
+		}
+	}
+	return out
+}
+
+// Text returns all recognized text in img joined by newlines.
+func (e *Engine) Text(img *raster.Image) string {
+	rs := e.Recognize(img)
+	lines := make([]string, len(rs))
+	for i, r := range rs {
+		lines[i] = r.Text
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TextNear returns the text found in the region to the left of and above the
+// given box, up to dist pixels away — the two directions the paper's crawler
+// searches for input-field labels (Section 4.1 step 3).
+func (e *Engine) TextNear(img *raster.Image, box raster.Rect, dist int) string {
+	var parts []string
+	// Above: full width of the box plus margins, dist tall.
+	above := raster.R(box.X-dist/2, box.Y-dist, box.W+dist, dist)
+	for _, r := range e.RecognizeRegion(img, above) {
+		parts = append(parts, r.Text)
+	}
+	// Left: dist wide, box height plus margin.
+	left := raster.R(box.X-dist, box.Y-2, dist, box.H+4)
+	for _, r := range e.RecognizeRegion(img, left) {
+		parts = append(parts, r.Text)
+	}
+	return strings.Join(parts, " ")
+}
+
+// darkMask returns a bitmap of "ink" pixels: anything notably darker than
+// the page background.
+func darkMask(img *raster.Image) []bool {
+	mask := make([]bool, img.W*img.H)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			mask[y*img.W+x] = img.Intensity(x, y) < 128
+		}
+	}
+	return mask
+}
+
+type band struct{ y, h int }
+
+// horizontalBands finds maximal runs of rows containing at least one dark
+// pixel.
+func horizontalBands(dark []bool, w, h int) []band {
+	rowHasInk := make([]bool, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if dark[y*w+x] {
+				rowHasInk[y] = true
+				break
+			}
+		}
+	}
+	var bands []band
+	y := 0
+	for y < h {
+		if !rowHasInk[y] {
+			y++
+			continue
+		}
+		start := y
+		for y < h && rowHasInk[y] {
+			y++
+		}
+		bands = append(bands, band{start, y - start})
+	}
+	return bands
+}
+
+type segment struct {
+	x, w   int
+	y, h   int
+	gapMap map[int]bool // columns within the segment that are word gaps
+}
+
+// lineSegments splits a band into word-level segments separated by wide
+// horizontal gaps, and records intra-segment word gaps.
+func lineSegments(dark []bool, w int, b band) []segment {
+	colHasInk := make([]bool, w)
+	for x := 0; x < w; x++ {
+		for y := b.y; y < b.y+b.h; y++ {
+			if dark[y*w+x] {
+				colHasInk[x] = true
+				break
+			}
+		}
+	}
+	// A gap wider than 3 glyph advances splits segments (separate labels);
+	// narrower gaps over 1 advance are word boundaries within a segment.
+	const segGap = raster.AdvanceX * 3
+	var segs []segment
+	x := 0
+	for x < w {
+		if !colHasInk[x] {
+			x++
+			continue
+		}
+		start := x
+		gapStart := -1
+		gaps := map[int]bool{}
+		for x < w {
+			if colHasInk[x] {
+				if gapStart >= 0 {
+					gapW := x - gapStart
+					if gapW >= segGap {
+						break
+					}
+					if gapW >= raster.AdvanceX {
+						for g := gapStart; g < x; g++ {
+							gaps[g] = true
+						}
+					}
+					gapStart = -1
+				}
+				x++
+				continue
+			}
+			if gapStart < 0 {
+				gapStart = x
+			}
+			x++
+		}
+		end := x
+		if gapStart >= 0 {
+			end = gapStart
+		}
+		segs = append(segs, segment{x: start, w: end - start, y: b.y, h: b.h, gapMap: gaps})
+		if gapStart >= 0 {
+			x = gapStart
+		}
+	}
+	return segs
+}
+
+// readSegment walks a segment left to right in glyph-cell steps, matching
+// each cell against the font.
+func (e *Engine) readSegment(dark []bool, w int, seg segment) (string, float64) {
+	var b strings.Builder
+	var totalQ float64
+	var nGlyphs int
+	x := seg.x
+	end := seg.x + seg.w
+	pendingSpace := false
+	for x+raster.GlyphW <= end+1 {
+		if seg.gapMap[x] {
+			pendingSpace = true
+			x++
+			continue
+		}
+		// Extract the 5x7 cell anchored at (x, seg.y). Glyphs with blank
+		// leading columns (such as '1') make the first ink column fall to
+		// the right of the true glyph origin, so try anchoring the cell up
+		// to two pixels earlier and keep the best alignment.
+		bestR, bestDist, bestAnchor := rune(0), raster.GlyphW*raster.GlyphH+1, x
+		for dx := 0; dx <= 2; dx++ {
+			cell := extractCell(dark, w, x-dx, seg.y, seg.h)
+			if cellEmpty(cell) {
+				continue
+			}
+			r, dist := matchGlyph(cell)
+			if dist < bestDist {
+				bestR, bestDist, bestAnchor = r, dist, x-dx
+			}
+		}
+		if bestR == 0 {
+			x++
+			continue
+		}
+		if bestDist > e.maxNoise() {
+			// Unrecognizable: advance one pixel hoping to re-synchronize.
+			x++
+			continue
+		}
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+		b.WriteRune(bestR)
+		totalQ += 1 - float64(bestDist)/float64(raster.GlyphW*raster.GlyphH)
+		nGlyphs++
+		x = bestAnchor + raster.AdvanceX
+	}
+	if nGlyphs == 0 {
+		return "", 0
+	}
+	return b.String(), totalQ / float64(nGlyphs)
+}
+
+// extractCell reads a GlyphW x GlyphH window. Bands taller than GlyphH
+// anchor the window at the band top; trailing rows are ignored.
+func extractCell(dark []bool, w, x, y, h int) [raster.GlyphH][raster.GlyphW]bool {
+	var cell [raster.GlyphH][raster.GlyphW]bool
+	for gy := 0; gy < raster.GlyphH && gy < h; gy++ {
+		for gx := 0; gx < raster.GlyphW; gx++ {
+			px, py := x+gx, y+gy
+			idx := py*w + px
+			if px >= 0 && px < w && idx >= 0 && idx < len(dark) {
+				cell[gy][gx] = dark[idx]
+			}
+		}
+	}
+	return cell
+}
+
+func cellEmpty(cell [raster.GlyphH][raster.GlyphW]bool) bool {
+	for _, row := range cell {
+		for _, on := range row {
+			if on {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// glyphTable caches the font as bitmaps for matching.
+var glyphTable = buildGlyphTable()
+
+type glyphEntry struct {
+	r    rune
+	bits [raster.GlyphH][raster.GlyphW]bool
+}
+
+func buildGlyphTable() []glyphEntry {
+	var out []glyphEntry
+	for _, r := range raster.GlyphRunes() {
+		g, _ := raster.Glyph(r)
+		var bits [raster.GlyphH][raster.GlyphW]bool
+		for y := 0; y < raster.GlyphH; y++ {
+			for x := 0; x < raster.GlyphW; x++ {
+				bits[y][x] = g[y][x] == 'X'
+			}
+		}
+		out = append(out, glyphEntry{r, bits})
+	}
+	return out
+}
+
+// matchGlyph returns the best-matching rune and its Hamming distance.
+func matchGlyph(cell [raster.GlyphH][raster.GlyphW]bool) (rune, int) {
+	best := rune(0)
+	bestDist := raster.GlyphW*raster.GlyphH + 1
+	for _, g := range glyphTable {
+		d := 0
+		for y := 0; y < raster.GlyphH; y++ {
+			for x := 0; x < raster.GlyphW; x++ {
+				if cell[y][x] != g.bits[y][x] {
+					d++
+				}
+			}
+			if d >= bestDist {
+				break
+			}
+		}
+		if d < bestDist {
+			best, bestDist = g.r, d
+		}
+	}
+	return best, bestDist
+}

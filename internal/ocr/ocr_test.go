@@ -1,0 +1,222 @@
+package ocr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/raster"
+)
+
+func drawOn(w, h int, text string, x, y int) *raster.Image {
+	img := raster.New(w, h, raster.White)
+	img.DrawString(text, x, y, raster.Black)
+	return img
+}
+
+func TestRecognizeSingleWord(t *testing.T) {
+	img := drawOn(200, 20, "EMAIL", 4, 4)
+	got := New().Text(img)
+	if got != "EMAIL" {
+		t.Errorf("Text = %q, want EMAIL", got)
+	}
+}
+
+func TestRecognizeLowercaseFoldsToUpper(t *testing.T) {
+	img := drawOn(300, 20, "password", 4, 4)
+	got := New().Text(img)
+	if got != "PASSWORD" {
+		t.Errorf("Text = %q, want PASSWORD", got)
+	}
+}
+
+func TestRecognizeMultiWord(t *testing.T) {
+	img := drawOn(400, 20, "CARD NUMBER", 4, 4)
+	got := New().Text(img)
+	if got != "CARD NUMBER" {
+		t.Errorf("Text = %q, want CARD NUMBER", got)
+	}
+}
+
+func TestRecognizeDigitsAndPunct(t *testing.T) {
+	img := drawOn(400, 20, "MM/YY 123-456", 4, 4)
+	got := New().Text(img)
+	if got != "MM/YY 123-456" {
+		t.Errorf("Text = %q", got)
+	}
+}
+
+func TestRecognizeMultipleLines(t *testing.T) {
+	img := raster.New(300, 60, raster.White)
+	img.DrawString("FIRST NAME", 4, 4, raster.Black)
+	img.DrawString("LAST NAME", 4, 24, raster.Black)
+	img.DrawString("PHONE", 4, 44, raster.Black)
+	got := New().Text(img)
+	want := "FIRST NAME\nLAST NAME\nPHONE"
+	if got != want {
+		t.Errorf("Text = %q, want %q", got, want)
+	}
+}
+
+func TestRecognizeReturnsBoxes(t *testing.T) {
+	img := raster.New(300, 40, raster.White)
+	img.DrawString("HELLO", 50, 10, raster.Black)
+	rs := New().Recognize(img)
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	box := rs[0].Box
+	if box.X != 50 || box.Y != 10 {
+		t.Errorf("box origin = (%d,%d), want (50,10)", box.X, box.Y)
+	}
+	if box.W < 4*raster.AdvanceX || box.H < raster.GlyphH {
+		t.Errorf("box too small: %v", box)
+	}
+	if rs[0].Confidence < 0.9 {
+		t.Errorf("clean text confidence = %f, want >= 0.9", rs[0].Confidence)
+	}
+}
+
+func TestRecognizeEmptyImage(t *testing.T) {
+	img := raster.New(100, 100, raster.White)
+	if rs := New().Recognize(img); len(rs) != 0 {
+		t.Errorf("blank image produced %d results", len(rs))
+	}
+	solid := raster.New(50, 50, raster.Navy)
+	// A solid dark block is ink but no glyphs; must not hang or produce junk
+	// with high confidence.
+	for _, r := range New().Recognize(solid) {
+		if r.Confidence > 0.9 {
+			t.Errorf("solid block read as %q with confidence %f", r.Text, r.Confidence)
+		}
+	}
+}
+
+func TestRecognizeWithNoise(t *testing.T) {
+	img := drawOn(300, 20, "SECURITY CODE", 4, 4)
+	// Flip a few random pixels to simulate rendering noise.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 6; i++ {
+		x, y := rng.Intn(img.W), rng.Intn(img.H)
+		if img.At(x, y) == raster.White {
+			img.Set(x, y, raster.Black)
+		} else {
+			img.Set(x, y, raster.White)
+		}
+	}
+	got := New().Text(img)
+	// With noise tolerance the text should still be mostly recovered.
+	if !strings.Contains(got, "SECURITY") && !strings.Contains(got, "CODE") {
+		t.Errorf("noisy text unrecoverable: %q", got)
+	}
+}
+
+func TestRecognizeColoredText(t *testing.T) {
+	img := raster.New(200, 20, raster.White)
+	img.DrawString("SUBMIT", 4, 4, raster.Navy) // dark but not black
+	got := New().Text(img)
+	if got != "SUBMIT" {
+		t.Errorf("navy text = %q, want SUBMIT", got)
+	}
+}
+
+func TestRecognizeRegion(t *testing.T) {
+	img := raster.New(400, 100, raster.White)
+	img.DrawString("OUTSIDE", 4, 4, raster.Black)
+	img.DrawString("INSIDE", 100, 50, raster.Black)
+	rs := New().RecognizeRegion(img, raster.R(90, 40, 200, 30))
+	if len(rs) != 1 || rs[0].Text != "INSIDE" {
+		t.Fatalf("region results = %+v", rs)
+	}
+	// Box coordinates must be in full-image space.
+	if rs[0].Box.X != 100 || rs[0].Box.Y != 50 {
+		t.Errorf("region box = %v, want origin (100,50)", rs[0].Box)
+	}
+}
+
+func TestTextNearFindsLabelLeftAndAbove(t *testing.T) {
+	img := raster.New(500, 120, raster.White)
+	// Label above an input box.
+	img.DrawString("EMAIL ADDRESS", 100, 20, raster.Black)
+	inputBox := raster.R(100, 35, 150, 20)
+	img.Outline(inputBox, raster.Gray)
+	got := New().TextNear(img, inputBox, 40)
+	if !strings.Contains(got, "EMAIL ADDRESS") {
+		t.Errorf("TextNear above = %q", got)
+	}
+	// Label to the left of an input box.
+	img2 := raster.New(500, 120, raster.White)
+	img2.DrawString("PHONE", 10, 50, raster.Black)
+	box2 := raster.R(60, 48, 150, 14)
+	got2 := New().TextNear(img2, box2, 60)
+	if !strings.Contains(got2, "PHONE") {
+		t.Errorf("TextNear left = %q", got2)
+	}
+}
+
+func TestBackgroundImageScenario(t *testing.T) {
+	// The Figure 3 trick end-to-end at the raster level: labels exist only
+	// in a background image; OCR must recover them for each input position.
+	img := raster.New(600, 200, raster.White)
+	labels := []struct {
+		text string
+		y    int
+	}{
+		{"FULL NAME", 20}, {"SSN", 60}, {"CARD NUMBER", 100}, {"CVV", 140},
+	}
+	for _, l := range labels {
+		img.DrawString(l.text, 20, l.y, raster.Black)
+		img.Outline(raster.R(150, l.y-2, 180, 14), raster.Gray)
+	}
+	eng := New()
+	for _, l := range labels {
+		box := raster.R(150, l.y-2, 180, 14)
+		got := eng.TextNear(img, box, 140)
+		if !strings.Contains(got, l.text) {
+			t.Errorf("label %q not recovered near its box: got %q", l.text, got)
+		}
+	}
+}
+
+func TestSegmentationSplitsDistantLabels(t *testing.T) {
+	img := raster.New(600, 20, raster.White)
+	img.DrawString("LEFT", 4, 4, raster.Black)
+	img.DrawString("RIGHT", 300, 4, raster.Black)
+	rs := New().Recognize(img)
+	if len(rs) != 2 {
+		t.Fatalf("got %d segments, want 2: %+v", len(rs), rs)
+	}
+	if rs[0].Text != "LEFT" || rs[1].Text != "RIGHT" {
+		t.Errorf("segments = %q, %q", rs[0].Text, rs[1].Text)
+	}
+}
+
+func TestConfidenceThresholdRejects(t *testing.T) {
+	img := raster.New(100, 20, raster.White)
+	// Draw garbage blobs roughly glyph-sized.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		img.Set(4+rng.Intn(40), 4+rng.Intn(8), raster.Black)
+	}
+	e := New()
+	e.MinConfidence = 0.95
+	rs := e.Recognize(img)
+	for _, r := range rs {
+		if r.Confidence < 0.95 {
+			t.Errorf("low-confidence result leaked: %+v", r)
+		}
+	}
+}
+
+func BenchmarkRecognize(b *testing.B) {
+	img := raster.New(800, 600, raster.White)
+	for i := 0; i < 20; i++ {
+		img.DrawString("PLEASE ENTER YOUR ACCOUNT DETAILS", 10, 10+i*25, raster.Black)
+	}
+	e := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Recognize(img)
+	}
+}

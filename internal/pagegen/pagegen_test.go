@@ -1,0 +1,144 @@
+package pagegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/captcha"
+	"repro/internal/vision"
+)
+
+func TestGenerateHasRequiredAnnotations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sawCaptcha := false
+	for i := 0; i < 50; i++ {
+		ex := Generate(rng, Config{})
+		if ex.Image == nil {
+			t.Fatal("nil image")
+		}
+		classes := map[string]int{}
+		for _, an := range ex.Annotations {
+			classes[an.Class]++
+			if an.Box.Empty() {
+				t.Errorf("empty annotation box for %s", an.Class)
+			}
+			if an.Box.X < 0 || an.Box.Y < 0 ||
+				an.Box.X+an.Box.W > ex.Image.W || an.Box.Y+an.Box.H > ex.Image.H {
+				t.Errorf("annotation %s box %v outside %dx%d page",
+					an.Class, an.Box, ex.Image.W, ex.Image.H)
+			}
+		}
+		if classes[vision.ClassLogo] != 1 {
+			t.Errorf("page %d: %d logos", i, classes[vision.ClassLogo])
+		}
+		if classes[vision.ClassButton] != 1 {
+			t.Errorf("page %d: %d buttons", i, classes[vision.ClassButton])
+		}
+		for c := range classes {
+			if c != vision.ClassLogo && c != vision.ClassButton {
+				sawCaptcha = true
+			}
+		}
+	}
+	if !sawCaptcha {
+		t.Error("no page carried a CAPTCHA at default probability 0.7")
+	}
+}
+
+func TestAnnotationsDoNotOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		ex := Generate(rng, Config{})
+		for a := 0; a < len(ex.Annotations); a++ {
+			for b := a + 1; b < len(ex.Annotations); b++ {
+				if ex.Annotations[a].Box.IoU(ex.Annotations[b].Box) > 0.1 {
+					t.Errorf("annotations overlap: %+v vs %+v",
+						ex.Annotations[a], ex.Annotations[b])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSetDeterministic(t *testing.T) {
+	a := GenerateSet(5, 99, Config{})
+	b := GenerateSet(5, 99, Config{})
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatal("wrong set size")
+	}
+	for i := range a {
+		if len(a[i].Annotations) != len(b[i].Annotations) {
+			t.Fatal("sets differ under same seed")
+		}
+		for j := range a[i].Image.Pix {
+			if a[i].Image.Pix[j] != b[i].Image.Pix[j] {
+				t.Fatal("pixel data differs under same seed")
+			}
+		}
+	}
+}
+
+func TestCaptchaProbZeroAndOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	withCaptcha := 0
+	for i := 0; i < 20; i++ {
+		ex := Generate(rng, Config{CaptchaProb: 1.0})
+		for _, an := range ex.Annotations {
+			if an.Class != vision.ClassLogo && an.Class != vision.ClassButton {
+				withCaptcha++
+			}
+		}
+	}
+	if withCaptcha < 15 {
+		t.Errorf("CaptchaProb=1 yielded only %d captchas in 20 pages", withCaptcha)
+	}
+	none := 0
+	for i := 0; i < 20; i++ {
+		ex := Generate(rng, Config{CaptchaProb: -1})
+		for _, an := range ex.Annotations {
+			if an.Class != vision.ClassLogo && an.Class != vision.ClassButton {
+				none++
+			}
+		}
+	}
+	if none != 0 {
+		t.Errorf("CaptchaProb<0 still produced %d captchas", none)
+	}
+}
+
+func TestCaptchaCrops(t *testing.T) {
+	crops := CaptchaCrops(captcha.Visual1, 5, 7)
+	if len(crops) != 5 {
+		t.Fatalf("got %d crops", len(crops))
+	}
+	for _, c := range crops {
+		if c.W < 20 || c.H < 20 {
+			t.Error("degenerate crop")
+		}
+	}
+	// Deterministic under same seed.
+	again := CaptchaCrops(captcha.Visual1, 5, 7)
+	for i := range crops {
+		if crops[i].W != again[i].W || crops[i].H != again[i].H {
+			t.Error("crops not deterministic")
+		}
+	}
+}
+
+func TestTrainDetectorOnGeneratedPages(t *testing.T) {
+	// End-to-end: train on generated pages, evaluate on fresh ones — a
+	// miniature of the Table 5 protocol (10k/1k/2k in the bench).
+	train := GenerateSet(150, 1, Config{})
+	test := GenerateSet(40, 2, Config{})
+	d, err := vision.Train(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := vision.Evaluate(d, test)
+	if res.MeanAP < 0.5 {
+		t.Errorf("mean AP on generated pages = %.2f; per-class %v", res.MeanAP, res.APPerClass)
+	}
+	if res.SupportPerClass[vision.ClassButton] != 40 {
+		t.Errorf("button support = %d, want 40", res.SupportPerClass[vision.ClassButton])
+	}
+}

@@ -1,0 +1,282 @@
+// Package phishserver serves synthetic phishing sites over HTTP. A Registry
+// maps virtual hostnames to sites (plus the benign pages of legitimate
+// domains that terminal redirects land on) and implements http.Handler; the
+// companion Transport adapts the registry into an http.RoundTripper so a
+// whole crawl farm runs in-process with real net/http request/response
+// semantics and zero sockets. Individual sites can still be bound to real
+// TCP listeners via net/http/httptest for end-to-end examples.
+package phishserver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+
+	"repro/internal/faker"
+	"repro/internal/site"
+)
+
+// sessionCookie is the per-visit cookie used to track double-login state.
+const sessionCookie = "sess"
+
+// Registry routes requests by Host header to phishing sites or benign
+// legitimate-domain pages. It is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	sites  map[string]*siteHandler
+	benign map[string]bool // hosts served as benign legitimate pages
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		sites:  make(map[string]*siteHandler),
+		benign: make(map[string]bool),
+	}
+}
+
+// AddSite registers a phishing site under its Host.
+func (r *Registry) AddSite(s *site.Site) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sites[s.Host] = newSiteHandler(s)
+}
+
+// RemoveSite unregisters the site at host, releasing its session state.
+func (r *Registry) RemoveSite(host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sites, host)
+}
+
+// AddBenignHost registers a hostname served with a simple legitimate page
+// (redirect targets such as brand sites, google.com, example.com).
+func (r *Registry) AddBenignHost(host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.benign[host] = true
+}
+
+// SiteCount returns the number of registered phishing sites.
+func (r *Registry) SiteCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sites)
+}
+
+// ServeHTTP dispatches by host.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	host := req.Host
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	r.mu.RLock()
+	sh := r.sites[host]
+	benign := r.benign[host] || r.benign[stripSubdomain(host)]
+	r.mu.RUnlock()
+	switch {
+	case sh != nil:
+		sh.ServeHTTP(w, req)
+	case benign:
+		serveBenign(w, req, host)
+	default:
+		http.Error(w, "no such host", http.StatusBadGateway)
+	}
+}
+
+func stripSubdomain(host string) string {
+	parts := strings.Split(host, ".")
+	if len(parts) > 2 {
+		return strings.Join(parts[len(parts)-2:], ".")
+	}
+	return host
+}
+
+func serveBenign(w http.ResponseWriter, req *http.Request, host string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<html><head><title>%s</title></head><body>
+<div><h1>Welcome to %s</h1><p>This is the legitimate website.</p>
+<div><a href="/login">Sign in</a></div></body></html>`, host, host)
+}
+
+// siteHandler serves one phishing site, tracking per-session double-login
+// attempts.
+type siteHandler struct {
+	site *site.Site
+
+	mu       sync.Mutex
+	attempts map[string]int // session+path -> successful POST count
+	sessions uint64
+}
+
+func newSiteHandler(s *site.Site) *siteHandler {
+	return &siteHandler{site: s, attempts: make(map[string]int)}
+}
+
+// ServeHTTP routes one request within the site: pages, image resources,
+// the keylogger beacon endpoint, and form submissions.
+func (h *siteHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	sess := h.session(w, req)
+	path := req.URL.Path
+	// Keylogger beacon endpoint.
+	if path == "/k" {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	// Image resources.
+	if data, ok := h.site.Images[path]; ok {
+		w.Header().Set("Content-Type", "image/pxi")
+		w.Write(data)
+		return
+	}
+	page := h.site.PageAt(path)
+	if page == nil {
+		http.NotFound(w, req)
+		return
+	}
+	switch req.Method {
+	case http.MethodGet:
+		servePage(w, page.HTML)
+	case http.MethodPost:
+		h.handleSubmit(w, req, sess, page)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// session returns the request's session token, assigning one when absent.
+func (h *siteHandler) session(w http.ResponseWriter, req *http.Request) string {
+	if c, err := req.Cookie(sessionCookie); err == nil && c.Value != "" {
+		return c.Value
+	}
+	h.mu.Lock()
+	h.sessions++
+	v := fmt.Sprintf("s%d", h.sessions)
+	h.mu.Unlock()
+	http.SetCookie(w, &http.Cookie{Name: sessionCookie, Value: v, Path: "/"})
+	return v
+}
+
+func servePage(w http.ResponseWriter, html string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, html)
+}
+
+func (h *siteHandler) handleSubmit(w http.ResponseWriter, req *http.Request, sess string, page *site.Page) {
+	// HTTP-error termination: the data was harvested, the response is an
+	// error.
+	if page.FailStatus > 0 {
+		http.Error(w, "internal error", page.FailStatus)
+		return
+	}
+	if err := req.ParseForm(); err != nil {
+		http.Error(w, "bad form", http.StatusBadRequest)
+		return
+	}
+	// Validate: on any failure, re-serve the identical page so the
+	// crawler's DOM hash sees no progress and it retries with fresh data
+	// (Section 4.3).
+	for field, validator := range page.Validate {
+		if !validate(validator, req.PostForm.Get(field)) {
+			servePage(w, page.HTML)
+			return
+		}
+	}
+	// Double login: the first successful POST pretends the credentials
+	// were wrong.
+	if page.DoubleLoginHTML != "" {
+		key := sess + "|" + page.Path
+		h.mu.Lock()
+		h.attempts[key]++
+		first := h.attempts[key] == 1
+		h.mu.Unlock()
+		if first {
+			servePage(w, page.DoubleLoginHTML)
+			return
+		}
+	}
+	switch page.Mode {
+	case site.NextRedirect:
+		http.Redirect(w, req, page.Next, http.StatusFound)
+	case site.NextExternal:
+		http.Redirect(w, req, page.Next, http.StatusFound)
+	case site.NextInline:
+		next := h.site.PageAt(page.Next)
+		if next == nil {
+			servePage(w, page.HTML)
+			return
+		}
+		servePage(w, next.HTML)
+	default:
+		// Dead end: same page again.
+		servePage(w, page.HTML)
+	}
+}
+
+// validate applies a named validator to a value.
+func validate(name, value string) bool {
+	value = strings.TrimSpace(value)
+	switch name {
+	case site.ValidateAny:
+		return value != ""
+	case site.ValidateEmail:
+		at := strings.IndexByte(value, '@')
+		dot := strings.LastIndexByte(value, '.')
+		return at > 0 && dot > at+1 && dot < len(value)-1
+	case site.ValidateLuhn:
+		return faker.LuhnValid(strings.ReplaceAll(value, " ", ""))
+	case site.ValidateDigits:
+		if value == "" {
+			return false
+		}
+		for _, r := range value {
+			if r < '0' || r > '9' {
+				return false
+			}
+		}
+		return true
+	case site.ValidatePhone:
+		digits := 0
+		for _, r := range value {
+			if r >= '0' && r <= '9' {
+				digits++
+			}
+		}
+		return digits >= 7
+	case site.ValidateFlaky:
+		// Deterministically accept about half of all values: models forms
+		// that reject some syntactically plausible Faker data, forcing the
+		// crawler's retry loop.
+		h := fnv.New32a()
+		h.Write([]byte(value))
+		return h.Sum32()%2 == 0
+	default:
+		return true
+	}
+}
+
+// Transport adapts a Registry into an http.RoundTripper so browsers can
+// crawl the whole corpus in-process.
+type Transport struct {
+	Registry *Registry
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.Registry.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// Listen binds a single site to a real TCP listener for end-to-end runs,
+// returning the test server (close it when done). The site is served at the
+// listener's address regardless of its virtual Host.
+func Listen(s *site.Site) *httptest.Server {
+	h := newSiteHandler(s)
+	return httptest.NewServer(h)
+}

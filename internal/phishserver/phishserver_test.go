@@ -1,0 +1,246 @@
+package phishserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/site"
+)
+
+func minimalSite(host string) *site.Site {
+	return &site.Site{
+		ID: "m1", Host: host,
+		Pages: []*site.Page{
+			{Path: "/", HTML: "<html><body><form action='/'><input name='a'><button>Go</button></form></body></html>",
+				Next: "/two", Mode: site.NextRedirect},
+			{Path: "/two", HTML: "<html><body>page two</body></html>"},
+		},
+		Images: map[string][]byte{"/x.pxi": []byte("PXI1 not really")},
+	}
+}
+
+func doReq(t *testing.T, h http.Handler, method, rawURL string, form url.Values) *http.Response {
+	t.Helper()
+	var req *http.Request
+	if form != nil {
+		req = httptest.NewRequest(method, rawURL, strings.NewReader(form.Encode()))
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	} else {
+		req = httptest.NewRequest(method, rawURL, nil)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result()
+}
+
+func TestRegistryDispatchByHost(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(minimalSite("a.test"))
+	reg.AddBenignHost("google.com")
+
+	resp := doReq(t, reg, "GET", "http://a.test/", nil)
+	if resp.StatusCode != 200 {
+		t.Errorf("site status = %d", resp.StatusCode)
+	}
+	resp = doReq(t, reg, "GET", "http://google.com/anything", nil)
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "legitimate") {
+		t.Errorf("benign host: %d %q", resp.StatusCode, body)
+	}
+	// Subdomain of a benign host also resolves.
+	resp = doReq(t, reg, "GET", "http://www.google.com/", nil)
+	if resp.StatusCode != 200 {
+		t.Errorf("benign subdomain status = %d", resp.StatusCode)
+	}
+	resp = doReq(t, reg, "GET", "http://who.test/", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("unknown host status = %d", resp.StatusCode)
+	}
+	if reg.SiteCount() != 1 {
+		t.Errorf("SiteCount = %d", reg.SiteCount())
+	}
+	reg.RemoveSite("a.test")
+	if reg.SiteCount() != 0 {
+		t.Error("RemoveSite failed")
+	}
+}
+
+func TestImageServing(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(minimalSite("a.test"))
+	resp := doReq(t, reg, "GET", "http://a.test/x.pxi", nil)
+	if resp.StatusCode != 200 {
+		t.Errorf("image status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/pxi" {
+		t.Errorf("content type = %q", ct)
+	}
+	resp = doReq(t, reg, "GET", "http://a.test/missing.pxi", nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("missing image status = %d", resp.StatusCode)
+	}
+}
+
+func TestKeyloggerEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(minimalSite("a.test"))
+	resp := doReq(t, reg, "POST", "http://a.test/k", url.Values{"d": {"secret"}})
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("beacon status = %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitRedirect(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(minimalSite("a.test"))
+	resp := doReq(t, reg, "POST", "http://a.test/", url.Values{"a": {"x"}})
+	if resp.StatusCode != http.StatusFound {
+		t.Errorf("status = %d, want 302", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/two" {
+		t.Errorf("location = %q", loc)
+	}
+}
+
+func TestValidators(t *testing.T) {
+	cases := []struct {
+		validator, value string
+		want             bool
+	}{
+		{site.ValidateAny, "x", true},
+		{site.ValidateAny, "  ", false},
+		{site.ValidateEmail, "a@b.co", true},
+		{site.ValidateEmail, "a@b", false},
+		{site.ValidateEmail, "@b.co", false},
+		{site.ValidateEmail, "a@b.", false},
+		{site.ValidateLuhn, "4111111111111111", true},
+		{site.ValidateLuhn, "4111 1111 1111 1111", true},
+		{site.ValidateLuhn, "4111111111111112", false},
+		{site.ValidateDigits, "123456", true},
+		{site.ValidateDigits, "12a", false},
+		{site.ValidateDigits, "", false},
+		{site.ValidatePhone, "555-123-4567", true},
+		{site.ValidatePhone, "12345", false},
+		{"unknown-validator", "anything", true},
+	}
+	for _, c := range cases {
+		if got := validate(c.validator, c.value); got != c.want {
+			t.Errorf("validate(%s, %q) = %v, want %v", c.validator, c.value, got, c.want)
+		}
+	}
+}
+
+func TestFlakyValidatorDeterministicAndMixed(t *testing.T) {
+	acc, rej := 0, 0
+	for _, v := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		first := validate(site.ValidateFlaky, v)
+		second := validate(site.ValidateFlaky, v)
+		if first != second {
+			t.Fatal("flaky validator must be deterministic per value")
+		}
+		if first {
+			acc++
+		} else {
+			rej++
+		}
+	}
+	if acc == 0 || rej == 0 {
+		t.Errorf("flaky should accept some and reject some: %d/%d", acc, rej)
+	}
+}
+
+func TestHTTPErrorTermination(t *testing.T) {
+	s := minimalSite("a.test")
+	s.Pages[0].FailStatus = 404
+	reg := NewRegistry()
+	reg.AddSite(s)
+	resp := doReq(t, reg, "POST", "http://a.test/", url.Values{"a": {"x"}})
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDoubleLoginPerSession(t *testing.T) {
+	s := minimalSite("a.test")
+	s.Pages[0].DoubleLoginHTML = "<html><body>try again</body></html>"
+	reg := NewRegistry()
+	reg.AddSite(s)
+
+	// Session 1: first POST gets the retry page, second proceeds.
+	post := func(cookie string) (*http.Response, string) {
+		req := httptest.NewRequest("POST", "http://a.test/", strings.NewReader("a=x"))
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		if cookie != "" {
+			req.AddCookie(&http.Cookie{Name: "sess", Value: cookie})
+		}
+		rec := httptest.NewRecorder()
+		reg.ServeHTTP(rec, req)
+		resp := rec.Result()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+	resp1, body1 := post("c1")
+	if resp1.StatusCode != 200 || !strings.Contains(body1, "try again") {
+		t.Errorf("first attempt: %d %q", resp1.StatusCode, body1)
+	}
+	resp2, _ := post("c1")
+	if resp2.StatusCode != http.StatusFound {
+		t.Errorf("second attempt: %d, want 302", resp2.StatusCode)
+	}
+	// A different session starts over.
+	resp3, body3 := post("c2")
+	if resp3.StatusCode != 200 || !strings.Contains(body3, "try again") {
+		t.Errorf("new session first attempt: %d", resp3.StatusCode)
+	}
+}
+
+func TestInlineModeServesNextAtSameURL(t *testing.T) {
+	s := minimalSite("a.test")
+	s.Pages[0].Mode = site.NextInline
+	reg := NewRegistry()
+	reg.AddSite(s)
+	resp := doReq(t, reg, "POST", "http://a.test/", url.Values{"a": {"x"}})
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "page two") {
+		t.Errorf("inline mode: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestListenRealTCP(t *testing.T) {
+	srv := Listen(minimalSite("ignored.test"))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("TCP status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "form") {
+		t.Error("TCP body missing form")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(minimalSite("a.test"))
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- true }()
+			for j := 0; j < 50; j++ {
+				doReq(t, reg, "GET", "http://a.test/", nil)
+				doReq(t, reg, "POST", "http://a.test/", url.Values{"a": {"x"}})
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

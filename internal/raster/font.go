@@ -1,0 +1,194 @@
+package raster
+
+import "strings"
+
+// The bitmap font: each glyph is 5 pixels wide and 7 tall, described by 7
+// strings where 'X' marks an on pixel. Lowercase letters render with their
+// uppercase glyphs (the OCR engine therefore reads text back uppercased;
+// all downstream keyword matching is case-insensitive, so no information
+// that matters to the system is lost).
+//
+// GlyphW/GlyphH describe the glyph cell; AdvanceX/LineH include spacing.
+const (
+	GlyphW   = 5
+	GlyphH   = 7
+	AdvanceX = 6 // glyph width + 1 px gap
+	LineH    = 9 // glyph height + 2 px leading
+)
+
+var glyphs = map[rune][7]string{
+	'A':  {".XXX.", "X...X", "X...X", "XXXXX", "X...X", "X...X", "X...X"},
+	'B':  {"XXXX.", "X...X", "X...X", "XXXX.", "X...X", "X...X", "XXXX."},
+	'C':  {".XXX.", "X...X", "X....", "X....", "X....", "X...X", ".XXX."},
+	'D':  {"XXXX.", "X...X", "X...X", "X...X", "X...X", "X...X", "XXXX."},
+	'E':  {"XXXXX", "X....", "X....", "XXXX.", "X....", "X....", "XXXXX"},
+	'F':  {"XXXXX", "X....", "X....", "XXXX.", "X....", "X....", "X...."},
+	'G':  {".XXX.", "X...X", "X....", "X.XXX", "X...X", "X...X", ".XXX."},
+	'H':  {"X...X", "X...X", "X...X", "XXXXX", "X...X", "X...X", "X...X"},
+	'I':  {"XXXXX", "..X..", "..X..", "..X..", "..X..", "..X..", "XXXXX"},
+	'J':  {"..XXX", "...X.", "...X.", "...X.", "...X.", "X..X.", ".XX.."},
+	'K':  {"X...X", "X..X.", "X.X..", "XX...", "X.X..", "X..X.", "X...X"},
+	'L':  {"X....", "X....", "X....", "X....", "X....", "X....", "XXXXX"},
+	'M':  {"X...X", "XX.XX", "X.X.X", "X.X.X", "X...X", "X...X", "X...X"},
+	'N':  {"X...X", "XX..X", "X.X.X", "X..XX", "X...X", "X...X", "X...X"},
+	'O':  {".XXX.", "X...X", "X...X", "X...X", "X...X", "X...X", ".XXX."},
+	'P':  {"XXXX.", "X...X", "X...X", "XXXX.", "X....", "X....", "X...."},
+	'Q':  {".XXX.", "X...X", "X...X", "X...X", "X.X.X", "X..X.", ".XX.X"},
+	'R':  {"XXXX.", "X...X", "X...X", "XXXX.", "X.X..", "X..X.", "X...X"},
+	'S':  {".XXXX", "X....", "X....", ".XXX.", "....X", "....X", "XXXX."},
+	'T':  {"XXXXX", "..X..", "..X..", "..X..", "..X..", "..X..", "..X.."},
+	'U':  {"X...X", "X...X", "X...X", "X...X", "X...X", "X...X", ".XXX."},
+	'V':  {"X...X", "X...X", "X...X", "X...X", "X...X", ".X.X.", "..X.."},
+	'W':  {"X...X", "X...X", "X...X", "X.X.X", "X.X.X", "XX.XX", "X...X"},
+	'X':  {"X...X", "X...X", ".X.X.", "..X..", ".X.X.", "X...X", "X...X"},
+	'Y':  {"X...X", "X...X", ".X.X.", "..X..", "..X..", "..X..", "..X.."},
+	'Z':  {"XXXXX", "....X", "...X.", "..X..", ".X...", "X....", "XXXXX"},
+	'0':  {".XXX.", "X...X", "X..XX", "X.X.X", "XX..X", "X...X", ".XXX."},
+	'1':  {"..X..", ".XX..", "..X..", "..X..", "..X..", "..X..", ".XXX."},
+	'2':  {".XXX.", "X...X", "....X", "...X.", "..X..", ".X...", "XXXXX"},
+	'3':  {".XXX.", "X...X", "....X", "..XX.", "....X", "X...X", ".XXX."},
+	'4':  {"...X.", "..XX.", ".X.X.", "X..X.", "XXXXX", "...X.", "...X."},
+	'5':  {"XXXXX", "X....", "XXXX.", "....X", "....X", "X...X", ".XXX."},
+	'6':  {".XXX.", "X....", "X....", "XXXX.", "X...X", "X...X", ".XXX."},
+	'7':  {"XXXXX", "....X", "...X.", "..X..", ".X...", ".X...", ".X..."},
+	'8':  {".XXX.", "X...X", "X...X", ".XXX.", "X...X", "X...X", ".XXX."},
+	'9':  {".XXX.", "X...X", "X...X", ".XXXX", "....X", "....X", ".XXX."},
+	'.':  {".....", ".....", ".....", ".....", ".....", ".XX..", ".XX.."},
+	',':  {".....", ".....", ".....", ".....", "..X..", "..X..", ".X..."},
+	':':  {".....", ".XX..", ".XX..", ".....", ".XX..", ".XX..", "....."},
+	';':  {".....", ".XX..", ".XX..", ".....", ".XX..", "..X..", ".X..."},
+	'-':  {".....", ".....", ".....", "XXXXX", ".....", ".....", "....."},
+	'_':  {".....", ".....", ".....", ".....", ".....", ".....", "XXXXX"},
+	'/':  {"....X", "....X", "...X.", "..X..", ".X...", "X....", "X...."},
+	'\\': {"X....", "X....", ".X...", "..X..", "...X.", "....X", "....X"},
+	'@':  {".XXX.", "X...X", "X.XXX", "X.X.X", "X.XXX", "X....", ".XXXX"},
+	'?':  {".XXX.", "X...X", "....X", "...X.", "..X..", ".....", "..X.."},
+	'!':  {"..X..", "..X..", "..X..", "..X..", "..X..", ".....", "..X.."},
+	'(':  {"...X.", "..X..", ".X...", ".X...", ".X...", "..X..", "...X."},
+	')':  {".X...", "..X..", "...X.", "...X.", "...X.", "..X..", ".X..."},
+	'\'': {"..X..", "..X..", ".X...", ".....", ".....", ".....", "....."},
+	'"':  {".X.X.", ".X.X.", ".....", ".....", ".....", ".....", "....."},
+	'&':  {".XX..", "X..X.", "X..X.", ".XX..", "X.X.X", "X..X.", ".XX.X"},
+	'*':  {".....", "..X..", "X.X.X", ".XXX.", "X.X.X", "..X..", "....."},
+	'#':  {".X.X.", "XXXXX", ".X.X.", ".X.X.", ".X.X.", "XXXXX", ".X.X."},
+	'$':  {"..X..", ".XXXX", "X.X..", ".XXX.", "..X.X", "XXXX.", "..X.."},
+	'%':  {"XX..X", "XX.X.", "...X.", "..X..", ".X...", ".X.XX", "X..XX"},
+	'+':  {".....", "..X..", "..X..", "XXXXX", "..X..", "..X..", "....."},
+	'=':  {".....", ".....", "XXXXX", ".....", "XXXXX", ".....", "....."},
+	'>':  {"X....", ".X...", "..X..", "...X.", "..X..", ".X...", "X...."},
+	'<':  {"...X.", "..X..", ".X...", "X....", ".X...", "..X..", "...X."},
+	'•':  {".....", ".....", ".XXX.", ".XXX.", ".XXX.", ".....", "....."},
+}
+
+// Glyph returns the bitmap for r, uppercasing letters, and reports whether a
+// glyph exists.
+func Glyph(r rune) ([7]string, bool) {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	g, ok := glyphs[r]
+	return g, ok
+}
+
+// HasGlyph reports whether the font can draw r (after case folding).
+func HasGlyph(r rune) bool {
+	_, ok := Glyph(r)
+	return ok || r == ' '
+}
+
+// GlyphRunes returns every rune the font defines, in no particular order.
+func GlyphRunes() []rune {
+	out := make([]rune, 0, len(glyphs))
+	for r := range glyphs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// DrawGlyph draws the glyph for r with its top-left at (x, y) in color fg.
+// Unknown runes draw as a filled block so they remain visible (and OCR reads
+// them as unknown).
+func (im *Image) DrawGlyph(r rune, x, y int, fg Color) {
+	if r == ' ' {
+		return
+	}
+	g, ok := Glyph(r)
+	if !ok {
+		im.Fill(R(x, y+1, GlyphW, GlyphH-2), fg)
+		return
+	}
+	for gy := 0; gy < GlyphH; gy++ {
+		row := g[gy]
+		for gx := 0; gx < GlyphW; gx++ {
+			if row[gx] == 'X' {
+				im.Set(x+gx, y+gy, fg)
+			}
+		}
+	}
+}
+
+// DrawString draws s starting at (x, y) with the given foreground color. It
+// does not wrap; callers that need wrapping should split lines themselves.
+// The return value is the x coordinate just past the final glyph.
+func (im *Image) DrawString(s string, x, y int, fg Color) int {
+	cx := x
+	for _, r := range s {
+		im.DrawGlyph(r, cx, y, fg)
+		cx += AdvanceX
+	}
+	return cx
+}
+
+// StringWidth returns the pixel width DrawString would occupy for s.
+func StringWidth(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n * AdvanceX
+}
+
+// WrapString splits s into lines no wider than maxW pixels, breaking at
+// spaces where possible.
+func WrapString(s string, maxW int) []string {
+	if maxW < AdvanceX {
+		maxW = AdvanceX
+	}
+	perLine := maxW / AdvanceX
+	var lines []string
+	for _, paragraph := range strings.Split(s, "\n") {
+		words := strings.Fields(paragraph)
+		if len(words) == 0 {
+			lines = append(lines, "")
+			continue
+		}
+		cur := ""
+		for _, w := range words {
+			switch {
+			case cur == "" && len(w) <= perLine:
+				cur = w
+			case cur == "":
+				// A single over-long word: hard-split.
+				for len(w) > perLine {
+					lines = append(lines, w[:perLine])
+					w = w[perLine:]
+				}
+				cur = w
+			case len(cur)+1+len(w) <= perLine:
+				cur += " " + w
+			default:
+				lines = append(lines, cur)
+				cur = ""
+				for len(w) > perLine {
+					lines = append(lines, w[:perLine])
+					w = w[perLine:]
+				}
+				cur = w
+			}
+		}
+		if cur != "" {
+			lines = append(lines, cur)
+		}
+	}
+	return lines
+}

@@ -1,0 +1,347 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndFill(t *testing.T) {
+	im := New(10, 5, Gray)
+	if im.W != 10 || im.H != 5 || len(im.Pix) != 50 {
+		t.Fatalf("bad dimensions: %dx%d len %d", im.W, im.H, len(im.Pix))
+	}
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 10; x++ {
+			if im.At(x, y) != Gray {
+				t.Fatalf("pixel (%d,%d) = %v, want gray", x, y, im.At(x, y))
+			}
+		}
+	}
+	im.Fill(R(2, 1, 3, 2), Red)
+	if im.At(2, 1) != Red || im.At(4, 2) != Red {
+		t.Error("Fill did not cover rect")
+	}
+	if im.At(1, 1) != Gray || im.At(5, 1) != Gray {
+		t.Error("Fill exceeded rect")
+	}
+}
+
+func TestOutOfBoundsAccess(t *testing.T) {
+	im := New(4, 4, Black)
+	if im.At(-1, 0) != White || im.At(0, 99) != White {
+		t.Error("out-of-bounds At should return White")
+	}
+	im.Set(-1, -1, Red) // must not panic
+	im.Set(99, 99, Red)
+	im.Fill(R(-5, -5, 100, 100), Blue) // clipped fill must not panic
+	if im.At(0, 0) != Blue {
+		t.Error("clipped fill missed in-bounds pixels")
+	}
+}
+
+func TestOutline(t *testing.T) {
+	im := New(10, 10, White)
+	im.Outline(R(2, 2, 5, 5), Black)
+	if im.At(2, 2) != Black || im.At(6, 6) != Black || im.At(2, 6) != Black {
+		t.Error("outline corners missing")
+	}
+	if im.At(3, 3) != White {
+		t.Error("outline filled interior")
+	}
+}
+
+func TestBlitAndSub(t *testing.T) {
+	src := New(3, 3, Red)
+	dst := New(10, 10, White)
+	dst.Blit(src, 4, 4)
+	if dst.At(4, 4) != Red || dst.At(6, 6) != Red {
+		t.Error("blit missing")
+	}
+	if dst.At(3, 4) != White || dst.At(7, 4) != White {
+		t.Error("blit overflow")
+	}
+	sub := dst.Sub(R(4, 4, 3, 3))
+	for _, p := range sub.Pix {
+		if p != Red {
+			t.Fatal("sub extracted wrong region")
+		}
+	}
+	// Mutating sub must not affect dst.
+	sub.Set(0, 0, Green)
+	if dst.At(4, 4) != Red {
+		t.Error("Sub aliases parent pixels")
+	}
+}
+
+func TestBlitClipped(t *testing.T) {
+	src := New(5, 5, Blue)
+	dst := New(4, 4, White)
+	dst.Blit(src, 2, 2) // extends past edges; must not panic
+	if dst.At(3, 3) != Blue {
+		t.Error("clipped blit lost in-bounds pixels")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	im := New(4, 4, White)
+	im.Fill(R(0, 0, 2, 4), Red)
+	h := im.Histogram()
+	if h[Red] != 8 || h[White] != 8 {
+		t.Errorf("histogram = red %d white %d, want 8/8", h[Red], h[White])
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	im := New(20, 20, White)
+	im.Fill(R(0, 0, 10, 20), Navy)
+	th := im.Downsample(2, 1)
+	if th.At(0, 0) != Navy || th.At(1, 0) != White {
+		t.Errorf("downsample = %v %v", th.At(0, 0), th.At(1, 0))
+	}
+	// Degenerate target sizes must not panic.
+	_ = im.Downsample(1, 1)
+	empty := New(0, 0, White)
+	_ = empty.Downsample(4, 4)
+}
+
+func TestRectOps(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 10, 10)
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	inter := a.Intersect(b)
+	if inter != R(5, 5, 5, 5) {
+		t.Errorf("Intersect = %v", inter)
+	}
+	u := a.Union(b)
+	if u != R(0, 0, 15, 15) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.IoU(a); got != 1.0 {
+		t.Errorf("self IoU = %v", got)
+	}
+	c := R(100, 100, 5, 5)
+	if a.Intersects(c) || a.IoU(c) != 0 {
+		t.Error("disjoint rects should not intersect")
+	}
+	if !a.Contains(0, 0) || a.Contains(10, 10) {
+		t.Error("Contains boundary wrong (half-open)")
+	}
+	if a.CenterX() != 5 || a.CenterY() != 5 {
+		t.Error("center wrong")
+	}
+}
+
+func TestRectIoUSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := R(int(ax), int(ay), int(aw), int(ah))
+		b := R(int(bx), int(by), int(bw), int(bh))
+		iou1, iou2 := a.IoU(b), b.IoU(a)
+		if iou1 != iou2 {
+			return false
+		}
+		return iou1 >= 0 && iou1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDrawString(t *testing.T) {
+	im := New(100, 12, White)
+	end := im.DrawString("HI", 2, 2, Black)
+	if end != 2+2*AdvanceX {
+		t.Errorf("end x = %d", end)
+	}
+	// 'H' leftmost column is solid: pixels at x=2, y=2..8.
+	for y := 2; y < 2+GlyphH; y++ {
+		if im.At(2, y) != Black {
+			t.Errorf("H left stroke missing at y=%d", y)
+		}
+	}
+	// Space between glyphs stays background.
+	if im.At(2+GlyphW, 4) != White {
+		t.Error("inter-glyph gap painted")
+	}
+}
+
+func TestGlyphCoverage(t *testing.T) {
+	must := "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.,:-/@?!()&*#$%+='\""
+	for _, r := range must {
+		if !HasGlyph(r) {
+			t.Errorf("font missing glyph %q", r)
+		}
+	}
+	if !HasGlyph('a') || !HasGlyph('z') {
+		t.Error("lowercase should fold to uppercase glyphs")
+	}
+	if !HasGlyph(' ') {
+		t.Error("space must be drawable")
+	}
+}
+
+func TestGlyphsDistinct(t *testing.T) {
+	// Every pair of glyphs must differ in at least 2 pixels so OCR matching
+	// by Hamming distance is well-posed.
+	runes := GlyphRunes()
+	bitmap := func(r rune) [7]string { g, _ := Glyph(r); return g }
+	dist := func(a, b [7]string) int {
+		d := 0
+		for i := 0; i < 7; i++ {
+			for j := 0; j < 5; j++ {
+				if a[i][j] != b[i][j] {
+					d++
+				}
+			}
+		}
+		return d
+	}
+	for i := 0; i < len(runes); i++ {
+		for j := i + 1; j < len(runes); j++ {
+			if d := dist(bitmap(runes[i]), bitmap(runes[j])); d < 2 {
+				t.Errorf("glyphs %q and %q differ by only %d pixels", runes[i], runes[j], d)
+			}
+		}
+	}
+}
+
+func TestWrapString(t *testing.T) {
+	lines := WrapString("the quick brown fox jumps", 10*AdvanceX)
+	for _, l := range lines {
+		if len(l) > 10 {
+			t.Errorf("line %q exceeds 10 chars", l)
+		}
+	}
+	joined := ""
+	for _, l := range lines {
+		joined += l + " "
+	}
+	for _, w := range []string{"the", "quick", "brown", "fox", "jumps"} {
+		if !contains(lines, w) && !containsSub(joined, w) {
+			t.Errorf("word %q lost in wrap", w)
+		}
+	}
+	// Over-long word hard-splits rather than looping forever.
+	lines = WrapString("abcdefghijklmnop", 4*AdvanceX)
+	if len(lines) < 4 {
+		t.Errorf("long word should hard-split, got %v", lines)
+	}
+	// Tiny maxW must not loop or panic.
+	_ = WrapString("x y", 1)
+}
+
+func contains(list []string, s string) bool {
+	for _, l := range list {
+		if l == s {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSub(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && (stringIndex(s, sub) >= 0))
+}
+
+func stringIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		w, h := rng.Intn(60)+1, rng.Intn(40)+1
+		im := New(w, h, White)
+		for i := range im.Pix {
+			im.Pix[i] = Color(rng.Intn(int(NumColors)))
+		}
+		data := Encode(im)
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if back.W != w || back.H != h {
+			t.Fatalf("dimensions changed: %dx%d -> %dx%d", w, h, back.W, back.H)
+		}
+		for i := range im.Pix {
+			if im.Pix[i] != back.Pix[i] {
+				t.Fatal("pixel data changed in round trip")
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("not an image"),
+		[]byte("PXI1"),
+		append([]byte("PXI1"), make([]byte, 8)...), // zero dims
+	}
+	for _, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("Decode(%q) should fail", c)
+		}
+	}
+	// Truncated pixel data.
+	im := New(8, 8, Red)
+	data := Encode(im)
+	if _, err := Decode(data[:len(data)-2]); err == nil {
+		t.Error("truncated data should fail")
+	}
+}
+
+func TestDataURIRoundTrip(t *testing.T) {
+	im := New(9, 4, Teal)
+	im.DrawString("OK", 0, 0, Black)
+	uri := EncodeDataURI(im)
+	back, err := DecodeDataURI(uri)
+	if err != nil {
+		t.Fatalf("DecodeDataURI: %v", err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Error("data URI round trip changed dimensions")
+	}
+	if _, err := DecodeDataURI("data:image/png;base64,xxxx"); err == nil {
+		t.Error("wrong mime type should fail")
+	}
+}
+
+func TestParseColor(t *testing.T) {
+	if ParseColor("navy") != Navy || ParseColor("NAVY") != Navy {
+		t.Error("ParseColor navy failed")
+	}
+	if ParseColor("nonexistent") != Black {
+		t.Error("unknown color should default to black")
+	}
+	for c := Color(0); c < NumColors; c++ {
+		if ParseColor(c.String()) != c {
+			t.Errorf("round trip failed for %v", c)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	im := New(800, 600, White)
+	im.Fill(R(100, 100, 400, 300), Navy)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(im)
+	}
+}
+
+func BenchmarkDrawString(b *testing.B) {
+	im := New(800, 600, White)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		im.DrawString("Please enter your email address and password", 10, 10, Black)
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/metrics"
+	"repro/internal/vision"
+)
+
+func TestTable1Format(t *testing.T) {
+	s := analysis.Summary{SeedURLs: 108, FilteredURLs: 100, CrawledURLs: 150, CrawledSLDs: 70}
+	out := Table1(s, 100)
+	for _, want := range []string{"Seed URLs", "108", "56027", "25693", "corpus scale: 100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2IncludesPaperColumn(t *testing.T) {
+	h := metrics.NewHistogram()
+	h.Add("Financial", 42)
+	h.Add("Gaming", 3)
+	out := Table2(h, 45)
+	if !strings.Contains(out, "Financial") || !strings.Contains(out, "10053") {
+		t.Errorf("Table2 output:\n%s", out)
+	}
+}
+
+func TestTable3Average(t *testing.T) {
+	rs := []analysis.CloningResult{
+		{Brand: "Netflix", Sampled: 50, NonCloning: 13, NonClonePct: 26},
+		{Brand: "DHL Airways, Inc.", Sampled: 50, NonCloning: 6, NonClonePct: 12},
+	}
+	out := Table3(rs)
+	if !strings.Contains(out, "Average") || !strings.Contains(out, "19") {
+		t.Errorf("Table3 average missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Netflix") {
+		t.Error("brand row missing")
+	}
+}
+
+func TestTable4TopDomains(t *testing.T) {
+	tc := analysis.TerminationCounts{
+		RedirectSites:   10,
+		RedirectDomains: metrics.NewHistogram(),
+		ByCategory:      metrics.NewHistogram(),
+	}
+	tc.RedirectDomains.Add("dhl.com", 7)
+	tc.RedirectDomains.Add("google.com", 3)
+	out := Table4(tc, 100)
+	if !strings.Contains(out, "dhl.com") || !strings.Contains(out, "297") {
+		t.Errorf("Table4:\n%s", out)
+	}
+}
+
+func TestTable5PerClass(t *testing.T) {
+	res := vision.EvalResult{
+		APPerClass:      map[string]float64{"button": 0.95, "text-type1": 0.9},
+		SupportPerClass: map[string]int{"button": 40, "text-type1": 10},
+		MeanAP:          0.925,
+	}
+	out := Table5(res)
+	for _, want := range []string{"button", "95.0", "89.2", "Mean", "92.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Format(t *testing.T) {
+	conf := metrics.NewConfusion()
+	for i := 0; i < 9; i++ {
+		conf.Add("email", "email")
+	}
+	conf.Add("email", "password")
+	conf.Add("password", "password")
+	out := Table6(conf)
+	for _, want := range []string{"email", "0.90", "Overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure8Bars(t *testing.T) {
+	out := Figure8(map[int]int{2: 30, 3: 40, 4: 10, 5: 2}, 200)
+	if !strings.Contains(out, "Multi-page sites: 82") {
+		t.Errorf("Figure8 total wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "3 pages:") || !strings.Contains(out, "#") {
+		t.Errorf("Figure8 bars missing:\n%s", out)
+	}
+}
+
+func TestFigure9Stages(t *testing.T) {
+	rows := []analysis.StageField{
+		{Stage: 1, Type: "password", Pct: 80},
+		{Stage: 2, Type: "card", Pct: 60},
+	}
+	out := Figure9(rows)
+	if !strings.Contains(out, "Page_1") || !strings.Contains(out, "password") {
+		t.Errorf("Figure9:\n%s", out)
+	}
+	if !strings.Contains(out, "Page_2") || !strings.Contains(out, "card") {
+		t.Errorf("Figure9:\n%s", out)
+	}
+}
+
+func TestSectionRates(t *testing.T) {
+	tc := analysis.TerminationCounts{
+		RedirectDomains: metrics.NewHistogram(),
+		ByCategory:      metrics.NewHistogram(),
+	}
+	tc.ByCategory.Add("success", 5)
+	out := SectionRates(
+		analysis.ObfuscationRates{OCRRate: 0.27, VisualSubmitRate: 0.12},
+		analysis.KeyloggingCounts{Monitoring: 100, ImmediateRequest: 4, DataExfiltrated: 1},
+		3,
+		analysis.ClickThroughCounts{Total: 10, FirstPage: 9, Internal: 1},
+		analysis.CaptchaCounts{Total: 8, Recaptcha: 5, Hcaptcha: 2},
+		analysis.TwoFactorCounts{CodeFieldSites: 30, OTPSites: 4},
+		tc, 500)
+	for _, want := range []string{"27.0% | 27%", "12.0% | 12%", "18,745", "2,933", "8,893"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SectionRates missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+func TestMarshalExtractRoundTrip(t *testing.T) {
+	b := Behavior{
+		Listeners: []Listener{
+			{Target: "input", Event: "keydown", Action: ActionStore},
+			{Target: "input", Event: "keydown", Action: ActionSendData, Endpoint: "/steal"},
+		},
+		Swaps: []Swap{{TriggerID: "next", HTML: "<div>step 2</div>"}},
+		ClickZones: []ClickZone{
+			{X: 10, Y: 20, W: 80, H: 18, Action: "submit", FormID: "f1"},
+		},
+	}
+	tag, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tag, BehaviorType) {
+		t.Errorf("marshalled tag missing type: %s", tag)
+	}
+	doc := dom.Parse("<html><body>" + tag + "<input></body></html>")
+	got, err := Extract(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Listeners) != 2 || got.Listeners[1].Endpoint != "/steal" {
+		t.Errorf("listeners = %+v", got.Listeners)
+	}
+	if len(got.Swaps) != 1 || got.Swaps[0].TriggerID != "next" {
+		t.Errorf("swaps = %+v", got.Swaps)
+	}
+	if len(got.ClickZones) != 1 || got.ClickZones[0].W != 80 {
+		t.Errorf("clickzones = %+v", got.ClickZones)
+	}
+}
+
+func TestExtractNoBehavior(t *testing.T) {
+	doc := dom.Parse(`<html><body><script src="app.js"></script></body></html>`)
+	b, err := Extract(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Empty() {
+		t.Errorf("expected empty behavior, got %+v", b)
+	}
+}
+
+func TestExtractMalformed(t *testing.T) {
+	doc := dom.Parse(`<script type="application/x-behavior">{not json</script>`)
+	if _, err := Extract(doc); err == nil {
+		t.Error("malformed behavior should error")
+	}
+}
+
+func TestKeyloggerTier(t *testing.T) {
+	cases := []struct {
+		b    Behavior
+		want int
+	}{
+		{Behavior{}, 0},
+		{Behavior{Listeners: []Listener{{Target: "input", Event: "keydown", Action: ActionStore}}}, 1},
+		{Behavior{Listeners: []Listener{{Target: "input", Event: "keydown", Action: ActionSend}}}, 2},
+		{Behavior{Listeners: []Listener{{Target: "input", Event: "keydown", Action: ActionSendData}}}, 3},
+		// Strongest wins.
+		{Behavior{Listeners: []Listener{
+			{Target: "input", Event: "keydown", Action: ActionStore},
+			{Target: "input", Event: "keydown", Action: ActionSendData},
+		}}, 3},
+		// Non-keydown listeners don't count.
+		{Behavior{Listeners: []Listener{{Target: "button", Event: "click", Action: ActionSendData}}}, 0},
+	}
+	for i, c := range cases {
+		if got := c.b.KeyloggerTier(); got != c.want {
+			t.Errorf("case %d: tier = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSwapFor(t *testing.T) {
+	b := Behavior{Swaps: []Swap{{TriggerID: "go", HTML: "<p>x</p>"}}}
+	if _, ok := b.SwapFor("go"); !ok {
+		t.Error("SwapFor(go) not found")
+	}
+	if _, ok := b.SwapFor("other"); ok {
+		t.Error("SwapFor(other) should miss")
+	}
+}
+
+func TestZoneAt(t *testing.T) {
+	b := Behavior{ClickZones: []ClickZone{{X: 10, Y: 10, W: 20, H: 10, Action: "submit"}}}
+	if _, ok := b.ZoneAt(15, 15); !ok {
+		t.Error("point inside zone not found")
+	}
+	if _, ok := b.ZoneAt(9, 15); ok {
+		t.Error("point outside zone matched")
+	}
+	if _, ok := b.ZoneAt(30, 15); ok {
+		t.Error("right edge should be exclusive")
+	}
+}
+
+func TestExternalScripts(t *testing.T) {
+	doc := dom.Parse(`<html><head>
+		<script src="https://www.google.com/recaptcha/api.js"></script>
+		<script>inline();</script>
+		<script src="/local.js"></script>
+	</head><body></body></html>`)
+	got := ExternalScripts(doc)
+	if len(got) != 2 {
+		t.Fatalf("got %d scripts: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "recaptcha") {
+		t.Errorf("scripts = %v", got)
+	}
+}

@@ -1,0 +1,79 @@
+// Package sessionio persists crawl-session logs as JSON Lines, one session
+// per line, the storage format the measurement pipeline uses between its
+// crawl and analysis halves (the paper crawls for 43 days and analyzes the
+// accumulated logs afterwards; this is the accumulation). Logs round-trip
+// losslessly, so an analysis can be re-run — or a new analysis written —
+// without re-crawling.
+package sessionio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/crawler"
+)
+
+// Write streams the sessions to w as JSON Lines.
+func Write(w io.Writer, logs []*crawler.SessionLog) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, l := range logs {
+		if l == nil {
+			continue
+		}
+		if err := enc.Encode(l); err != nil {
+			return fmt.Errorf("sessionio: encoding session %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads all sessions from r.
+func Read(r io.Reader) ([]*crawler.SessionLog, error) {
+	var out []*crawler.SessionLog
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		data := sc.Bytes()
+		if len(data) == 0 {
+			continue
+		}
+		var l crawler.SessionLog
+		if err := json.Unmarshal(data, &l); err != nil {
+			return nil, fmt.Errorf("sessionio: line %d: %w", line, err)
+		}
+		out = append(out, &l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sessionio: reading: %w", err)
+	}
+	return out, nil
+}
+
+// WriteFile writes the sessions to path.
+func WriteFile(path string, logs []*crawler.SessionLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sessionio: %w", err)
+	}
+	defer f.Close()
+	if err := Write(f, logs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads sessions from path.
+func ReadFile(path string) ([]*crawler.SessionLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sessionio: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,119 @@
+package sessionio
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/crawler"
+	"repro/internal/fieldspec"
+	"repro/internal/phash"
+	"repro/internal/script"
+)
+
+func sampleLogs() []*crawler.SessionLog {
+	return []*crawler.SessionLog{
+		{
+			SiteID: "site-1", SeedURL: "http://a.test/", Brand: "Netflix",
+			Category: "Online/Cloud Service", CampaignID: "camp-1",
+			Outcome: crawler.OutcomeCompleted,
+			Pages: []crawler.PageLog{
+				{
+					Index: 0, URL: "http://a.test/", Host: "a.test", Status: 200,
+					Title: "Sign in", Text: "please sign in", DOMHash: "abc",
+					PHash: phash.Hash{1, 2, 3, 4},
+					Fields: []crawler.FieldLog{
+						{Description: "email address", Label: fieldspec.Email, Confidence: 0.97, Value: "x@y.zz"},
+					},
+					SubmitMethod: crawler.SubmitEnter, DataAttempts: 1,
+					Listeners:  []script.Listener{{Target: "input", Event: "keydown", Action: "store"}},
+					ScriptSrcs: []string{"https://js.hcaptcha.com/1/api.js"},
+				},
+				{Index: 1, URL: "http://a.test/done", Host: "a.test", Status: 200, Text: "congratulations"},
+			},
+			NetLog: []browser.NetRequest{
+				{Method: "GET", URL: "http://a.test/", Status: 200, Kind: "document"},
+				{Method: "POST", URL: "http://a.test/k", Status: 204, Kind: "beacon", CarriedData: []string{"x@y.zz"}},
+			},
+		},
+		{SiteID: "site-2", SeedURL: "http://b.test/", Outcome: crawler.OutcomeStuck},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	logs := sampleLogs()
+	var buf bytes.Buffer
+	if err := Write(&buf, logs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("lines = %d, want 2", got)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d sessions", len(back))
+	}
+	if !reflect.DeepEqual(logs[0], back[0]) {
+		t.Errorf("round trip changed session:\n%+v\nvs\n%+v", logs[0], back[0])
+	}
+	if back[1].Outcome != crawler.OutcomeStuck {
+		t.Errorf("session 2 = %+v", back[1])
+	}
+}
+
+func TestNilSessionsSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []*crawler.SessionLog{nil, {SiteID: "x"}, nil}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].SiteID != "x" {
+		t.Errorf("back = %+v", back)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line should fail")
+	}
+	// Empty input is fine.
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %d", err, len(got))
+	}
+	// Blank lines are skipped.
+	got, err = Read(strings.NewReader("\n\n{\"SiteID\":\"a\"}\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Errorf("blank lines: %v, %d", err, len(got))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "logs.jsonl")
+	logs := sampleLogs()
+	if err := WriteFile(path, logs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(logs) {
+		t.Fatalf("read %d sessions", len(back))
+	}
+	if back[0].Pages[0].Fields[0].Label != fieldspec.Email {
+		t.Error("field label lost in file round trip")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,43 @@
+package site
+
+import "testing"
+
+func sample() *Site {
+	return &Site{
+		ID: "s1", Host: "h.test",
+		Pages: []*Page{
+			{Path: "/"},
+			{Path: "/s2"},
+			{Path: "/s3"},
+		},
+	}
+}
+
+func TestSeedURL(t *testing.T) {
+	if got := sample().SeedURL(); got != "http://h.test/" {
+		t.Errorf("SeedURL = %q", got)
+	}
+}
+
+func TestPageAt(t *testing.T) {
+	s := sample()
+	if p := s.PageAt("/s2"); p == nil || p.Path != "/s2" {
+		t.Errorf("PageAt(/s2) = %v", p)
+	}
+	if p := s.PageAt("/nope"); p != nil {
+		t.Errorf("PageAt(/nope) = %v", p)
+	}
+}
+
+func TestPageIndex(t *testing.T) {
+	s := sample()
+	if i := s.PageIndex("/"); i != 0 {
+		t.Errorf("index / = %d", i)
+	}
+	if i := s.PageIndex("/s3"); i != 2 {
+		t.Errorf("index /s3 = %d", i)
+	}
+	if i := s.PageIndex("/x"); i != -1 {
+		t.Errorf("index /x = %d", i)
+	}
+}

@@ -1,0 +1,501 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/brands"
+	"repro/internal/browser"
+	"repro/internal/captcha"
+	"repro/internal/dom"
+	"repro/internal/fieldspec"
+	"repro/internal/layout"
+	"repro/internal/raster"
+	"repro/internal/script"
+	"repro/internal/site"
+)
+
+// design captures the campaign-level visual and structural choices shared
+// by every site deployed from the same kit.
+type design struct {
+	brand     brands.Brand
+	clone     bool
+	labelMode string // "label", "placeholder", "attr"
+	buttonTxt string
+	// submitStyle: "button" (normal), "formless" (no form, clickzone only),
+	// "noButton" (form without button: programmatic submit needed).
+	submitStyle   string
+	keyloggerTier int
+	headline      string
+	awarenessOrg  string // for awareness terminal pages
+	// lang is the label language of the kit's pages (Section 6 extension).
+	lang fieldspec.Lang
+}
+
+var buttonTexts = []string{"Sign in", "Next", "Continue", "Submit", "Verify", "Log in", "Confirm"}
+
+var headlines = []string{
+	"Verify your account to continue",
+	"Your mailbox storage is almost full",
+	"A document has been shared with you",
+	"Unusual sign-in activity detected",
+	"Confirm your details to receive your package",
+	"Your subscription payment failed",
+	"Update your billing information",
+	"Your account has been limited",
+}
+
+// SuccessMessages are the terminal texts of the success category
+// (Section 5.2.3). Exported so the terminal-page classifier's training data
+// shares the same vocabulary distribution as the corpus.
+var SuccessMessages = []string{
+	"Congratulations! Your account has been verified successfully.",
+	"Thank you. Your information has been submitted and your account is now secure.",
+	"Success! Your identity has been confirmed. You may now close this window.",
+	"All done. Your subscription has been reactivated, thank you for your patience.",
+	"Verification complete. Your details were updated successfully.",
+	"Thank you for confirming your information. Your package will be delivered shortly.",
+}
+
+// ErrorMessages are the custom-error terminal texts.
+var ErrorMessages = []string{
+	"An error occurred while processing your request. Please try again later.",
+	"Service temporarily unavailable. Our team is working to restore access.",
+	"Your session has expired. Please restart the verification process.",
+	"We could not process your submission at this time due to a technical problem.",
+	"Request failed. The server encountered an unexpected condition.",
+}
+
+// AwarenessMessages are fake phishing-awareness/training terminal texts
+// (Figure 4); the organization placeholder is substituted per campaign.
+var AwarenessMessages = []string{
+	"You fell for a %s phishing simulation. Don't worry, your computer is safe!",
+	"This was a %s security awareness test. Your data was not stolen and you are safe.",
+	"Don't worry! This is a phishing training exercise run by %s. No information was collected.",
+	"Gotcha! %s security team ran this simulation. Remember to check links before clicking.",
+}
+
+// OtherTerminalMessages are terminal texts that fit none of the categories.
+var OtherTerminalMessages = []string{
+	"Loading, please wait while we redirect you.",
+	"Processing. Do not refresh this page.",
+	"Page under maintenance.",
+	"Please wait.",
+}
+
+// otpLabels label Code fields; the first group reads as 2FA/OTP (counted in
+// Section 5.3.3), the second as generic codes.
+var otpLabels = []string{
+	"An OTP has been sent to the registered mobile number via SMS",
+	"Enter the 2FA verification code we sent by SMS",
+	"Enter the one time password sent to your phone",
+	"2-step verification code sent via text message",
+}
+
+var genericCodeLabels = []string{
+	"Enter your confirmation code",
+	"Access code",
+	"Enter the code to continue",
+	"Confirmation code from your statement",
+}
+
+// pageBuilder assembles one page's HTML and image resources.
+type pageBuilder struct {
+	d      *design
+	rng    *rand.Rand
+	images map[string][]byte
+	imgSeq int
+}
+
+func newPageBuilder(d *design, rng *rand.Rand, images map[string][]byte) *pageBuilder {
+	return &pageBuilder{d: d, rng: rng, images: images}
+}
+
+func (pb *pageBuilder) addImage(img *raster.Image) string {
+	pb.imgSeq++
+	path := fmt.Sprintf("/img%d.pxi", pb.imgSeq)
+	pb.images[path] = raster.Encode(img)
+	return path
+}
+
+// header returns the page header markup: cloned brand banner or generic
+// logo.
+func (pb *pageBuilder) header() string {
+	b := pb.d.brand
+	if pb.d.clone {
+		// Cloning kits paste a capture of the legitimate site and overlay
+		// their form on top of it; the banner is part of that capture, so
+		// no separate header is emitted here (see clonePage).
+		return ""
+	}
+	logo := b.DrawLogo(pb.rng)
+	path := pb.addImage(logo)
+	return fmt.Sprintf(`<div><img src="%s" width="%d" height="%d"></div><h2>%s</h2>`,
+		path, logo.W, logo.H, dom.Escape(pb.d.headline))
+}
+
+// fieldRow renders one input row according to the design's label mode.
+// Returns the row HTML, the field's form name, and its display label.
+func (pb *pageBuilder) fieldRow(t fieldspec.Type, idx int) (html, name, label string) {
+	label = fieldspec.PhraseAtLang(pb.lang(), t, pb.rng.Intn(1<<20))
+	name = fieldNameFor(t, pb.rng)
+	typeAttr := ""
+	switch t {
+	case fieldspec.Password:
+		typeAttr = ` type="password"`
+	case fieldspec.Email:
+		if pb.rng.Intn(2) == 0 {
+			typeAttr = ` type="email"`
+		}
+	}
+	if t == fieldspec.State && pb.rng.Intn(2) == 0 {
+		return fmt.Sprintf(`<div><label>%s</label><select name="%s"><option>Alabama</option><option>Alaska</option><option>Arizona</option></select></div>`,
+			dom.Escape(strings.Title(label)), name), name, label
+	}
+	switch pb.d.labelMode {
+	case "placeholder":
+		return fmt.Sprintf(`<div><input name="%s" placeholder="%s"%s></div>`,
+			name, dom.Escape(label), typeAttr), name, label
+	case "attr":
+		// The identifier itself carries the signal; no visible label.
+		attrName := strings.ReplaceAll(label, " ", "_")
+		return fmt.Sprintf(`<div><input name="%s" id="%s"%s></div>`,
+			attrName, attrName, typeAttr), attrName, label
+	default: // "label"
+		return fmt.Sprintf(`<div><label>%s</label><input name="%s"%s></div>`,
+			dom.Escape(strings.Title(label)), name, typeAttr), name, label
+	}
+}
+
+func fieldNameFor(t fieldspec.Type, rng *rand.Rand) string {
+	if rng.Intn(2) == 0 {
+		return fmt.Sprintf("f%d", rng.Intn(1000))
+	}
+	return string(t)
+}
+
+// keyloggerScript returns the behaviour script for the design's keylogger
+// tier, or "".
+func (pb *pageBuilder) keyloggerScript() string {
+	var action string
+	switch pb.d.keyloggerTier {
+	case 1:
+		action = script.ActionStore
+	case 2:
+		action = script.ActionSend
+	case 3:
+		action = script.ActionSendData
+	default:
+		return ""
+	}
+	b := script.Behavior{Listeners: []script.Listener{
+		{Target: "input", Event: "keydown", Action: action},
+	}}
+	tag, err := b.Marshal()
+	if err != nil {
+		return ""
+	}
+	return tag
+}
+
+// wrapPage produces the final HTML document.
+func wrapPage(title, headScript, body string) string {
+	return fmt.Sprintf(`<html><head><title>%s</title>%s</head><body>%s</body></html>`,
+		dom.Escape(title), headScript, body)
+}
+
+// dataPageSpec describes a data-stealing page to build.
+type dataPageSpec struct {
+	fields   []fieldspec.Type
+	otpStyle bool // Code fields labelled as OTP/SMS
+	ocr      bool // labels only in a background image
+	withErr  bool // include an error banner (double-login retry variant)
+	clone    bool // overlay the form on a capture of the legit site
+	consent  bool // require an "I agree" checkbox to be ticked
+}
+
+// buildDataPage renders a data page and returns its HTML plus the display
+// labels per field. The spec's clone, ocr, and submit-style dimensions
+// compose: a cloned page can also hide its labels in the background capture
+// (the Figure 3 USAA page is exactly that) and can also omit standard
+// submit controls.
+func (pb *pageBuilder) buildDataPage(spec dataPageSpec, actionPath string) (string, []string) {
+	// 1. Rows and labels.
+	var rows []string
+	var labels []string
+	for i, t := range spec.fields {
+		var rowHTML, label string
+		switch {
+		case spec.ocr:
+			label = pb.labelFor(t, spec.otpStyle)
+			rowHTML = fmt.Sprintf(`<div><span style="width:160px"> </span><input name="f%d"></div>`, i)
+		case t == fieldspec.Code:
+			rowHTML, _, label = pb.codeRow(spec.otpStyle, i)
+		default:
+			rowHTML, _, label = pb.fieldRow(t, i)
+		}
+		rows = append(rows, rowHTML)
+		labels = append(labels, label)
+	}
+
+	// Consent checkbox: many sign-up style pages gate submission on an
+	// "I agree" tick; the crawler must check it like a user would.
+	if spec.consent {
+		rows = append(rows, `<div><input type="checkbox" name="agree"><span>I agree to the terms of service</span></div>`)
+	}
+
+	// 2. Form / submit machinery.
+	var formHTML string
+	formless := pb.d.submitStyle == "formless"
+	switch pb.d.submitStyle {
+	case "formless":
+		formHTML = strings.Join(rows, "") +
+			`<canvas data-label="` + dom.Escape(pb.d.buttonTxt) + `" width="90" height="18"></canvas>`
+	case "noButton":
+		formHTML = fmt.Sprintf(`<form action="%s">%s</form>`, actionPath, strings.Join(rows, ""))
+	default:
+		formHTML = fmt.Sprintf(`<form action="%s">%s<button>%s</button></form>`,
+			actionPath, strings.Join(rows, ""), dom.Escape(pb.d.buttonTxt))
+	}
+
+	// 3. Page body: cloned capture background, OCR background, or plain.
+	errBanner := ""
+	if spec.withErr {
+		errBanner = `<div class="error">Password invalid! Please check your credentials and try again.</div>`
+	}
+	var inner string
+	needsBG := spec.ocr || spec.clone
+	switch {
+	case spec.clone:
+		spacer := fmt.Sprintf(`<div style="height:%dpx"> </div>`, 90+pb.rng.Intn(30))
+		inner = errBanner + fmt.Sprintf(
+			`<div id="bgwrap" style="background-image:url(BGPATH); width:480px; height:360px">%s%s</div>`,
+			spacer, formHTML)
+	case spec.ocr:
+		inner = pb.header() + errBanner +
+			`<div id="bgwrap" style="background-image:url(BGPATH)">` + formHTML + `</div>`
+	default:
+		inner = pb.header() + errBanner + formHTML
+	}
+
+	// 4. Second pass: resolve geometry-dependent resources (background
+	// labels and click zones) against the real layout.
+	probeHTML := strings.Replace(inner, "BGPATH", "/none.pxi", 1)
+	probe := dom.Parse("<html><body>" + probeHTML + "</body></html>")
+	lay := layout.Compute(probe, browser.ViewportWidth)
+
+	headScript := pb.keyloggerScript()
+	if formless {
+		zones := pb.zoneForCanvas(probe, lay)
+		b := script.Behavior{Listeners: pb.keyloggerListeners(), ClickZones: zones}
+		if tag, err := b.Marshal(); err == nil {
+			headScript = tag
+		}
+	}
+	if needsBG {
+		var wrapBox raster.Rect
+		if w := probe.ElementByID("bgwrap"); w != nil {
+			wrapBox, _ = lay.Box(w)
+		}
+		var bg *raster.Image
+		if spec.clone {
+			bg = pb.d.brand.LegitScreenshot()
+			bg.DrawString(fmt.Sprintf("%02d", pb.rng.Intn(100)), bg.W-18, bg.H-12, raster.LightGray)
+		} else {
+			bg = raster.New(maxInt(wrapBox.W, 40), maxInt(wrapBox.H, 30), raster.White)
+		}
+		if spec.ocr {
+			pb.drawBGLabels(bg, probe, lay, wrapBox, labels)
+		}
+		path := pb.addImage(bg)
+		inner = strings.Replace(inner, "BGPATH", path, 1)
+	}
+	return wrapPage(pb.d.brand.Name, headScript, inner), labels
+}
+
+// labelFor returns the display phrase for a field type.
+func (pb *pageBuilder) labelFor(t fieldspec.Type, otp bool) string {
+	if t == fieldspec.Code {
+		if otp {
+			return otpLabels[pb.rng.Intn(len(otpLabels))]
+		}
+		return genericCodeLabels[pb.rng.Intn(len(genericCodeLabels))]
+	}
+	return fieldspec.PhraseAtLang(pb.lang(), t, pb.rng.Intn(1<<20))
+}
+
+// lang returns the design's label language, defaulting to English.
+func (pb *pageBuilder) lang() fieldspec.Lang {
+	if pb.d.lang == "" {
+		return fieldspec.LangEN
+	}
+	return pb.d.lang
+}
+
+// zoneForCanvas returns the click zone covering the probe's canvas element.
+func (pb *pageBuilder) zoneForCanvas(probe *dom.Node, lay *layout.Result) []script.ClickZone {
+	cv := probe.ElementsByTag("canvas")
+	if len(cv) != 1 {
+		return nil
+	}
+	box, ok := lay.Box(cv[0])
+	if !ok {
+		return nil
+	}
+	return []script.ClickZone{{X: box.X, Y: box.Y, W: box.W, H: box.H, Action: "submit"}}
+}
+
+// drawBGLabels paints each field's label into the background image beside
+// its input box.
+func (pb *pageBuilder) drawBGLabels(bg *raster.Image, probe *dom.Node, lay *layout.Result, wrapBox raster.Rect, labels []string) {
+	inputs := probe.ElementsByTag("input")
+	for i, in := range inputs {
+		if i >= len(labels) {
+			break
+		}
+		box, ok := lay.Box(in)
+		if !ok {
+			continue
+		}
+		text := strings.ToUpper(labels[i])
+		x := box.X - wrapBox.X - raster.StringWidth(text) - 10
+		if x < 0 {
+			x = 0
+		}
+		y := box.Y - wrapBox.Y + 3
+		// Clear the strip first so clone captures stay readable underneath.
+		bg.Fill(raster.R(x-2, y-2, raster.StringWidth(text)+4, raster.GlyphH+4), raster.White)
+		bg.DrawString(text, x, y, raster.Black)
+	}
+}
+
+func (pb *pageBuilder) codeRow(otp bool, idx int) (html, name, label string) {
+	if otp {
+		label = otpLabels[pb.rng.Intn(len(otpLabels))]
+	} else {
+		label = genericCodeLabels[pb.rng.Intn(len(genericCodeLabels))]
+	}
+	name = fmt.Sprintf("code%d", idx)
+	return fmt.Sprintf(`<div><span>%s</span><input name="%s"></div>`,
+		dom.Escape(label), name), name, label
+}
+
+func (pb *pageBuilder) keyloggerListeners() []script.Listener {
+	var action string
+	switch pb.d.keyloggerTier {
+	case 1:
+		action = script.ActionStore
+	case 2:
+		action = script.ActionSend
+	case 3:
+		action = script.ActionSendData
+	default:
+		return nil
+	}
+	return []script.Listener{{Target: "input", Event: "keydown", Action: action}}
+}
+
+// cloneWrap overlays page content on a capture of the brand's legitimate
+// site when the campaign clones the brand; kits that clone do so on every
+// page, including verification pages.
+func (pb *pageBuilder) cloneWrap(inner string) string {
+	if !pb.d.clone {
+		return inner
+	}
+	shot := pb.d.brand.LegitScreenshot()
+	shot.DrawString(fmt.Sprintf("%02d", pb.rng.Intn(100)), shot.W-18, shot.H-12, raster.LightGray)
+	path := pb.addImage(shot)
+	return fmt.Sprintf(
+		`<div style="background-image:url(%s); width:480px; height:360px">`+
+			`<div style="height:%dpx"> </div>%s</div>`,
+		path, 80+pb.rng.Intn(40), inner)
+}
+
+// buildClickThroughPage renders an input-less page with a single advance
+// control.
+func (pb *pageBuilder) buildClickThroughPage(nextPath string) string {
+	msg := headlines[pb.rng.Intn(len(headlines))]
+	var control string
+	switch pb.rng.Intn(3) {
+	case 0:
+		control = fmt.Sprintf(`<a class="btn" href="%s">Next</a>`, nextPath)
+	case 1:
+		control = fmt.Sprintf(`<a href="%s">Continue</a>`, nextPath)
+	default:
+		control = fmt.Sprintf(`<button id="go" type="button" data-href="%s">Proceed</button>`, nextPath)
+	}
+	body := pb.header() + pb.cloneWrap(fmt.Sprintf(`<div><p>%s</p></div>%s`, dom.Escape(msg), control))
+	return wrapPage(pb.d.brand.Name, "", body)
+}
+
+// buildCaptchaPage renders a user-verification page. For known providers it
+// embeds the provider's script and a checkbox widget that a click passes;
+// custom text CAPTCHAs demand the challenge string (which blocks the
+// crawler); custom visual CAPTCHAs present a tile grid with a pass-through
+// button.
+func (pb *pageBuilder) buildCaptchaPage(provider captcha.Provider, kind captcha.Kind, selfPath, nextPath string) (html string, validate map[string]string) {
+	switch provider {
+	case captcha.ProviderRecaptcha, captcha.ProviderHcaptcha:
+		head := fmt.Sprintf(`<script src="%s"></script>`, captcha.ScriptURL(provider))
+		if pb.rng.Intn(5) < 2 {
+			// Invisible (behaviour-based) variant: the provider script runs
+			// with no visible challenge — only DOM analysis of script srcs
+			// reveals it (the paper's third CAPTCHA type).
+			body := pb.header() + pb.cloneWrap(fmt.Sprintf(
+				`<div><p>Checking your browser before continuing.</p></div><a class="btn" href="%s">Continue</a>`,
+				nextPath))
+			return wrapPage("Verification", head, body), nil
+		}
+		img, _ := captcha.Render(captcha.Visual2, pb.rng)
+		path := pb.addImage(img)
+		body := pb.header() + pb.cloneWrap(fmt.Sprintf(
+			`<div><img src="%s" width="%d" height="%d"></div><a class="btn" href="%s">Verify</a>`,
+			path, img.W, img.H, nextPath))
+		return wrapPage("Verification", head, body), nil
+	default:
+		img, _ := captcha.Render(kind, pb.rng)
+		path := pb.addImage(img)
+		if kind.IsText() {
+			body := pb.header() + pb.cloneWrap(fmt.Sprintf(
+				`<div><img src="%s" width="%d" height="%d"></div>`+
+					`<form action="%s"><div><label>Enter the characters shown above</label><input name="cap"></div>`+
+					`<button>Verify</button></form>`,
+				path, img.W, img.H, selfPath))
+			// The challenge can't be known by the crawler: validate the
+			// captcha answer as an email address, which six random letters
+			// never satisfy.
+			return wrapPage("Verification", "", body), map[string]string{"cap": site.ValidateEmail}
+		}
+		body := pb.header() + pb.cloneWrap(fmt.Sprintf(
+			`<div><img src="%s" width="%d" height="%d"></div><a class="btn" href="%s">I have selected all matching images</a>`,
+			path, img.W, img.H, nextPath))
+		return wrapPage("Verification", "", body), nil
+	}
+}
+
+// buildTerminalPage renders the end-of-UX page for the given termination
+// category.
+func (pb *pageBuilder) buildTerminalPage(kind string) string {
+	var msg string
+	switch kind {
+	case site.TermSuccess:
+		msg = SuccessMessages[pb.rng.Intn(len(SuccessMessages))]
+	case site.TermCustomError:
+		msg = ErrorMessages[pb.rng.Intn(len(ErrorMessages))]
+	case site.TermAwareness:
+		tpl := AwarenessMessages[pb.rng.Intn(len(AwarenessMessages))]
+		msg = fmt.Sprintf(tpl, pb.d.awarenessOrg)
+	default:
+		msg = OtherTerminalMessages[pb.rng.Intn(len(OtherTerminalMessages))]
+	}
+	body := pb.header() + fmt.Sprintf(`<div><p>%s</p></div>`, dom.Escape(msg))
+	return wrapPage(pb.d.brand.Name, "", body)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,301 @@
+package sitegen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/brands"
+	"repro/internal/captcha"
+	"repro/internal/dom"
+	"repro/internal/fieldspec"
+	"repro/internal/site"
+	"repro/internal/visualphish"
+)
+
+const testScale = 4000
+
+var testCorpus = Generate(ScaledParams(testScale, 42))
+
+func TestCorpusSize(t *testing.T) {
+	if len(testCorpus.Sites) != testScale {
+		t.Fatalf("generated %d sites, want %d", len(testCorpus.Sites), testScale)
+	}
+	if testCorpus.Campaigns == 0 {
+		t.Fatal("no campaigns")
+	}
+	// Campaign count proportional to the paper's 8,472/51,859 ratio, very
+	// loosely (size distribution is heavy-tailed).
+	expect := float64(testScale) * float64(PaperCampaigns) / float64(PaperFilteredSites)
+	if float64(testCorpus.Campaigns) < expect*0.4 || float64(testCorpus.Campaigns) > expect*2.5 {
+		t.Errorf("campaigns = %d, expected near %.0f", testCorpus.Campaigns, expect)
+	}
+}
+
+func TestStructuralValidity(t *testing.T) {
+	hosts := map[string]bool{}
+	for _, s := range testCorpus.Sites {
+		if s.Host == "" || hosts[s.Host] {
+			t.Fatalf("site %s: empty or duplicate host %q", s.ID, s.Host)
+		}
+		hosts[s.Host] = true
+		if len(s.Pages) == 0 {
+			t.Fatalf("site %s has no pages", s.ID)
+		}
+		if s.Pages[0].Path != "/" {
+			t.Errorf("site %s first page path %q", s.ID, s.Pages[0].Path)
+		}
+		if s.Truth.NumPages != len(s.Pages) {
+			t.Errorf("site %s: truth pages %d != %d", s.ID, s.Truth.NumPages, len(s.Pages))
+		}
+		if _, ok := brands.ByName(s.Brand); !ok {
+			t.Errorf("site %s references unknown brand %q", s.ID, s.Brand)
+		}
+		for _, p := range s.Pages {
+			doc := dom.Parse(p.HTML)
+			if doc.Count() < 3 {
+				t.Errorf("site %s page %s: degenerate HTML", s.ID, p.Path)
+			}
+			// Every referenced internal image resource must exist.
+			for _, img := range doc.ElementsByTag("img") {
+				src := img.AttrOr("src", "")
+				if strings.HasPrefix(src, "/") {
+					if _, ok := s.Images[src]; !ok {
+						t.Errorf("site %s page %s: missing image %s", s.ID, p.Path, src)
+					}
+				}
+			}
+			// Next targets must resolve.
+			if p.Next != "" && p.Mode != site.NextExternal {
+				if s.PageAt(p.Next) == nil {
+					t.Errorf("site %s page %s: next %q unresolvable", s.ID, p.Path, p.Next)
+				}
+			}
+		}
+	}
+}
+
+func ratio(n int) float64 { return float64(n) / float64(testScale) }
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s rate = %.4f, want %.4f +/- %.4f", name, got, want, tol)
+	}
+}
+
+func TestPatternRatesMatchPaper(t *testing.T) {
+	var multi, ctFirst, captchaN, recap, hcap, customText, customVis int
+	var keylog1, keylog3, doubleLogin, twoFA, ocr, formless, codeSites int
+	termCounts := map[string]int{}
+	pageHist := map[int]int{}
+	for _, s := range testCorpus.Sites {
+		tr := s.Truth
+		if tr.MultiPage {
+			multi++
+			pageHist[tr.NumPages]++
+			termCounts[tr.Termination]++
+		}
+		if tr.ClickThroughFirst {
+			ctFirst++
+		}
+		if tr.HasCaptcha {
+			captchaN++
+			switch {
+			case tr.CaptchaProvider == captcha.ProviderRecaptcha:
+				recap++
+			case tr.CaptchaProvider == captcha.ProviderHcaptcha:
+				hcap++
+			case tr.CaptchaKind.IsText():
+				customText++
+			default:
+				customVis++
+			}
+		}
+		if tr.KeyloggerTier >= 1 {
+			keylog1++
+		}
+		if tr.KeyloggerTier == 3 {
+			keylog3++
+		}
+		if tr.DoubleLogin {
+			doubleLogin++
+		}
+		if tr.TwoFactor {
+			twoFA++
+		}
+		if tr.OCRObfuscated {
+			ocr++
+		}
+		if tr.NoStandardSubmit {
+			formless++
+		}
+		for _, pageFields := range tr.FieldsPerPage {
+			for _, f := range pageFields {
+				if f == fieldspec.Code {
+					codeSites++
+					goto next
+				}
+			}
+		}
+	next:
+	}
+	within(t, "multi-page", ratio(multi), rate(PaperMultiPageSites), 0.06)
+	within(t, "click-through-first", ratio(ctFirst), rate(paperClickThroughFirst), 0.03)
+	within(t, "captcha", ratio(captchaN), rate(paperRecaptchaSites+paperHcaptchaSites+paperCustomTextCaptcha+paperCustomVisCaptcha), 0.035)
+	within(t, "keylogger-listen", ratio(keylog1), rate(paperKeyloggerListen), 0.08)
+	within(t, "ocr", ratio(ocr), paperOCRRate, 0.08)
+	within(t, "formless", ratio(formless), paperVisualSubmitRate, 0.06)
+	within(t, "code-fields", ratio(codeSites), rate(paperCodeFieldSites), 0.06)
+	within(t, "2fa", ratio(twoFA), rate(paperOTPSites), 0.025)
+	if recap < hcap {
+		t.Errorf("reCAPTCHA (%d) should outnumber hCaptcha (%d)", recap, hcap)
+	}
+	// Terminations: redirect should dominate within multi-page sites.
+	if multi > 0 {
+		redirRate := float64(termCounts[site.TermRedirectLegit]) / float64(multi)
+		within(t, "term-redirect|multi", redirRate, rateOfMulti(paperTermRedirect), 0.1)
+	}
+	// Page histogram: 2 and 3 dominate, 5 is rare.
+	if pageHist[5] > pageHist[2] || pageHist[5] > pageHist[3] {
+		t.Errorf("page histogram shape wrong: %v", pageHist)
+	}
+	_ = keylog3
+	_ = doubleLogin
+}
+
+func TestBrandDistribution(t *testing.T) {
+	counts := map[string]int{}
+	for _, s := range testCorpus.Sites {
+		counts[s.Brand]++
+	}
+	// Office365 should be the most-targeted brand (Table 7).
+	top, topN := "", 0
+	for b, n := range counts {
+		if n > topN {
+			top, topN = b, n
+		}
+	}
+	if top != "Office365" {
+		t.Errorf("top brand = %s (%d), want Office365 (have %d)", top, topN, counts["Office365"])
+	}
+	// Every Table 7 brand should appear.
+	for name := range map[string]int{"DHL Airways, Inc.": 0, "Netflix": 0, "Facebook, Inc.": 0} {
+		if counts[name] == 0 {
+			t.Errorf("brand %s absent from corpus", name)
+		}
+	}
+}
+
+func TestCampaignDesignCoherence(t *testing.T) {
+	// Sites of one campaign share brand and truth structure.
+	byCamp := map[string][]*site.Site{}
+	for _, s := range testCorpus.Sites {
+		byCamp[s.CampaignID] = append(byCamp[s.CampaignID], s)
+	}
+	checked := 0
+	for _, group := range byCamp {
+		if len(group) < 2 {
+			continue
+		}
+		first := group[0]
+		for _, other := range group[1:] {
+			if other.Brand != first.Brand {
+				t.Fatalf("campaign %s mixes brands", first.CampaignID)
+			}
+			if other.Truth.MultiPage != first.Truth.MultiPage ||
+				other.Truth.HasCaptcha != first.Truth.HasCaptcha ||
+				other.Truth.Termination != first.Truth.Termination {
+				t.Fatalf("campaign %s mixes structures", first.CampaignID)
+			}
+			if other.Host == first.Host {
+				t.Fatalf("campaign %s duplicate host", first.CampaignID)
+			}
+		}
+		checked++
+		if checked > 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Error("no multi-site campaigns to check")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(ScaledParams(50, 7))
+	b := Generate(ScaledParams(50, 7))
+	if len(a.Sites) != len(b.Sites) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Sites {
+		if a.Sites[i].Host != b.Sites[i].Host ||
+			a.Sites[i].Pages[0].HTML != b.Sites[i].Pages[0].HTML {
+			t.Fatal("same seed produced different corpora")
+		}
+	}
+	c := Generate(ScaledParams(50, 8))
+	if a.Sites[0].Pages[0].HTML == c.Sites[0].Pages[0].HTML {
+		t.Error("different seeds produced identical first page")
+	}
+}
+
+func TestTerminalPagesHaveNoInputs(t *testing.T) {
+	for _, s := range testCorpus.Sites {
+		tr := s.Truth
+		if tr.Termination == site.TermSuccess || tr.Termination == site.TermAwareness || tr.Termination == site.TermCustomError {
+			last := s.Pages[len(s.Pages)-1]
+			doc := dom.Parse(last.HTML)
+			if len(doc.ElementsByTag("input", "select")) != 0 {
+				t.Fatalf("site %s terminal page has inputs", s.ID)
+			}
+		}
+	}
+}
+
+func TestCloneCalibration(t *testing.T) {
+	// Rendering a cloned first page must match its brand in the
+	// visual-similarity gallery; a generic page must not. This is the
+	// calibration the Table 3 measurement rests on.
+	g := visualphish.NewGallery()
+	for _, b := range brands.All() {
+		g.AddCropped(b.Name, b.LegitScreenshot())
+	}
+	var cloneHits, cloneTotal, genericHits, genericTotal int
+	for _, s := range testCorpus.Sites {
+		if cloneTotal >= 40 && genericTotal >= 40 {
+			break
+		}
+		firstDataIsClone := s.Truth.Clones
+		if s.Truth.ClickThroughFirst || s.Truth.HasCaptcha {
+			continue // landing page is not the data page in these flows
+		}
+		shot := RenderLanding(s)
+		if shot == nil {
+			continue
+		}
+		match, _ := g.MatchEmbedding(visualphish.EmbedCropped(shot))
+		if firstDataIsClone {
+			cloneTotal++
+			if match == s.Brand {
+				cloneHits++
+			}
+		} else {
+			genericTotal++
+			if match == s.Brand {
+				genericHits++
+			}
+		}
+	}
+	if cloneTotal == 0 || genericTotal == 0 {
+		t.Fatalf("insufficient samples: clone %d generic %d", cloneTotal, genericTotal)
+	}
+	cloneRate := float64(cloneHits) / float64(cloneTotal)
+	genericRate := float64(genericHits) / float64(genericTotal)
+	if cloneRate < 0.6 {
+		t.Errorf("clone pages matched brand only %.0f%% (%d/%d)", cloneRate*100, cloneHits, cloneTotal)
+	}
+	if genericRate > 0.3 {
+		t.Errorf("generic pages matched brand %.0f%% (%d/%d) — too clone-like", genericRate*100, genericHits, genericTotal)
+	}
+}

@@ -1,0 +1,89 @@
+package termclass
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCorpusBalanced(t *testing.T) {
+	c := Corpus(200, 1)
+	if len(c) != 200 {
+		t.Fatalf("corpus = %d", len(c))
+	}
+	counts := map[string]int{}
+	for _, s := range c {
+		counts[s.Label]++
+		if s.Text == "" {
+			t.Fatal("empty sample")
+		}
+	}
+	for _, l := range []string{Success, CustomErr, HTTPError, Awareness} {
+		if counts[l] != 50 {
+			t.Errorf("label %s count = %d, want 50", l, counts[l])
+		}
+	}
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	c, err := Train(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"Congratulations! Your account has been verified successfully.":     Success,
+		"404 not found the requested resource was not found on this server": HTTPError,
+		"An error occurred while processing your request.":                  CustomErr,
+		"You fell for a Contoso phishing simulation. Your computer is safe": Awareness,
+	}
+	for text, want := range cases {
+		got, conf := c.Classify(text)
+		if got != want {
+			t.Errorf("Classify(%q) = %s (%.2f), want %s", text, got, conf, want)
+		}
+	}
+}
+
+func TestRejectOption(t *testing.T) {
+	c, err := Train(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, _ := c.Classify("zqxwv unrelated gibberish tokens entirely")
+	if label != Other {
+		t.Errorf("gibberish classified as %s", label)
+	}
+}
+
+func TestEvaluateAccuracy(t *testing.T) {
+	// The paper reports 97% accuracy on 100 held-out samples with the 0.65
+	// reject option.
+	c, err := Train(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := c.Evaluate(5, TestSize)
+	if acc < 0.9 {
+		t.Errorf("held-out accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestSampleGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := Sample(rng, Awareness)
+	if s.Label != Awareness {
+		t.Errorf("label = %s", s.Label)
+	}
+	if strings.Contains(s.Text, "%s") {
+		t.Errorf("template placeholder not substituted: %q", s.Text)
+	}
+}
+
+func TestSprintf1(t *testing.T) {
+	if got := sprintf1("a %s b", "X"); got != "a X b" {
+		t.Errorf("sprintf1 = %q", got)
+	}
+	if got := sprintf1("no placeholder", "X"); got != "no placeholder" {
+		t.Errorf("sprintf1 = %q", got)
+	}
+}

@@ -1,0 +1,405 @@
+// Package textclass implements the statistical text classifiers the paper
+// builds with scikit-learn: a bag-of-words featurizer and a multiclass
+// linear model trained with stochastic gradient descent (the SGDClassifier
+// of Section 4.2), with a confidence-threshold reject option. Two instances
+// are used in the system: the input-field classifier (18 classes, threshold
+// 0.8, rejects to "unknown") and the terminal-page classifier (4 classes,
+// threshold 0.65).
+package textclass
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// stopwords filtered during featurization (Section 4.2 step 1).
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "and": true, "or": true, "of": true,
+	"to": true, "in": true, "on": true, "for": true, "is": true, "are": true,
+	"be": true, "this": true, "that": true, "with": true, "as": true,
+	"at": true, "by": true, "from": true, "it": true, "its": true,
+	"was": true, "were": true, "will": true, "would": true, "can": true,
+	"could": true, "should": true, "do": true, "does": true, "did": true,
+	"has": true, "have": true, "had": true, "not": true, "no": true,
+	"but": true, "if": true, "so": true, "we": true, "our": true,
+	"us": true, "they": true, "them": true, "their": true, "he": true,
+	"she": true, "his": true, "her": true, "i": true, "me": true, "my": true,
+}
+
+// acronyms that survive filtering even though they are short or contain
+// digits, mirroring the paper's "valid dictionary words including common
+// acronyms".
+var acronyms = map[string]bool{
+	"ssn": true, "otp": true, "cvv": true, "cvc": true, "cvn": true,
+	"dob": true, "id": true, "pin": true, "atm": true, "2fa": true,
+	"sms": true, "mm": true, "yy": true, "dd": true, "yyyy": true,
+	"dl": true, "tel": true, "fax": true, "nin": true, "itin": true,
+	"pan": true, "cc": true, "url": true, "http": true, "pwd": true,
+}
+
+// Tokenize lowercases, strips non-alphanumeric characters, removes
+// stopwords, and keeps word-like tokens and known acronyms.
+func Tokenize(text string) []string {
+	text = strings.ToLower(text)
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		if stopwords[tok] {
+			return
+		}
+		if acronyms[tok] {
+			tokens = append(tokens, tok)
+			return
+		}
+		// Keep alphabetic tokens of length >= 2; drop pure numbers and
+		// mixed junk (but keep short digit-letter combos like "2fa" via the
+		// acronym table above).
+		alpha := true
+		for _, r := range tok {
+			if r < 'a' || r > 'z' {
+				alpha = false
+				break
+			}
+		}
+		if alpha && len(tok) >= 2 {
+			tokens = append(tokens, tok)
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Sample is one labelled training example.
+type Sample struct {
+	Text  string `json:"text"`
+	Label string `json:"label"`
+}
+
+// Model is a multiclass linear classifier over bag-of-words features,
+// trained by SGD on the multinomial logistic (softmax) loss.
+type Model struct {
+	Vocab   map[string]int `json:"vocab"`
+	Classes []string       `json:"classes"`
+	// W is row-major: Classes x (len(Vocab)+1); the final column is bias.
+	W []float64 `json:"w"`
+}
+
+// TrainConfig controls SGD training.
+type TrainConfig struct {
+	Epochs       int     // default 30
+	LearningRate float64 // default 0.1
+	L2           float64 // default 1e-4
+	Seed         int64   // shuffling seed
+	MinTokenFreq int     // drop vocabulary seen fewer times; default 1
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.L2 < 0 {
+		c.L2 = 0
+	} else if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.MinTokenFreq <= 0 {
+		c.MinTokenFreq = 1
+	}
+	return c
+}
+
+// ErrNoData is returned when Train receives no usable samples.
+var ErrNoData = errors.New("textclass: no training samples")
+
+// Train fits a model on the samples.
+func Train(samples []Sample, cfg TrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(samples) == 0 {
+		return nil, ErrNoData
+	}
+	// Build vocabulary and class list.
+	freq := map[string]int{}
+	classSet := map[string]bool{}
+	for _, s := range samples {
+		for _, tok := range Tokenize(s.Text) {
+			freq[tok]++
+		}
+		classSet[s.Label] = true
+	}
+	var classes []string
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("textclass: need >= 2 classes, got %d", len(classes))
+	}
+	vocab := map[string]int{}
+	for tok, n := range freq {
+		if n >= cfg.MinTokenFreq {
+			vocab[tok] = 0 // placeholder
+		}
+	}
+	// Stable vocabulary indices.
+	var toks []string
+	for tok := range vocab {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for i, tok := range toks {
+		vocab[tok] = i
+	}
+	m := &Model{
+		Vocab:   vocab,
+		Classes: classes,
+		W:       make([]float64, len(classes)*(len(vocab)+1)),
+	}
+	classIdx := map[string]int{}
+	for i, c := range classes {
+		classIdx[c] = i
+	}
+
+	// Pre-featurize.
+	feats := make([][]int, len(samples))
+	ys := make([]int, len(samples))
+	for i, s := range samples {
+		feats[i] = m.featurize(s.Text)
+		ys[i] = classIdx[s.Label]
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(samples))
+	probs := make([]float64, len(classes))
+	d := len(vocab) + 1
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Reshuffle per epoch for SGD.
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch))
+		for _, idx := range order {
+			x := feats[idx]
+			y := ys[idx]
+			m.scores(x, probs)
+			softmaxInPlace(probs)
+			for c := range m.Classes {
+				grad := probs[c]
+				if c == y {
+					grad -= 1
+				}
+				if grad == 0 {
+					continue
+				}
+				row := m.W[c*d : (c+1)*d]
+				for _, f := range x {
+					row[f] -= lr * grad
+				}
+				row[d-1] -= lr * grad // bias
+			}
+			// L2 shrinkage, applied sparsely for speed.
+			if cfg.L2 > 0 {
+				shrink := 1 - lr*cfg.L2
+				for c := range m.Classes {
+					row := m.W[c*d : (c+1)*d]
+					for _, f := range x {
+						row[f] *= shrink
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// featurize maps text to vocabulary indices (with repeats for counts).
+func (m *Model) featurize(text string) []int {
+	var out []int
+	for _, tok := range Tokenize(text) {
+		if i, ok := m.Vocab[tok]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// scores fills dst with the raw linear scores for each class.
+func (m *Model) scores(x []int, dst []float64) {
+	d := len(m.Vocab) + 1
+	for c := range m.Classes {
+		row := m.W[c*d : (c+1)*d]
+		s := row[d-1]
+		for _, f := range x {
+			s += row[f]
+		}
+		dst[c] = s
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := math.Inf(-1)
+	for _, x := range v {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(x - maxV)
+		v[i] = e
+		sum += e
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Predict returns the most probable class and its confidence in [0, 1].
+// Text with no in-vocabulary tokens carries no evidence and yields the
+// uniform distribution, so thresholded callers reject it.
+func (m *Model) Predict(text string) (string, float64) {
+	x := m.featurize(text)
+	probs := make([]float64, len(m.Classes))
+	if len(x) == 0 {
+		return m.Classes[0], 1 / float64(len(m.Classes))
+	}
+	m.scores(x, probs)
+	softmaxInPlace(probs)
+	best, bestP := 0, probs[0]
+	for i, p := range probs {
+		if p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return m.Classes[best], bestP
+}
+
+// PredictThreshold applies the reject option of Section 4.2: predictions
+// below threshold return rejectLabel.
+func (m *Model) PredictThreshold(text string, threshold float64, rejectLabel string) (string, float64) {
+	label, conf := m.Predict(text)
+	if conf < threshold {
+		return rejectLabel, conf
+	}
+	return label, conf
+}
+
+// Probabilities returns the full class-probability distribution. As with
+// Predict, token-free text yields the uniform distribution.
+func (m *Model) Probabilities(text string) map[string]float64 {
+	x := m.featurize(text)
+	probs := make([]float64, len(m.Classes))
+	if len(x) == 0 {
+		for i := range probs {
+			probs[i] = 1 / float64(len(probs))
+		}
+	} else {
+		m.scores(x, probs)
+		softmaxInPlace(probs)
+	}
+	out := make(map[string]float64, len(m.Classes))
+	for i, c := range m.Classes {
+		out[c] = probs[i]
+	}
+	return out
+}
+
+// Marshal serializes the model to JSON.
+func (m *Model) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// Unmarshal deserializes a model produced by Marshal.
+func Unmarshal(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("textclass: %w", err)
+	}
+	if len(m.Classes) == 0 || m.W == nil {
+		return nil, errors.New("textclass: incomplete model")
+	}
+	return &m, nil
+}
+
+// ActiveLearner implements the iterative training loop of Section 4.2: the
+// model labels incoming samples; low-confidence ones are queued for a human
+// oracle and folded back into the training set on Retrain.
+type ActiveLearner struct {
+	Model       *Model
+	Threshold   float64
+	RejectLabel string
+	Config      TrainConfig
+
+	labelled []Sample
+	queue    []string // texts awaiting oracle labels
+}
+
+// NewActiveLearner trains an initial model on the seed set.
+func NewActiveLearner(seed []Sample, threshold float64, rejectLabel string, cfg TrainConfig) (*ActiveLearner, error) {
+	m, err := Train(seed, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ActiveLearner{
+		Model:       m,
+		Threshold:   threshold,
+		RejectLabel: rejectLabel,
+		Config:      cfg,
+		labelled:    append([]Sample(nil), seed...),
+	}, nil
+}
+
+// Classify labels text; rejected samples are queued for the oracle.
+func (a *ActiveLearner) Classify(text string) (string, float64) {
+	label, conf := a.Model.PredictThreshold(text, a.Threshold, a.RejectLabel)
+	if label == a.RejectLabel {
+		a.queue = append(a.queue, text)
+	}
+	return label, conf
+}
+
+// Pending returns the texts awaiting oracle labels.
+func (a *ActiveLearner) Pending() []string { return append([]string(nil), a.queue...) }
+
+// Teach records oracle labels for pending texts and clears them from the
+// queue.
+func (a *ActiveLearner) Teach(labels map[string]string) {
+	var remaining []string
+	for _, text := range a.queue {
+		if label, ok := labels[text]; ok {
+			a.labelled = append(a.labelled, Sample{Text: text, Label: label})
+		} else {
+			remaining = append(remaining, text)
+		}
+	}
+	a.queue = remaining
+}
+
+// Retrain refits the model on the accumulated labelled set.
+func (a *ActiveLearner) Retrain() error {
+	m, err := Train(a.labelled, a.Config)
+	if err != nil {
+		return err
+	}
+	a.Model = m
+	return nil
+}
+
+// TrainingSetSize returns the current number of labelled samples.
+func (a *ActiveLearner) TrainingSetSize() int { return len(a.labelled) }

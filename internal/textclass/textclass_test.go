@@ -1,0 +1,279 @@
+package textclass
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"Enter your Email Address": {"enter", "your", "email", "address"},
+		"SSN (last 4)":             {"ssn", "last"},
+		"the a an and":             nil,
+		"2FA code: OTP!":           {"2fa", "code", "otp"},
+		"密码 password":              {"password"},
+		"card-number_field":        {"card", "number", "field"},
+		"12345":                    nil,
+		"x":                        nil, // single letters dropped
+		"id":                       {"id"},
+	}
+	for in, want := range cases {
+		got := Tokenize(in)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func toySamples() []Sample {
+	var out []Sample
+	add := func(label string, texts ...string) {
+		for _, tx := range texts {
+			out = append(out, Sample{Text: tx, Label: label})
+		}
+	}
+	add("email",
+		"email address", "enter your email", "email", "work email address",
+		"registered email", "mail address", "email or phone email")
+	add("password",
+		"password", "enter password", "account password", "your password",
+		"login password", "current password", "pwd secret password")
+	add("card",
+		"card number", "credit card number", "debit card", "16 digit card number",
+		"cc number", "payment card number", "card details number")
+	add("phone",
+		"phone number", "mobile number", "telephone", "cell phone",
+		"contact number", "mobile phone number", "daytime phone")
+	return out
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	m, err := Train(toySamples(), TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"please enter your email address": "email",
+		"account password":                "password",
+		"credit card number":              "card",
+		"your mobile phone number":        "phone",
+	}
+	for text, want := range cases {
+		got, conf := m.Predict(text)
+		if got != want {
+			t.Errorf("Predict(%q) = %s (%.2f), want %s", text, got, conf, want)
+		}
+		if conf <= 0.5 {
+			t.Errorf("Predict(%q) confidence %.2f too low", text, conf)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, TrainConfig{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	oneClass := []Sample{{Text: "a b", Label: "x"}, {Text: "c d", Label: "x"}}
+	if _, err := Train(oneClass, TrainConfig{}); err == nil {
+		t.Error("single-class training should fail")
+	}
+}
+
+func TestPredictThresholdReject(t *testing.T) {
+	m, err := Train(toySamples(), TrainConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text with no vocabulary overlap should be low-confidence.
+	label, conf := m.PredictThreshold("zqx wvu jkl", 0.8, "unknown")
+	if label != "unknown" {
+		t.Errorf("gibberish classified as %s with conf %.2f", label, conf)
+	}
+	// In-vocabulary text must survive the threshold.
+	label, _ = m.PredictThreshold("enter your email address", 0.8, "unknown")
+	if label != "email" {
+		t.Errorf("confident sample rejected: %s", label)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	m, err := Train(toySamples(), TrainConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{"email", "card number", "", "unrelated words entirely"} {
+		probs := m.Probabilities(text)
+		sum := 0.0
+		for _, p := range probs {
+			sum += p
+			if p < 0 || p > 1 {
+				t.Errorf("probability out of range: %v", probs)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("probabilities sum to %f for %q", sum, text)
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	m1, _ := Train(toySamples(), TrainConfig{Seed: 7})
+	m2, _ := Train(toySamples(), TrainConfig{Seed: 7})
+	if !reflect.DeepEqual(m1.W, m2.W) {
+		t.Error("same seed should produce identical weights")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m, err := Train(toySamples(), TrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, text := range []string{"email address", "card number", "phone"} {
+		l1, c1 := m.Predict(text)
+		l2, c2 := m2.Predict(text)
+		if l1 != l2 || math.Abs(c1-c2) > 1e-12 {
+			t.Errorf("round trip changed prediction for %q: %s/%f vs %s/%f", text, l1, c1, l2, c2)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Unmarshal([]byte("{}")); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestActiveLearningLoop(t *testing.T) {
+	// Seed model knows email vs password; SSN is novel.
+	al, err := NewActiveLearner(toySamples(), 0.8, "unknown", TrainConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	novel := "social security number ssn"
+	label, _ := al.Classify(novel)
+	if label != "unknown" {
+		t.Fatalf("novel sample classified as %s before teaching", label)
+	}
+	if len(al.Pending()) != 1 {
+		t.Fatalf("pending queue = %v", al.Pending())
+	}
+	// Oracle labels it (several variants so the class is learnable).
+	al.Teach(map[string]string{novel: "ssn"})
+	if len(al.Pending()) != 0 {
+		t.Error("taught sample still pending")
+	}
+	for _, v := range []string{"ssn", "social security", "last 4 ssn number", "your social security number"} {
+		al.labelled = append(al.labelled, Sample{Text: v, Label: "ssn"})
+	}
+	if err := al.Retrain(); err != nil {
+		t.Fatal(err)
+	}
+	label, conf := al.Model.Predict("enter your social security number")
+	if label != "ssn" {
+		t.Errorf("after retraining: %s (%.2f), want ssn", label, conf)
+	}
+	if al.TrainingSetSize() <= len(toySamples()) {
+		t.Error("training set did not grow")
+	}
+}
+
+func TestTeachOnlyRemovesTaught(t *testing.T) {
+	al, err := NewActiveLearner(toySamples(), 0.99, "unknown", TrainConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.Classify("zzz yyy")
+	al.Classify("qqq www")
+	al.Teach(map[string]string{"zzz yyy": "email"})
+	if got := al.Pending(); len(got) != 1 || got[0] != "qqq www" {
+		t.Errorf("pending = %v", got)
+	}
+}
+
+func TestHeldOutAccuracy(t *testing.T) {
+	// Larger synthetic task: the model must reach high held-out accuracy on
+	// cleanly separable classes, mirroring Table 6's ~0.90 average F1.
+	var train, test []Sample
+	vocab := map[string][]string{
+		"email":    {"email", "mail", "address", "inbox"},
+		"password": {"password", "secret", "pass", "pwd"},
+		"card":     {"card", "credit", "debit", "payment"},
+		"phone":    {"phone", "mobile", "cell", "telephone"},
+		"name":     {"name", "first", "last", "surname"},
+	}
+	i := 0
+	for label, words := range vocab {
+		for a := 0; a < len(words); a++ {
+			for b := 0; b < len(words); b++ {
+				s := Sample{Text: words[a] + " " + words[b] + " field", Label: label}
+				if i%4 == 0 {
+					test = append(test, s)
+				} else {
+					train = append(train, s)
+				}
+				i++
+			}
+		}
+	}
+	m, err := Train(train, TrainConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range test {
+		if got, _ := m.Predict(s.Text); got == s.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test))
+	if acc < 0.9 {
+		t.Errorf("held-out accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestStopwordAndAcronymHandling(t *testing.T) {
+	toks := Tokenize("The SSN of the user is required")
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "ssn") {
+		t.Errorf("acronym lost: %v", toks)
+	}
+	if strings.Contains(joined, "the") || strings.Contains(joined, "of ") {
+		t.Errorf("stopwords kept: %v", toks)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	m, err := Train(toySamples(), TrainConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict("please enter your email address to continue")
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	samples := toySamples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(samples, TrainConfig{Seed: 1, Epochs: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

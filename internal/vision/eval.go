@@ -1,0 +1,89 @@
+package vision
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// MatchIoU is the overlap threshold at which a detection counts as matching
+// a ground-truth box.
+const MatchIoU = 0.5
+
+// EvalResult summarizes detector performance on an annotated set.
+type EvalResult struct {
+	// APPerClass maps each class to its average precision (Table 5 rows).
+	APPerClass map[string]float64
+	// SupportPerClass is the ground-truth count per class.
+	SupportPerClass map[string]int
+	// MeanAP is the unweighted mean over classes with support.
+	MeanAP float64
+	// TP, FP, FN are aggregate detection counts at the detector threshold.
+	TP, FP, FN int
+}
+
+// Precision returns aggregate detection precision.
+func (e EvalResult) Precision() float64 {
+	p, _ := metrics.PrecisionRecall(e.TP, e.FP, e.FN)
+	return p
+}
+
+// Recall returns aggregate detection recall.
+func (e EvalResult) Recall() float64 {
+	_, r := metrics.PrecisionRecall(e.TP, e.FP, e.FN)
+	return r
+}
+
+// Evaluate runs the detector over every example and computes per-class AP
+// with greedy IoU matching, the Table 5 protocol.
+func Evaluate(d *Detector, examples []Example) EvalResult {
+	res := EvalResult{
+		APPerClass:      map[string]float64{},
+		SupportPerClass: map[string]int{},
+	}
+	detsByClass := map[string][]metrics.Detection{}
+	for _, ex := range examples {
+		dets := d.Detect(ex.Image)
+		// Sort detections by descending score for greedy matching.
+		sort.SliceStable(dets, func(i, j int) bool { return dets[i].Score > dets[j].Score })
+		matched := make([]bool, len(ex.Annotations))
+		for _, det := range dets {
+			tp := false
+			for ai, an := range ex.Annotations {
+				if matched[ai] || an.Class != det.Class {
+					continue
+				}
+				if det.Box.IoU(an.Box) >= MatchIoU {
+					matched[ai] = true
+					tp = true
+					break
+				}
+			}
+			detsByClass[det.Class] = append(detsByClass[det.Class], metrics.Detection{
+				Score: det.Score, TruePositive: tp,
+			})
+			if tp {
+				res.TP++
+			} else {
+				res.FP++
+			}
+		}
+		for ai, an := range ex.Annotations {
+			res.SupportPerClass[an.Class]++
+			if !matched[ai] {
+				res.FN++
+			}
+		}
+	}
+	sum, n := 0.0, 0
+	for class, support := range res.SupportPerClass {
+		ap := metrics.AveragePrecision(detsByClass[class], support)
+		res.APPerClass[class] = ap
+		sum += ap
+		n++
+	}
+	if n > 0 {
+		res.MeanAP = sum / float64(n)
+	}
+	return res
+}

@@ -1,0 +1,233 @@
+// Package vision implements the deep-learning object detector of the paper
+// (a Faster R-CNN fine-tuned on 10,000 generated pages, Sections 4.3 and
+// 5.3.2) as a classical detection pipeline over raster screenshots: salient
+// region proposals from connected components, a hand-crafted appearance
+// feature vector per region, and a nearest-centroid classifier whose
+// per-class statistics are fitted ("fine-tuned") on annotated generated
+// pages. It detects the same classes as Table 5: six text-CAPTCHA styles,
+// two visual-CAPTCHA styles, buttons, and logos.
+package vision
+
+import (
+	"math"
+
+	"repro/internal/raster"
+)
+
+// FeatureDim is the length of the appearance feature vector.
+const FeatureDim = 28
+
+// Features computes the appearance feature vector of the region r in img.
+func Features(img *raster.Image, r raster.Rect) []float64 {
+	r = r.Clip(img.W, img.H)
+	f := make([]float64, FeatureDim)
+	if r.Empty() {
+		return f
+	}
+	w, h := float64(r.W), float64(r.H)
+	f[0] = math.Log(w)
+	f[1] = math.Log(h)
+	f[2] = w / h
+
+	area := float64(r.Area())
+	var hist [raster.NumColors]int
+	ink := 0
+	hTrans, vTrans := 0, 0
+	for y := r.Y; y < r.Y+r.H; y++ {
+		prev := raster.Color(255)
+		for x := r.X; x < r.X+r.W; x++ {
+			c := img.At(x, y)
+			hist[c]++
+			if img.Intensity(x, y) < 128 {
+				ink++
+			}
+			if x > r.X && c != prev {
+				hTrans++
+			}
+			prev = c
+		}
+	}
+	for x := r.X; x < r.X+r.W; x++ {
+		prev := raster.Color(255)
+		for y := r.Y; y < r.Y+r.H; y++ {
+			c := img.At(x, y)
+			if y > r.Y && c != prev {
+				vTrans++
+			}
+			prev = c
+		}
+	}
+	for c := 0; c < int(raster.NumColors); c++ {
+		f[3+c] = float64(hist[c]) / area
+	}
+	f[19] = float64(ink) / area
+	f[20] = float64(hTrans) / area
+	f[21] = float64(vTrans) / area
+	f[22] = gridScoreH(img, r)
+	f[23] = gridScoreV(img, r)
+	f[24] = glyphBandRatio(img, r)
+	f[25] = borderScore(img, r)
+	f[26] = checkboxScore(img, r)
+	f[27] = headerScore(img, r)
+	return f
+}
+
+// gridScoreH returns the fraction of interior rows that are near-uniform
+// non-background lines (grid/stripe structure).
+func gridScoreH(img *raster.Image, r raster.Rect) float64 {
+	if r.H < 4 {
+		return 0
+	}
+	lines := 0
+	for y := r.Y + 1; y < r.Y+r.H-1; y++ {
+		nonBG := 0
+		for x := r.X + 1; x < r.X+r.W-1; x++ {
+			if img.At(x, y) != raster.White {
+				nonBG++
+			}
+		}
+		if float64(nonBG) >= 0.85*float64(r.W-2) {
+			lines++
+		}
+	}
+	return float64(lines) / float64(r.H-2)
+}
+
+func gridScoreV(img *raster.Image, r raster.Rect) float64 {
+	if r.W < 4 {
+		return 0
+	}
+	lines := 0
+	for x := r.X + 1; x < r.X+r.W-1; x++ {
+		nonBG := 0
+		for y := r.Y + 1; y < r.Y+r.H-1; y++ {
+			if img.At(x, y) != raster.White {
+				nonBG++
+			}
+		}
+		if float64(nonBG) >= 0.85*float64(r.H-2) {
+			lines++
+		}
+	}
+	return float64(lines) / float64(r.W-2)
+}
+
+// glyphBandRatio measures how much of the region's ink falls into a
+// glyph-height band around the vertical center — high for single-line text
+// such as button labels and text CAPTCHAs.
+func glyphBandRatio(img *raster.Image, r raster.Rect) float64 {
+	totalInk, bandInk := 0, 0
+	bandY0 := r.CenterY() - raster.GlyphH
+	bandY1 := r.CenterY() + raster.GlyphH
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			if img.Intensity(x, y) < 128 {
+				totalInk++
+				if y >= bandY0 && y <= bandY1 {
+					bandInk++
+				}
+			}
+		}
+	}
+	if totalInk == 0 {
+		return 0
+	}
+	return float64(bandInk) / float64(totalInk)
+}
+
+// borderScore returns the fraction of perimeter pixels that differ from the
+// page background, indicating an outlined widget.
+func borderScore(img *raster.Image, r raster.Rect) float64 {
+	per, hit := 0, 0
+	for x := r.X; x < r.X+r.W; x++ {
+		for _, y := range [2]int{r.Y, r.Y + r.H - 1} {
+			per++
+			if img.At(x, y) != raster.White {
+				hit++
+			}
+		}
+	}
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for _, x := range [2]int{r.X, r.X + r.W - 1} {
+			per++
+			if img.At(x, y) != raster.White {
+				hit++
+			}
+		}
+	}
+	if per == 0 {
+		return 0
+	}
+	return float64(hit) / float64(per)
+}
+
+// checkboxScore looks for a small light square with a darker outline in the
+// left quarter of the region — the signature of the "I'm not a robot"
+// widget.
+func checkboxScore(img *raster.Image, r raster.Rect) float64 {
+	if r.W < 30 || r.H < 14 {
+		return 0
+	}
+	best := 0.0
+	for size := 8; size <= 16; size += 2 {
+		for y := r.Y + 2; y+size < r.Y+r.H-2; y++ {
+			for x := r.X + 2; x+size < r.X+r.W/3; x++ {
+				sq := raster.R(x, y, size, size)
+				// Outline must be non-white, interior light.
+				edge := borderScore(img, sq)
+				interiorLight := 0
+				n := 0
+				for iy := sq.Y + 2; iy < sq.Y+sq.H-2; iy++ {
+					for ix := sq.X + 2; ix < sq.X+sq.W-2; ix++ {
+						n++
+						if img.Intensity(ix, iy) >= 200 {
+							interiorLight++
+						}
+					}
+				}
+				if n == 0 {
+					continue
+				}
+				s := edge * float64(interiorLight) / float64(n)
+				if s > best {
+					best = s
+				}
+			}
+		}
+	}
+	return best
+}
+
+// headerScore measures whether the region's top strip is a solid saturated
+// color while the rest is not — the banner structure of image-grid
+// CAPTCHAs.
+func headerScore(img *raster.Image, r raster.Rect) float64 {
+	if r.H < 20 {
+		return 0
+	}
+	stripH := r.H / 5
+	if stripH < 4 {
+		stripH = 4
+	}
+	var counts [raster.NumColors]int
+	n := 0
+	for y := r.Y + 1; y < r.Y+stripH; y++ {
+		for x := r.X + 1; x < r.X+r.W-1; x++ {
+			counts[img.At(x, y)]++
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	best, bestC := 0, raster.White
+	for c, v := range counts {
+		if v > best {
+			best, bestC = v, raster.Color(c)
+		}
+	}
+	if bestC == raster.White || bestC == raster.LightGray {
+		return 0
+	}
+	return float64(best) / float64(n)
+}

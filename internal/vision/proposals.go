@@ -1,0 +1,159 @@
+package vision
+
+import (
+	"sort"
+
+	"repro/internal/raster"
+)
+
+// Proposal generation: connected components of non-background pixels with a
+// small dilation radius, so glyphs merge into text lines and widget chrome
+// merges into whole widgets. This plays the role of Faster R-CNN's region
+// proposal network.
+
+const (
+	dilate       = 3   // merge radius in pixels
+	minPropW     = 10  // discard smaller proposals
+	minPropH     = 8   //
+	maxProposals = 300 // safety cap for pathological pages
+)
+
+// Proposals returns candidate object regions in img, largest first.
+func Proposals(img *raster.Image) []raster.Rect {
+	w, h := img.W, img.H
+	if w == 0 || h == 0 {
+		return nil
+	}
+	// Downscale the problem: operate on a coarse grid of dilate-sized cells
+	// marking cells containing any non-white pixel, then connected
+	// components over cells. This is O(pixels) and merges features within
+	// the dilation radius.
+	cw := (w + dilate - 1) / dilate
+	ch := (h + dilate - 1) / dilate
+	occupied := make([]bool, cw*ch)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if img.At(x, y) != raster.White {
+				occupied[(y/dilate)*cw+(x/dilate)] = true
+			}
+		}
+	}
+	label := make([]int, cw*ch)
+	for i := range label {
+		label[i] = -1
+	}
+	var boxes []raster.Rect
+	var queue []int
+	for start := 0; start < cw*ch; start++ {
+		if !occupied[start] || label[start] >= 0 {
+			continue
+		}
+		id := len(boxes)
+		minX, minY, maxX, maxY := cw, ch, -1, -1
+		queue = queue[:0]
+		queue = append(queue, start)
+		label[start] = id
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			cx, cy := cur%cw, cur/cw
+			if cx < minX {
+				minX = cx
+			}
+			if cy < minY {
+				minY = cy
+			}
+			if cx > maxX {
+				maxX = cx
+			}
+			if cy > maxY {
+				maxY = cy
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || ny < 0 || nx >= cw || ny >= ch {
+						continue
+					}
+					ni := ny*cw + nx
+					if occupied[ni] && label[ni] < 0 {
+						label[ni] = id
+						queue = append(queue, ni)
+					}
+				}
+			}
+		}
+		boxes = append(boxes, raster.R(
+			minX*dilate, minY*dilate,
+			(maxX-minX+1)*dilate, (maxY-minY+1)*dilate,
+		))
+	}
+	// Tighten to content, filter, and clip. Tightening removes the
+	// cell-granularity margins the coarse grid introduces, so detection
+	// features align with the exact-box features the detector trained on.
+	var out []raster.Rect
+	for _, b := range boxes {
+		b = tighten(img, b.Clip(w, h))
+		if b.W < minPropW || b.H < minPropH {
+			continue
+		}
+		if b.Area() > w*h*9/10 {
+			continue // whole-page blob carries no localization signal
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Area() > out[j].Area() })
+	if len(out) > maxProposals {
+		out = out[:maxProposals]
+	}
+	return out
+}
+
+// tighten shrinks box to the bounding rectangle of its non-white pixels.
+func tighten(img *raster.Image, box raster.Rect) raster.Rect {
+	minX, minY := box.X+box.W, box.Y+box.H
+	maxX, maxY := box.X-1, box.Y-1
+	for y := box.Y; y < box.Y+box.H; y++ {
+		for x := box.X; x < box.X+box.W; x++ {
+			if img.At(x, y) != raster.White {
+				if x < minX {
+					minX = x
+				}
+				if y < minY {
+					minY = y
+				}
+				if x > maxX {
+					maxX = x
+				}
+				if y > maxY {
+					maxY = y
+				}
+			}
+		}
+	}
+	if maxX < box.X {
+		return box // no content: keep as-is
+	}
+	return raster.R(minX, minY, maxX-minX+1, maxY-minY+1)
+}
+
+// NonMaxSuppression removes detections that overlap a higher-scoring
+// detection of the same class by more than iouThreshold.
+func NonMaxSuppression(dets []Detection, iouThreshold float64) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var kept []Detection
+	for _, d := range sorted {
+		ok := true
+		for _, k := range kept {
+			if k.Class == d.Class && k.Box.IoU(d.Box) > iouThreshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

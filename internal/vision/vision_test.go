@@ -1,0 +1,223 @@
+package vision
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/captcha"
+	"repro/internal/raster"
+)
+
+// buildPage draws a simple page with a button and a CAPTCHA at known boxes.
+func buildPage(rng *rand.Rand, kind captcha.Kind) Example {
+	img := raster.New(400, 300, raster.White)
+	img.DrawString("PLEASE VERIFY YOUR ACCOUNT", 20, 12, raster.Black)
+	// Input box.
+	img.Outline(raster.R(20, 40, 180, 14), raster.Gray)
+
+	cimg, _ := captcha.Render(kind, rng)
+	cx, cy := 20, 80
+	img.Blit(cimg, cx, cy)
+	cbox := raster.R(cx, cy, cimg.W, cimg.H)
+
+	bbox := raster.R(20, 220, 70, 18)
+	img.Fill(bbox, raster.LightGray)
+	img.Outline(bbox, raster.Gray)
+	img.DrawString("Submit", bbox.X+6, bbox.Y+5, raster.Black)
+
+	return Example{Image: img, Annotations: []Annotation{
+		{Class: kind.String(), Box: cbox},
+		{Class: ClassButton, Box: bbox},
+	}}
+}
+
+func trainedDetector(t testing.TB) *Detector {
+	rng := rand.New(rand.NewSource(42))
+	var examples []Example
+	for i := 0; i < 120; i++ {
+		kind := captcha.AllKinds()[i%int(captcha.NumKinds)]
+		examples = append(examples, buildPage(rng, kind))
+	}
+	d, err := Train(examples, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTrainRequiresData(t *testing.T) {
+	if _, err := Train(nil, 1); err == nil {
+		t.Error("empty training should fail")
+	}
+}
+
+func TestProposalsFindWidgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ex := buildPage(rng, captcha.Text1)
+	props := Proposals(ex.Image)
+	if len(props) == 0 {
+		t.Fatal("no proposals on a page with widgets")
+	}
+	// Each annotation must be covered by some proposal with decent IoU.
+	for _, an := range ex.Annotations {
+		best := 0.0
+		for _, p := range props {
+			if iou := p.IoU(an.Box); iou > best {
+				best = iou
+			}
+		}
+		if best < MatchIoU {
+			t.Errorf("no proposal covers %s (best IoU %.2f)", an.Class, best)
+		}
+	}
+}
+
+func TestProposalsEmptyImage(t *testing.T) {
+	if got := Proposals(raster.New(0, 0, raster.White)); got != nil {
+		t.Error("empty image should yield no proposals")
+	}
+	blank := raster.New(200, 200, raster.White)
+	if got := Proposals(blank); len(got) != 0 {
+		t.Errorf("blank page yielded %d proposals", len(got))
+	}
+}
+
+func TestDetectButtonAndCaptcha(t *testing.T) {
+	d := trainedDetector(t)
+	rng := rand.New(rand.NewSource(99))
+	ex := buildPage(rng, captcha.Text2)
+	dets := d.Detect(ex.Image)
+	foundButton, foundCaptcha := false, false
+	for _, det := range dets {
+		for _, an := range ex.Annotations {
+			if det.Box.IoU(an.Box) >= MatchIoU && det.Class == an.Class {
+				if an.Class == ClassButton {
+					foundButton = true
+				} else {
+					foundCaptcha = true
+				}
+			}
+		}
+	}
+	if !foundButton {
+		t.Errorf("button not detected; detections: %+v", dets)
+	}
+	if !foundCaptcha {
+		t.Errorf("captcha not detected; detections: %+v", dets)
+	}
+}
+
+func TestDetectClassFiltering(t *testing.T) {
+	d := trainedDetector(t)
+	rng := rand.New(rand.NewSource(5))
+	ex := buildPage(rng, captcha.Text1)
+	for _, det := range d.DetectClass(ex.Image, ClassButton) {
+		if det.Class != ClassButton {
+			t.Errorf("DetectClass leaked class %s", det.Class)
+		}
+	}
+}
+
+func TestNonMaxSuppression(t *testing.T) {
+	dets := []Detection{
+		{Class: "button", Score: 0.9, Box: raster.R(0, 0, 50, 20)},
+		{Class: "button", Score: 0.8, Box: raster.R(2, 2, 50, 20)},   // overlaps first
+		{Class: "button", Score: 0.7, Box: raster.R(200, 0, 50, 20)}, // distinct
+		{Class: "logo", Score: 0.6, Box: raster.R(1, 1, 50, 20)},     // other class
+	}
+	kept := NonMaxSuppression(dets, 0.3)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d, want 3: %+v", len(kept), kept)
+	}
+	if kept[0].Score != 0.9 {
+		t.Error("NMS must keep highest score first")
+	}
+}
+
+func TestEvaluatePerfectOnTraining(t *testing.T) {
+	// On clean, well-separated synthetic pages the detector should achieve
+	// high AP — the Table 5 regime (77-99 AP).
+	d := trainedDetector(t)
+	rng := rand.New(rand.NewSource(1234))
+	var test []Example
+	for i := 0; i < 40; i++ {
+		test = append(test, buildPage(rng, captcha.AllKinds()[i%8]))
+	}
+	res := Evaluate(d, test)
+	if res.MeanAP < 0.6 {
+		t.Errorf("mean AP = %.2f, want >= 0.6; per-class: %v", res.MeanAP, res.APPerClass)
+	}
+	if res.APPerClass[ClassButton] < 0.7 {
+		t.Errorf("button AP = %.2f", res.APPerClass[ClassButton])
+	}
+	if res.Precision() <= 0 || res.Recall() <= 0 {
+		t.Error("aggregate precision/recall should be positive")
+	}
+}
+
+func TestFeaturesDimAndStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ex := buildPage(rng, captcha.Text3)
+	f := Features(ex.Image, ex.Annotations[0].Box)
+	if len(f) != FeatureDim {
+		t.Fatalf("feature dim = %d, want %d", len(f), FeatureDim)
+	}
+	f2 := Features(ex.Image, ex.Annotations[0].Box)
+	for i := range f {
+		if f[i] != f2[i] {
+			t.Fatal("features not deterministic")
+		}
+	}
+	// Empty region yields the zero vector without panicking.
+	zero := Features(ex.Image, raster.R(500, 500, 10, 10))
+	for _, v := range zero {
+		if v != 0 {
+			t.Error("out-of-bounds region should yield zero features")
+		}
+	}
+}
+
+func TestDetectorMarshalRoundTrip(t *testing.T) {
+	d := trainedDetector(t)
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := UnmarshalDetector(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	ex := buildPage(rng, captcha.Visual2)
+	a := d.Detect(ex.Image)
+	b := d2.Detect(ex.Image)
+	if len(a) != len(b) {
+		t.Fatalf("round trip changed detections: %d vs %d", len(a), len(b))
+	}
+	if _, err := UnmarshalDetector([]byte("junk")); err == nil {
+		t.Error("junk should fail to unmarshal")
+	}
+}
+
+func TestScoreRegionBackgroundOnBlank(t *testing.T) {
+	d := trainedDetector(t)
+	blank := raster.New(300, 200, raster.White)
+	blank.DrawString("JUST SOME RUNNING TEXT HERE", 10, 50, raster.Black)
+	dets := d.Detect(blank)
+	for _, det := range dets {
+		if det.Class == ClassButton && det.Score > 0.9 {
+			t.Errorf("plain text confidently detected as button: %+v", det)
+		}
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	d := trainedDetector(b)
+	rng := rand.New(rand.NewSource(3))
+	ex := buildPage(rng, captcha.Text4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(ex.Image)
+	}
+}

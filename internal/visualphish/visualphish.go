@@ -1,0 +1,198 @@
+// Package visualphish is the stand-in for VisualPhishNet (Abdelnabi et al.,
+// CCS 2020), the visual-similarity model the paper uses in Section 5.1.1 to
+// measure how many phishing pages actually clone the design of the brand
+// they impersonate. A gallery of legitimate-site screenshots is embedded
+// into a feature space (downsampled layout signature + colour histogram +
+// perceptual hash bits); a query screenshot is matched to its nearest
+// gallery brand. If the match differs from the ground-truth target brand —
+// as with the paper's DHL page classified as "Alibaba" — the page is deemed
+// *not* to clone the brand's design.
+package visualphish
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/phash"
+	"repro/internal/raster"
+)
+
+const thumbW, thumbH = 16, 16
+
+// Embedding is the visual feature representation of a screenshot.
+type Embedding struct {
+	// Thumb is a 16x16 dominant-color thumbnail capturing layout.
+	Thumb []raster.Color
+	// Hist is the normalized color histogram.
+	Hist [raster.NumColors]float64
+	// PHash captures edge structure.
+	PHash phash.Hash
+}
+
+// Embed computes the embedding of a screenshot.
+func Embed(img *raster.Image) Embedding {
+	e := Embedding{PHash: phash.Compute(img)}
+	th := img.Downsample(thumbW, thumbH)
+	e.Thumb = th.Pix
+	hist := img.Histogram()
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total > 0 {
+		for c, n := range hist {
+			e.Hist[c] = float64(n) / float64(total)
+		}
+	}
+	return e
+}
+
+// Distance returns a dissimilarity in [0, ~2] combining thumbnail layout
+// agreement, histogram divergence, and perceptual-hash distance.
+func Distance(a, b Embedding) float64 {
+	// Thumbnail mismatch rate.
+	mism := 0
+	n := len(a.Thumb)
+	if len(b.Thumb) < n {
+		n = len(b.Thumb)
+	}
+	for i := 0; i < n; i++ {
+		if a.Thumb[i] != b.Thumb[i] {
+			mism++
+		}
+	}
+	thumbD := 1.0
+	if n > 0 {
+		thumbD = float64(mism) / float64(n)
+	}
+	// Histogram L1/2 distance.
+	histD := 0.0
+	for c := range a.Hist {
+		histD += math.Abs(a.Hist[c] - b.Hist[c])
+	}
+	histD /= 2
+	// pHash distance normalized.
+	hashD := float64(phash.Distance(a.PHash, b.PHash)) / float64(phash.Bits)
+	return 0.5*thumbD + 0.3*histD + 0.2*hashD
+}
+
+// CropContent returns the sub-image bounded by the non-white content of
+// img, normalizing away viewport margins before similarity comparison:
+// screenshots taken at different viewport widths then compare by layout,
+// not by how much white space surrounded the page.
+func CropContent(img *raster.Image) *raster.Image {
+	minX, minY, maxX, maxY := img.W, img.H, -1, -1
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if img.At(x, y) != raster.White {
+				if x < minX {
+					minX = x
+				}
+				if y < minY {
+					minY = y
+				}
+				if x > maxX {
+					maxX = x
+				}
+				if y > maxY {
+					maxY = y
+				}
+			}
+		}
+	}
+	if maxX < 0 {
+		return img.Clone()
+	}
+	return img.Sub(raster.R(minX, minY, maxX-minX+1, maxY-minY+1))
+}
+
+// EmbedCropped embeds the content-cropped image; use it when query and
+// gallery screenshots come from different viewport geometries.
+func EmbedCropped(img *raster.Image) Embedding {
+	return Embed(CropContent(img))
+}
+
+// AddCropped inserts a gallery exemplar using the cropped embedding.
+func (g *Gallery) AddCropped(brand string, screenshot *raster.Image) {
+	g.entries = append(g.entries, entry{brand: brand, emb: EmbedCropped(screenshot)})
+}
+
+// MatchEmbedding matches a precomputed embedding against the gallery.
+func (g *Gallery) MatchEmbedding(q Embedding) (string, float64) {
+	best, bestD := "", math.Inf(1)
+	for _, e := range g.entries {
+		if d := Distance(q, e.emb); d < bestD {
+			best, bestD = e.brand, d
+		}
+	}
+	if bestD > g.MatchThreshold {
+		return "", bestD
+	}
+	return best, bestD
+}
+
+// Gallery is the trained model: one or more exemplar embeddings per brand.
+type Gallery struct {
+	entries []entry
+	// MatchThreshold is the maximum distance for a match to count at all;
+	// queries farther than this from every exemplar return no match.
+	MatchThreshold float64
+}
+
+type entry struct {
+	brand string
+	emb   Embedding
+}
+
+// NewGallery returns an empty gallery with the default match threshold.
+func NewGallery() *Gallery {
+	return &Gallery{MatchThreshold: 0.25}
+}
+
+// Add inserts a legitimate screenshot for a brand. Multiple screenshots per
+// brand are allowed (profile pages, regional variants, ...).
+func (g *Gallery) Add(brand string, screenshot *raster.Image) {
+	g.entries = append(g.entries, entry{brand: brand, emb: Embed(screenshot)})
+}
+
+// Len returns the number of gallery exemplars.
+func (g *Gallery) Len() int { return len(g.entries) }
+
+// Brands returns the distinct brands in the gallery, sorted.
+func (g *Gallery) Brands() []string {
+	set := map[string]bool{}
+	for _, e := range g.entries {
+		set[e.brand] = true
+	}
+	out := make([]string, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Match returns the nearest gallery brand for the screenshot and the
+// distance, or ("", dist) when nothing is within the threshold — meaning the
+// page does not closely resemble any known legitimate design.
+func (g *Gallery) Match(screenshot *raster.Image) (string, float64) {
+	q := Embed(screenshot)
+	best, bestD := "", math.Inf(1)
+	for _, e := range g.entries {
+		if d := Distance(q, e.emb); d < bestD {
+			best, bestD = e.brand, d
+		}
+	}
+	if bestD > g.MatchThreshold {
+		return "", bestD
+	}
+	return best, bestD
+}
+
+// Clones reports whether the screenshot closely mimics the given target
+// brand: the Section 5.1.1 decision. It is false when the nearest brand
+// differs from the target or nothing matches at all.
+func (g *Gallery) Clones(screenshot *raster.Image, targetBrand string) bool {
+	match, _ := g.Match(screenshot)
+	return match == targetBrand
+}
