@@ -1,0 +1,29 @@
+# Developer entry points. Everything is plain go tooling; the targets exist
+# so CI and humans run the same commands.
+
+GO ?= go
+
+.PHONY: all build test race vet bench check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The farm and crawler are the concurrent hot paths (shared stage-timing
+# collector, worker pool over one crawler template); keep them race-clean.
+race:
+	$(GO) test -race ./internal/farm/... ./internal/crawler/...
+
+vet:
+	$(GO) vet ./...
+
+# Hot-path microbenchmarks plus the end-to-end throughput run. Scale the
+# corpus with PHISH_BENCH_SITES (default 600).
+bench:
+	$(GO) test -run='^$$' -bench='BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline' -benchmem ./...
+
+check: build vet test race

@@ -22,7 +22,9 @@ import (
 	"repro/internal/fielddata"
 	"repro/internal/fieldspec"
 	"repro/internal/metrics"
+	"repro/internal/ocr"
 	"repro/internal/pagegen"
+	"repro/internal/raster"
 	"repro/internal/textclass"
 	"repro/internal/vision"
 )
@@ -343,6 +345,95 @@ func BenchmarkFarmThroughput(b *testing.B) {
 		_, stats = farm.Run(farm.Config{Workers: 30, Crawler: p.Crawler}, urls)
 	}
 	b.ReportMetric(stats.SitesPerDay(), "sites/day")
+}
+
+// --- Hot-path micro-benches (perf harness) ---
+//
+// These three benches capture the visual hot path's cost so optimizations
+// land with a reproducible before/after number (see the "Performance"
+// section of README.md). They deliberately exercise the exact call shapes
+// the crawler uses per page: one detector pass, the per-field OCR label
+// search, and the end-to-end farm loop.
+
+// BenchmarkDetect measures one full detector pass (proposals + features +
+// NMS) over a generated page screenshot.
+func BenchmarkDetect(b *testing.B) {
+	det, err := vision.Train(pagegen.GenerateSet(200, 1, pagegen.Config{}), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pages := pagegen.GenerateSet(8, 9, pagegen.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Detect(pages[i%len(pages)].Image)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/page")
+}
+
+// BenchmarkOCRPage measures the OCR work one crawled page costs: the
+// label search left of and above each input box (Section 4.1 step 3),
+// repeated for a form's worth of fields against one screenshot. It follows
+// the crawler's pattern: binarize the screenshot once into a (pooled) ink
+// mask, then run every field's label search against it.
+func BenchmarkOCRPage(b *testing.B) {
+	img := ocrBenchPage()
+	eng := ocr.New()
+	boxes := ocrBenchBoxes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := ocr.NewMask(img)
+		for _, box := range boxes {
+			eng.TextNearMask(m, box, 150)
+		}
+		m.Release()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/page")
+}
+
+// ocrBenchPage draws a login-style form whose labels sit left of and above
+// the input boxes, mimicking the screenshots the crawler OCRs.
+func ocrBenchPage() *raster.Image {
+	img := raster.New(800, 600, raster.White)
+	labels := []string{"Email address", "Password", "Card number", "Security code"}
+	for i, label := range labels {
+		y := 80 + i*90
+		img.DrawString(label, 60, y, raster.Black)
+		img.Outline(raster.R(60, y+20, 220, 18), raster.Gray)
+		img.DrawString("Account "+label, 320, y+24, raster.Black)
+	}
+	return img
+}
+
+func ocrBenchBoxes() []raster.Rect {
+	out := make([]raster.Rect, 0, 4)
+	for i := 0; i < 4; i++ {
+		out = append(out, raster.R(60, 100+i*90, 220, 18))
+	}
+	return out
+}
+
+// BenchmarkCrawlThroughput measures end-to-end farm throughput on a small
+// corpus, reporting sites/sec — the number behind the paper's >1,000
+// sites/day claim (Section 4.6).
+func BenchmarkCrawlThroughput(b *testing.B) {
+	p, err := core.NewPipeline(core.Options{NumSites: 60, Seed: 7, DetectorTrainPages: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := p.Feed.URLs()
+	if len(urls) > 50 {
+		urls = urls[:50]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats farm.Stats
+	for i := 0; i < b.N; i++ {
+		_, stats = farm.Run(farm.Config{Workers: 16, Crawler: p.Crawler}, urls)
+	}
+	b.ReportMetric(float64(stats.Sites)/stats.Elapsed.Seconds(), "sites/sec")
+	b.ReportMetric(stats.Elapsed.Seconds()*1e9/float64(stats.Sites), "ns/site")
 }
 
 // --- Ablations (DESIGN.md Section 5) ---

@@ -1,15 +1,21 @@
 // Command phishcrawl runs the full measurement pipeline: generate the
 // corpus, serve it, train the crawler's models, and crawl every site with
-// the farm, printing per-outcome statistics and throughput.
+// the farm, printing per-outcome statistics, per-stage timings, and
+// throughput. The -cpuprofile/-memprofile flags capture pprof profiles of
+// the run for performance work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/sessionio"
 )
 
@@ -19,7 +25,21 @@ func main() {
 	workers := flag.Int("workers", 30, "parallel crawl sessions (paper: 30)")
 	sample := flag.Int("sample", 0, "crawl only the first N sites (0 = all)")
 	out := flag.String("o", "", "write session logs as JSON Lines to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the crawl to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	fmt.Printf("Building pipeline (%d sites, seed %d)...\n", *numSites, *seed)
 	p, err := core.NewPipeline(core.Options{NumSites: *numSites, Seed: *seed, Workers: *workers})
@@ -54,10 +74,26 @@ func main() {
 	}
 	fmt.Printf("Pages visited: %d; input fields identified and filled: %d\n", pages, fields)
 
+	if len(p.Stats.Stages) > 0 {
+		fmt.Printf("\nPer-stage timing (aggregated across workers):\n%s", metrics.StageTable(p.Stats.Stages))
+	}
+
 	if *out != "" {
 		if err := sessionio.WriteFile(*out, p.Logs); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("session logs written to %s\n", *out)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/dom"
+	"repro/internal/ocr"
 	"repro/internal/raster"
 	"repro/internal/render"
 	"repro/internal/script"
@@ -107,6 +108,7 @@ type Page struct {
 
 	browser *Browser
 	page    *render.Page // lazy render cache
+	ocrMask *ocr.Mask    // lazy binarization of the current screenshot
 }
 
 // ErrTooManyRedirects limits redirect chains.
@@ -277,11 +279,28 @@ func (p *Page) Render() *render.Page {
 	return p.page
 }
 
-// MarkDirty invalidates the cached rendering after DOM mutation.
-func (p *Page) MarkDirty() { p.page = nil }
+// MarkDirty invalidates the cached rendering (and the OCR mask derived
+// from it) after DOM mutation.
+func (p *Page) MarkDirty() {
+	p.page = nil
+	// The old mask is dropped, not Released: a caller that fetched it
+	// before the mutation may still be reading it.
+	p.ocrMask = nil
+}
 
 // Screenshot returns the current page screenshot.
 func (p *Page) Screenshot() *raster.Image { return p.Render().Screenshot }
+
+// OCRMask returns the ink mask of the current screenshot, binarizing on
+// first use. Repeat OCR passes over the same rendering (label lookup per
+// input field) share this one mask; MarkDirty invalidates it along with
+// the rendering.
+func (p *Page) OCRMask() *ocr.Mask {
+	if p.ocrMask == nil {
+		p.ocrMask = ocr.NewMask(p.Screenshot())
+	}
+	return p.ocrMask
+}
 
 // DOMHash returns the lightweight structural hash used for page-transition
 // detection.

@@ -1,0 +1,70 @@
+package browser
+
+import (
+	"testing"
+
+	"repro/internal/ocr"
+	"repro/internal/raster"
+)
+
+// maskMatchesScreenshot checks the mask against the recognizer's ink rule
+// (intensity < 128) pixel by pixel over the full screenshot.
+func maskMatchesScreenshot(t *testing.T, m *ocr.Mask, shot *raster.Image) {
+	t.Helper()
+	if m.Region != raster.R(0, 0, shot.W, shot.H) {
+		t.Fatalf("mask region = %+v, want full %dx%d screenshot", m.Region, shot.W, shot.H)
+	}
+	for y := 0; y < shot.H; y++ {
+		for x := 0; x < shot.W; x++ {
+			want := raster.ColorIntensity(shot.Pix[y*shot.W+x]) < 128
+			if m.At(x, y) != want {
+				t.Fatalf("mask disagrees with screenshot at (%d,%d): mask=%v ink=%v",
+					x, y, m.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestOCRMaskCachedPerRendering(t *testing.T) {
+	b := newBrowser(testSite())
+	p, err := b.Navigate("http://phish.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := p.OCRMask()
+	if m1 != p.OCRMask() {
+		t.Fatal("repeat OCRMask on an unchanged page rebuilt the mask")
+	}
+	maskMatchesScreenshot(t, m1, p.Screenshot())
+}
+
+func TestOCRMaskInvalidatedByMarkDirty(t *testing.T) {
+	b := newBrowser(testSite())
+	p, err := b.Navigate("http://phish.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := p.OCRMask()
+	// Type mutates the DOM and calls MarkDirty, so both the rendering and
+	// the derived mask must be rebuilt. (m1 is never Released here, so the
+	// pool cannot hand the same *Mask back.)
+	p.Type(p.VisibleInputs()[0], "victim@example.com")
+	m2 := p.OCRMask()
+	if m2 == m1 {
+		t.Fatal("OCRMask survived MarkDirty")
+	}
+	maskMatchesScreenshot(t, m2, p.Screenshot())
+	// The typed value renders as ink the first mask cannot have had: the
+	// fresh mask must differ in content, not just identity.
+	diff := 0
+	for y := 0; y < m2.Region.H; y++ {
+		for x := 0; x < m2.Region.W; x++ {
+			if m1.At(x, y) != m2.At(x, y) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("mask content unchanged after typing into a field")
+	}
+}

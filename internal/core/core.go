@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/brands"
@@ -103,25 +104,46 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		p.Registry.AddBenignHost(h)
 	}
 
-	// Models.
-	var err error
-	p.FieldClassifier, err = fielddata.TrainMultilingual(opts.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("core: training field classifier: %w", err)
-	}
-	p.Detector, err = vision.Train(pagegen.GenerateSet(opts.DetectorTrainPages, opts.Seed+2, pagegen.Config{}), opts.Seed+3)
-	if err != nil {
-		return nil, fmt.Errorf("core: training detector: %w", err)
-	}
-	p.TermClassifier, err = termclass.Train(opts.Seed + 4)
-	if err != nil {
-		return nil, fmt.Errorf("core: training terminal classifier: %w", err)
-	}
-	p.Gallery = analysis.BrandGallery()
-	for _, kind := range captcha.VisualKinds() {
-		for _, crop := range pagegen.CaptchaCrops(kind, 10, opts.Seed+5) {
-			p.CaptchaExemplars = append(p.CaptchaExemplars, phash.Compute(crop))
+	// Models. The four training steps draw from independent seeded RNG
+	// streams (Seed, Seed+2/+3, Seed+4, Seed+5) and share no mutable
+	// state, so they run concurrently; outputs are bit-identical to
+	// training them one after another. Errors are checked in the original
+	// serial order so the reported failure doesn't depend on scheduling.
+	var (
+		wg                         sync.WaitGroup
+		fieldErr, detErr, termErr error
+	)
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		p.FieldClassifier, fieldErr = fielddata.TrainMultilingual(opts.Seed)
+	}()
+	go func() {
+		defer wg.Done()
+		p.Detector, detErr = vision.Train(pagegen.GenerateSet(opts.DetectorTrainPages, opts.Seed+2, pagegen.Config{}), opts.Seed+3)
+	}()
+	go func() {
+		defer wg.Done()
+		p.TermClassifier, termErr = termclass.Train(opts.Seed + 4)
+	}()
+	go func() {
+		defer wg.Done()
+		for _, kind := range captcha.VisualKinds() {
+			for _, crop := range pagegen.CaptchaCrops(kind, 10, opts.Seed+5) {
+				p.CaptchaExemplars = append(p.CaptchaExemplars, phash.Compute(crop))
+			}
 		}
+	}()
+	p.Gallery = analysis.BrandGallery()
+	wg.Wait()
+	if fieldErr != nil {
+		return nil, fmt.Errorf("core: training field classifier: %w", fieldErr)
+	}
+	if detErr != nil {
+		return nil, fmt.Errorf("core: training detector: %w", detErr)
+	}
+	if termErr != nil {
+		return nil, fmt.Errorf("core: training terminal classifier: %w", termErr)
 	}
 
 	// Crawler template.

@@ -67,3 +67,48 @@ func TestPipelineDeterministicCorpus(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineDeterministicModels pins down that the concurrent training
+// steps in NewPipeline stay bit-identical run to run: each step owns an
+// independent seeded RNG stream, so scheduling must not leak into any
+// model's bytes.
+func TestPipelineDeterministicModels(t *testing.T) {
+	a, err := core.NewPipeline(core.Options{NumSites: 20, Seed: 5, DetectorTrainPages: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.NewPipeline(core.Options{NumSites: 20, Seed: 5, DetectorTrainPages: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, err := a.Detector.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.Detector.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Error("same seed produced different detectors")
+	}
+	fa, err := a.FieldClassifier.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.FieldClassifier.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fa) != string(fb) {
+		t.Error("same seed produced different field classifiers")
+	}
+	if len(a.CaptchaExemplars) == 0 || len(a.CaptchaExemplars) != len(b.CaptchaExemplars) {
+		t.Fatalf("exemplar counts differ: %d vs %d", len(a.CaptchaExemplars), len(b.CaptchaExemplars))
+	}
+	for i := range a.CaptchaExemplars {
+		if a.CaptchaExemplars[i] != b.CaptchaExemplars[i] {
+			t.Fatal("same seed produced different captcha exemplars")
+		}
+	}
+}

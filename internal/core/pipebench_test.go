@@ -1,0 +1,11 @@
+package core
+
+import "testing"
+
+func BenchmarkNewPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPipeline(Options{NumSites: 200, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

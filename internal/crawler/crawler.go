@@ -16,6 +16,7 @@ import (
 	"repro/internal/dom"
 	"repro/internal/faker"
 	"repro/internal/fieldspec"
+	"repro/internal/metrics"
 	"repro/internal/ocr"
 	"repro/internal/phash"
 	"repro/internal/raster"
@@ -135,6 +136,10 @@ type Crawler struct {
 	MaxPages int
 	// FakerSeed seeds the per-session forged-data generator.
 	FakerSeed int64
+	// Timings, when non-nil, accumulates per-stage wall-clock (render, OCR,
+	// detect, submit). The farm points every worker's copy at one shared
+	// collector; nil disables instrumentation at zero cost.
+	Timings *metrics.StageTimings
 
 	// DisableOCR turns off the visual label fallback of Section 4.1 — the
 	// ablation quantifying what a DOM-only crawler would miss.
@@ -175,15 +180,17 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 			break
 		}
 		pl := c.observePage(page, step, eng)
-		fields := identifyFields(page, eng)
+		fields := c.identifyFields(page, eng)
 		c.classifyAndLog(&pl, fields)
 
 		var next *browser.Page
+		submitStart := c.Timings.Start()
 		if len(fields) > 0 {
 			next = c.fillAndSubmit(page, fields, &pl, fk)
 		} else {
 			next = c.clickThrough(page, &pl)
 		}
+		c.Timings.ObserveSince(metrics.StageSubmit, submitStart)
 		log.Pages = append(log.Pages, pl)
 		if next == nil {
 			if pl.SubmitMethod == "" && len(fields) == 0 {
@@ -202,7 +209,9 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 
 // observePage collects the per-page metadata of Section 4.5.
 func (c *Crawler) observePage(p *browser.Page, index int, eng *ocr.Engine) PageLog {
+	renderStart := c.Timings.Start()
 	shot := p.Screenshot()
+	c.Timings.ObserveSince(metrics.StageRender, renderStart)
 	pl := PageLog{
 		Index:      index,
 		URL:        p.URL,
@@ -216,7 +225,9 @@ func (c *Crawler) observePage(p *browser.Page, index int, eng *ocr.Engine) PageL
 		ScriptSrcs: script.ExternalScripts(p.Doc),
 	}
 	if c.Detector != nil {
+		detectStart := c.Timings.Start()
 		pl.Detections = c.Detector.Detect(shot)
+		c.Timings.ObserveSince(metrics.StageDetect, detectStart)
 		for _, det := range pl.Detections {
 			pl.DetectionHashes = append(pl.DetectionHashes, phash.Compute(shot.Sub(det.Box)))
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/browser"
 	"repro/internal/dom"
+	"repro/internal/metrics"
 	"repro/internal/ocr"
 	"repro/internal/raster"
 	"repro/internal/textclass"
@@ -35,9 +36,8 @@ type FieldInfo struct {
 // assemble each one's description from DOM context, and fall back to OCR on
 // the rendered page when the DOM is uninformative. A nil engine disables
 // the OCR fallback (the DOM-only ablation).
-func identifyFields(p *browser.Page, eng *ocr.Engine) []FieldInfo {
+func (c *Crawler) identifyFields(p *browser.Page, eng *ocr.Engine) []FieldInfo {
 	lay := p.Render().Layout
-	shot := p.Screenshot()
 	var out []FieldInfo
 	for _, n := range p.VisibleInputs() {
 		box, _ := lay.Box(n)
@@ -50,7 +50,11 @@ func identifyFields(p *browser.Page, eng *ocr.Engine) []FieldInfo {
 		if len(textclass.Tokenize(desc)) == 0 && eng != nil {
 			// DOM analysis found nothing useful: visual analysis of the
 			// regions to the left and above the box (Figure 3 defence).
-			desc = eng.TextNear(shot, box, ocrSearchDist)
+			// The page's cached ink mask is shared across every field's
+			// label search on this rendering.
+			ocrStart := c.Timings.Start()
+			desc = eng.TextNearMask(p.OCRMask(), box, ocrSearchDist)
+			c.Timings.ObserveSince(metrics.StageOCR, ocrStart)
 			info.UsedOCR = true
 		}
 		info.Description = strings.TrimSpace(desc)

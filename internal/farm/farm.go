@@ -10,10 +10,16 @@ import (
 	"time"
 
 	"repro/internal/crawler"
+	"repro/internal/metrics"
 )
 
 // DefaultWorkers matches the paper's 30 parallel Docker sessions.
 const DefaultWorkers = 30
+
+// OutcomeLost is the Stats.Outcomes key counting sessions that produced no
+// log at all — a worker never wrote one — so outcome counts always sum to
+// Sites and silent losses are visible in the report.
+const OutcomeLost = "lost"
 
 // Config configures a crawl farm.
 type Config struct {
@@ -29,6 +35,9 @@ type Stats struct {
 	Sites    int
 	Elapsed  time.Duration
 	Outcomes map[string]int
+	// Stages is the per-stage timing breakdown (render, OCR, detect,
+	// submit) aggregated across every worker, in stage order.
+	Stages []metrics.StageStat
 }
 
 // SitesPerDay extrapolates throughput.
@@ -50,9 +59,18 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 		workers = len(urls)
 	}
 	logs := make([]*crawler.SessionLog, len(urls))
+	// All workers record into one shared stage-timing collector (it is
+	// atomic inside); reuse the template's when the caller installed one so
+	// timings accumulate across Run calls.
+	timings := cfg.Crawler.Timings
+	if timings == nil {
+		timings = &metrics.StageTimings{}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	// Buffered to the full job count so the producer never blocks: all
+	// indices are enqueued up front and workers drain at their own pace.
+	jobs := make(chan int, len(urls))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -60,6 +78,7 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 			// Each worker gets its own crawler so faker sequences differ
 			// across sessions without shared state.
 			c := *cfg.Crawler
+			c.Timings = timings
 			for idx := range jobs {
 				c.FakerSeed = cfg.Crawler.FakerSeed + int64(idx)*7919
 				logs[idx] = c.Crawl(urls[idx])
@@ -76,10 +95,13 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 		Sites:    len(urls),
 		Elapsed:  time.Since(start),
 		Outcomes: map[string]int{},
+		Stages:   timings.Snapshot(),
 	}
 	for _, l := range logs {
 		if l != nil {
 			stats.Outcomes[l.Outcome]++
+		} else {
+			stats.Outcomes[OutcomeLost]++
 		}
 	}
 	return logs, stats

@@ -8,6 +8,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/crawler"
 	"repro/internal/fielddata"
+	"repro/internal/metrics"
 	"repro/internal/phishserver"
 	"repro/internal/site"
 	"repro/internal/textclass"
@@ -84,6 +85,78 @@ func TestRunCrawlsAll(t *testing.T) {
 	}
 	if stats.Outcomes[crawler.OutcomeCompleted] == 0 {
 		t.Errorf("outcomes = %v", stats.Outcomes)
+	}
+	if stats.Outcomes[OutcomeLost] != 0 {
+		t.Errorf("lost sessions counted on a clean run: %v", stats.Outcomes)
+	}
+	total := 0
+	for _, n := range stats.Outcomes {
+		total += n
+	}
+	if total != stats.Sites {
+		t.Errorf("outcomes sum to %d, want %d", total, stats.Sites)
+	}
+	// The shared timing collector saw every worker: one render per page.
+	var render metrics.StageStat
+	for _, s := range stats.Stages {
+		if s.Stage == "render" {
+			render = s
+		}
+	}
+	if render.Count < int64(stats.Sites) || render.Total <= 0 {
+		t.Errorf("render stage = %+v, want >= %d observations", render, stats.Sites)
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts pins the farm's reproducibility
+// property: because faker seeds derive from the job index, not the worker,
+// the same URL list crawled with 1 worker and with 30 produces identical
+// session logs — same outcomes, same pages, same forged field values.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	var urls []string
+	for i := 0; i < 30; i++ {
+		s := quickSite(fmtHost(200 + i))
+		reg.AddSite(s)
+		urls = append(urls, s.SeedURL())
+	}
+	serial, _ := Run(Config{Workers: 1, Crawler: testCrawler(reg, nil)}, urls)
+	wide, _ := Run(Config{Workers: 30, Crawler: testCrawler(reg, nil)}, urls)
+	if len(serial) != len(wide) {
+		t.Fatalf("log counts differ: %d vs %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		a, b := serial[i], wide[i]
+		if a == nil || b == nil {
+			t.Fatalf("site %d: nil log", i)
+		}
+		if a.Outcome != b.Outcome {
+			t.Errorf("site %d: outcome %q vs %q", i, a.Outcome, b.Outcome)
+		}
+		if len(a.Pages) != len(b.Pages) {
+			t.Errorf("site %d: %d pages vs %d", i, len(a.Pages), len(b.Pages))
+			continue
+		}
+		for pi := range a.Pages {
+			pa, pb := a.Pages[pi], b.Pages[pi]
+			if pa.SubmitMethod != pb.SubmitMethod {
+				t.Errorf("site %d page %d: submit %q vs %q", i, pi, pa.SubmitMethod, pb.SubmitMethod)
+			}
+			if len(pa.Fields) != len(pb.Fields) {
+				t.Errorf("site %d page %d: %d fields vs %d", i, pi, len(pa.Fields), len(pb.Fields))
+				continue
+			}
+			for fi := range pa.Fields {
+				if pa.Fields[fi].Value != pb.Fields[fi].Value {
+					t.Errorf("site %d page %d field %d: forged %q vs %q",
+						i, pi, fi, pa.Fields[fi].Value, pb.Fields[fi].Value)
+				}
+				if pa.Fields[fi].Label != pb.Fields[fi].Label {
+					t.Errorf("site %d page %d field %d: label %q vs %q",
+						i, pi, fi, pa.Fields[fi].Label, pb.Fields[fi].Label)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one instrumented phase of a crawl session. The four
+// stages cover the crawler's hot path: rendering a page, reading labels
+// with OCR, running the object detector, and driving the submit ladder.
+type Stage int
+
+const (
+	StageRender Stage = iota
+	StageOCR
+	StageDetect
+	StageSubmit
+	numStages
+)
+
+var stageNames = [numStages]string{"render", "ocr", "detect", "submit"}
+
+// String returns the stage's name as printed in timing tables.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// StageTimings accumulates per-stage call counts and wall-clock time. It is
+// safe for concurrent use — the farm's workers all record into one shared
+// collector — and the zero value is ready to use. A nil *StageTimings is a
+// valid no-op collector, so instrumented code needs no guards.
+type StageTimings struct {
+	counts [numStages]atomic.Int64
+	nanos  [numStages]atomic.Int64
+}
+
+// Start returns the current time when the collector is active and the zero
+// time otherwise; pair it with ObserveSince so disabled instrumentation
+// skips the clock read entirely.
+func (t *StageTimings) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records one completed stage call begun at start (as returned
+// by Start). A nil collector or zero start is a no-op.
+func (t *StageTimings) ObserveSince(s Stage, start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.Observe(s, time.Since(start))
+}
+
+// Observe records one completed stage call of duration d.
+func (t *StageTimings) Observe(s Stage, d time.Duration) {
+	if t == nil || s < 0 || s >= numStages {
+		return
+	}
+	t.counts[s].Add(1)
+	t.nanos[s].Add(int64(d))
+}
+
+// StageStat is a point-in-time snapshot of one stage's counters.
+type StageStat struct {
+	Stage string
+	Count int64
+	Total time.Duration
+}
+
+// Mean returns the average duration per call.
+func (s StageStat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Snapshot returns the current statistics for every stage in stage order,
+// including stages never observed (with zero counts). It may be called
+// while other goroutines are still recording.
+func (t *StageTimings) Snapshot() []StageStat {
+	if t == nil {
+		return nil
+	}
+	out := make([]StageStat, numStages)
+	for i := range out {
+		out[i] = StageStat{
+			Stage: stageNames[i],
+			Count: t.counts[i].Load(),
+			Total: time.Duration(t.nanos[i].Load()),
+		}
+	}
+	return out
+}
+
+// StageTable formats a snapshot as an aligned per-stage breakdown.
+func StageTable(stats []StageStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s\n", "Stage", "Calls", "Total", "Mean")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-8s %8d %12s %12s\n",
+			s.Stage, s.Count, s.Total.Round(time.Microsecond), s.Mean().Round(time.Microsecond))
+	}
+	return b.String()
+}

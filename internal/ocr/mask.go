@@ -1,0 +1,108 @@
+package ocr
+
+import (
+	"sync"
+
+	"repro/internal/raster"
+)
+
+// Mask is a precomputed bitmap of "ink" pixels (anything notably darker
+// than the page background) covering a rectangular region of an image. It
+// is the binarization pass of the recognizer, split out so callers that run
+// several recognitions over the same unchanged screenshot — the crawler
+// reads labels near every input field — binarize once and share the mask,
+// instead of re-thresholding (and copying) the pixels per call.
+//
+// Masks come from a pool; call Release when done to recycle the bitmap
+// buffer. A mask must not be used after the underlying image mutates —
+// the browser caches one per rendering and drops it on MarkDirty.
+type Mask struct {
+	// Region is the pixel rectangle the mask covers (clipped to the
+	// image). Queries outside it read as not-ink.
+	Region raster.Rect
+
+	dark []bool // row-major, region-local, len Region.W*Region.H
+}
+
+// darkTable maps each palette color to the recognizer's ink rule
+// (intensity < 128), hoisting the threshold out of the binarization loop.
+var darkTable = buildDarkTable()
+
+func buildDarkTable() [raster.NumColors]bool {
+	var t [raster.NumColors]bool
+	for c := raster.Color(0); c < raster.NumColors; c++ {
+		t[c] = raster.ColorIntensity(c) < 128
+	}
+	return t
+}
+
+var maskPool = sync.Pool{New: func() any { return new(Mask) }}
+
+// NewMask binarizes the whole image.
+func NewMask(img *raster.Image) *Mask {
+	return NewMaskRegion(img, raster.R(0, 0, img.W, img.H))
+}
+
+// NewMaskRegion binarizes only r (clipped to the image), in one
+// O(r.Area()) pass.
+func NewMaskRegion(img *raster.Image, r raster.Rect) *Mask {
+	r = r.Clip(img.W, img.H)
+	m := maskPool.Get().(*Mask)
+	m.Region = r
+	n := r.W * r.H
+	if cap(m.dark) < n {
+		m.dark = make([]bool, n)
+	} else {
+		m.dark = m.dark[:n]
+	}
+	for i := range m.dark {
+		m.dark[i] = false
+	}
+	for y := 0; y < r.H; y++ {
+		src := img.Pix[(r.Y+y)*img.W+r.X : (r.Y+y)*img.W+r.X+r.W]
+		dst := m.dark[y*r.W : (y+1)*r.W]
+		// Pages are mostly background; OR eight pixels at a time and only
+		// threshold per-pixel when a chunk has content. Relies on White
+		// being palette index 0 (not ink).
+		x := 0
+		for ; x+8 <= r.W; x += 8 {
+			if src[x]|src[x+1]|src[x+2]|src[x+3]|src[x+4]|src[x+5]|src[x+6]|src[x+7] != 0 {
+				for j := x; j < x+8; j++ {
+					if px := src[j]; px < raster.NumColors && darkTable[px] {
+						dst[j] = true
+					}
+				}
+			}
+		}
+		for ; x < r.W; x++ {
+			if px := src[x]; px < raster.NumColors && darkTable[px] {
+				dst[x] = true
+			}
+		}
+	}
+	return m
+}
+
+// Release returns the mask's buffer to the pool. The Mask must not be used
+// afterwards. Calling Release is optional — an unreleased mask is simply
+// collected by the GC.
+func (m *Mask) Release() { maskPool.Put(m) }
+
+// At reports whether the absolute pixel (x, y) is ink. Pixels outside the
+// covered region read as not-ink.
+func (m *Mask) At(x, y int) bool {
+	x -= m.Region.X
+	y -= m.Region.Y
+	if x < 0 || y < 0 || x >= m.Region.W || y >= m.Region.H {
+		return false
+	}
+	return m.dark[y*m.Region.W+x]
+}
+
+// row returns the mask row covering [r.X, r.X+r.W) at absolute y. The
+// caller guarantees r is clipped to the covered region.
+func (m *Mask) row(r raster.Rect, y int) []bool {
+	base := (y - m.Region.Y) * m.Region.W
+	x0 := r.X - m.Region.X
+	return m.dark[base+x0 : base+x0+r.W]
+}

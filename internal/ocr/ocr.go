@@ -9,10 +9,17 @@
 // a configurable amount of pixel noise. Like a real OCR engine it can
 // misread noisy glyphs, return partial results, and costs measurably more
 // than DOM analysis (which is why the crawler only falls back to it).
+//
+// Binarization is exposed as the Mask type so repeat recognitions over the
+// same unchanged screenshot share one thresholding pass; the convenience
+// methods taking an Image build (and pool-recycle) a transient mask per
+// call.
 package ocr
 
 import (
+	"math/bits"
 	"strings"
+	"sync"
 
 	"repro/internal/raster"
 )
@@ -55,26 +62,38 @@ func (e *Engine) minConf() float64 {
 }
 
 // RecognizeRegion extracts all text lines inside the given region of img.
+// Boxes are reported in img coordinates.
 func (e *Engine) RecognizeRegion(img *raster.Image, region raster.Rect) []Result {
-	sub := img.Sub(region)
-	results := e.Recognize(sub)
-	for i := range results {
-		results[i].Box.X += region.X
-		results[i].Box.Y += region.Y
-	}
-	return results
+	m := NewMaskRegion(img, region)
+	out := e.RecognizeMask(m, m.Region)
+	m.Release()
+	return out
 }
 
 // Recognize extracts all text lines in img.
 func (e *Engine) Recognize(img *raster.Image) []Result {
-	dark := darkMask(img)
+	m := NewMask(img)
+	out := e.RecognizeMask(m, m.Region)
+	m.Release()
+	return out
+}
+
+// RecognizeMask extracts all text lines inside region using a prebuilt
+// ink mask — the batch entry point for callers recognizing several regions
+// of the same screenshot. Boxes are reported in image coordinates.
+func (e *Engine) RecognizeMask(m *Mask, region raster.Rect) []Result {
+	region = region.Intersect(m.Region)
+	if region.Empty() {
+		return nil
+	}
+	s := ocrScratchPool.Get().(*ocrScratch)
 	var out []Result
-	for _, band := range horizontalBands(dark, img.W, img.H) {
+	for _, band := range horizontalBands(m, region, s) {
 		if band.h < raster.GlyphH {
 			continue
 		}
-		for _, seg := range lineSegments(dark, img.W, band) {
-			text, conf := e.readSegment(dark, img.W, seg)
+		for _, seg := range lineSegments(m, region, band, s) {
+			text, conf := e.readSegment(m, seg)
 			text = strings.TrimSpace(text)
 			if text == "" || conf < e.minConf() {
 				continue
@@ -86,12 +105,22 @@ func (e *Engine) Recognize(img *raster.Image) []Result {
 			})
 		}
 	}
+	ocrScratchPool.Put(s)
 	return out
 }
 
 // Text returns all recognized text in img joined by newlines.
 func (e *Engine) Text(img *raster.Image) string {
-	rs := e.Recognize(img)
+	return joinLines(e.Recognize(img))
+}
+
+// TextMask returns all recognized text in the mask's region joined by
+// newlines.
+func (e *Engine) TextMask(m *Mask) string {
+	return joinLines(e.RecognizeMask(m, m.Region))
+}
+
+func joinLines(rs []Result) string {
 	lines := make([]string, len(rs))
 	for i, r := range rs {
 		lines[i] = r.Text
@@ -99,63 +128,96 @@ func (e *Engine) Text(img *raster.Image) string {
 	return strings.Join(lines, "\n")
 }
 
-// TextNear returns the text found in the region to the left of and above the
-// given box, up to dist pixels away — the two directions the paper's crawler
-// searches for input-field labels (Section 4.1 step 3).
+// textNearRegions are the two areas the paper's crawler searches for
+// input-field labels (Section 4.1 step 3): above and to the left of the
+// field box, up to dist pixels away.
+func textNearRegions(box raster.Rect, dist int) [2]raster.Rect {
+	return [2]raster.Rect{
+		// Above: full width of the box plus margins, dist tall.
+		raster.R(box.X-dist/2, box.Y-dist, box.W+dist, dist),
+		// Left: dist wide, box height plus margin.
+		raster.R(box.X-dist, box.Y-2, dist, box.H+4),
+	}
+}
+
+// TextNear returns the text found to the left of and above the given box,
+// up to dist pixels away. Each search region is binarized on the fly; use
+// TextNearMask with a cached page mask when reading labels for several
+// boxes of the same screenshot.
 func (e *Engine) TextNear(img *raster.Image, box raster.Rect, dist int) string {
 	var parts []string
-	// Above: full width of the box plus margins, dist tall.
-	above := raster.R(box.X-dist/2, box.Y-dist, box.W+dist, dist)
-	for _, r := range e.RecognizeRegion(img, above) {
-		parts = append(parts, r.Text)
-	}
-	// Left: dist wide, box height plus margin.
-	left := raster.R(box.X-dist, box.Y-2, dist, box.H+4)
-	for _, r := range e.RecognizeRegion(img, left) {
-		parts = append(parts, r.Text)
+	for _, region := range textNearRegions(box, dist) {
+		m := NewMaskRegion(img, region)
+		for _, r := range e.RecognizeMask(m, m.Region) {
+			parts = append(parts, r.Text)
+		}
+		m.Release()
 	}
 	return strings.Join(parts, " ")
 }
 
-// darkMask returns a bitmap of "ink" pixels: anything notably darker than
-// the page background.
-func darkMask(img *raster.Image) []bool {
-	mask := make([]bool, img.W*img.H)
-	for y := 0; y < img.H; y++ {
-		for x := 0; x < img.W; x++ {
-			mask[y*img.W+x] = img.Intensity(x, y) < 128
+// TextNearMask is TextNear against a prebuilt ink mask.
+func (e *Engine) TextNearMask(m *Mask, box raster.Rect, dist int) string {
+	var parts []string
+	for _, region := range textNearRegions(box, dist) {
+		for _, r := range e.RecognizeMask(m, region) {
+			parts = append(parts, r.Text)
 		}
 	}
-	return mask
+	return strings.Join(parts, " ")
+}
+
+// ocrScratch holds the per-call row/column flag buffers and band/segment
+// lists, recycled through a pool so recognition does not allocate them per
+// region.
+type ocrScratch struct {
+	rows  []bool
+	cols  []bool
+	bands []band
+	segs  []segment
+}
+
+var ocrScratchPool = sync.Pool{New: func() any { return new(ocrScratch) }}
+
+func boolBuf(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	b := (*buf)[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 type band struct{ y, h int }
 
-// horizontalBands finds maximal runs of rows containing at least one dark
-// pixel.
-func horizontalBands(dark []bool, w, h int) []band {
-	rowHasInk := make([]bool, h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			if dark[y*w+x] {
+// horizontalBands finds maximal runs of rows inside region containing at
+// least one ink pixel. Band coordinates are absolute.
+func horizontalBands(m *Mask, region raster.Rect, s *ocrScratch) []band {
+	rowHasInk := boolBuf(&s.rows, region.H)
+	for y := 0; y < region.H; y++ {
+		for _, on := range m.row(region, region.Y+y) {
+			if on {
 				rowHasInk[y] = true
 				break
 			}
 		}
 	}
-	var bands []band
+	bands := s.bands[:0]
 	y := 0
-	for y < h {
+	for y < region.H {
 		if !rowHasInk[y] {
 			y++
 			continue
 		}
 		start := y
-		for y < h && rowHasInk[y] {
+		for y < region.H && rowHasInk[y] {
 			y++
 		}
-		bands = append(bands, band{start, y - start})
+		bands = append(bands, band{region.Y + start, y - start})
 	}
+	s.bands = bands
 	return bands
 }
 
@@ -166,31 +228,31 @@ type segment struct {
 }
 
 // lineSegments splits a band into word-level segments separated by wide
-// horizontal gaps, and records intra-segment word gaps.
-func lineSegments(dark []bool, w int, b band) []segment {
-	colHasInk := make([]bool, w)
-	for x := 0; x < w; x++ {
-		for y := b.y; y < b.y+b.h; y++ {
-			if dark[y*w+x] {
+// horizontal gaps, and records intra-segment word gaps. Coordinates are
+// absolute.
+func lineSegments(m *Mask, region raster.Rect, b band, s *ocrScratch) []segment {
+	colHasInk := boolBuf(&s.cols, region.W)
+	for dy := 0; dy < b.h; dy++ {
+		for x, on := range m.row(raster.R(region.X, b.y, region.W, b.h), b.y+dy) {
+			if on {
 				colHasInk[x] = true
-				break
 			}
 		}
 	}
 	// A gap wider than 3 glyph advances splits segments (separate labels);
 	// narrower gaps over 1 advance are word boundaries within a segment.
 	const segGap = raster.AdvanceX * 3
-	var segs []segment
+	segs := s.segs[:0]
 	x := 0
-	for x < w {
+	for x < region.W {
 		if !colHasInk[x] {
 			x++
 			continue
 		}
 		start := x
 		gapStart := -1
-		gaps := map[int]bool{}
-		for x < w {
+		var gaps map[int]bool
+		for x < region.W {
 			if colHasInk[x] {
 				if gapStart >= 0 {
 					gapW := x - gapStart
@@ -198,8 +260,11 @@ func lineSegments(dark []bool, w int, b band) []segment {
 						break
 					}
 					if gapW >= raster.AdvanceX {
+						if gaps == nil {
+							gaps = map[int]bool{}
+						}
 						for g := gapStart; g < x; g++ {
-							gaps[g] = true
+							gaps[region.X+g] = true
 						}
 					}
 					gapStart = -1
@@ -216,17 +281,18 @@ func lineSegments(dark []bool, w int, b band) []segment {
 		if gapStart >= 0 {
 			end = gapStart
 		}
-		segs = append(segs, segment{x: start, w: end - start, y: b.y, h: b.h, gapMap: gaps})
+		segs = append(segs, segment{x: region.X + start, w: end - start, y: b.y, h: b.h, gapMap: gaps})
 		if gapStart >= 0 {
 			x = gapStart
 		}
 	}
+	s.segs = segs
 	return segs
 }
 
 // readSegment walks a segment left to right in glyph-cell steps, matching
 // each cell against the font.
-func (e *Engine) readSegment(dark []bool, w int, seg segment) (string, float64) {
+func (e *Engine) readSegment(m *Mask, seg segment) (string, float64) {
 	var b strings.Builder
 	var totalQ float64
 	var nGlyphs int
@@ -245,8 +311,8 @@ func (e *Engine) readSegment(dark []bool, w int, seg segment) (string, float64) 
 		// to two pixels earlier and keep the best alignment.
 		bestR, bestDist, bestAnchor := rune(0), raster.GlyphW*raster.GlyphH+1, x
 		for dx := 0; dx <= 2; dx++ {
-			cell := extractCell(dark, w, x-dx, seg.y, seg.h)
-			if cellEmpty(cell) {
+			cell := extractCell(m, x-dx, seg.y, seg.h)
+			if cell == 0 {
 				continue
 			}
 			r, dist := matchGlyph(cell)
@@ -278,73 +344,54 @@ func (e *Engine) readSegment(dark []bool, w int, seg segment) (string, float64) 
 	return b.String(), totalQ / float64(nGlyphs)
 }
 
-// extractCell reads a GlyphW x GlyphH window. Bands taller than GlyphH
-// anchor the window at the band top; trailing rows are ignored.
-func extractCell(dark []bool, w, x, y, h int) [raster.GlyphH][raster.GlyphW]bool {
-	var cell [raster.GlyphH][raster.GlyphW]bool
+// extractCell reads a GlyphW x GlyphH window at absolute (x, y) into a
+// bit-packed cell (bit gy*GlyphW+gx). Bands taller than GlyphH anchor the
+// window at the band top; trailing rows are ignored. Pixels outside the
+// mask's region read as blank. GlyphW*GlyphH (35) bits fit one uint64, so
+// glyph matching is XOR + popcount instead of a per-pixel comparison loop.
+func extractCell(m *Mask, x, y, h int) uint64 {
+	var cell uint64
 	for gy := 0; gy < raster.GlyphH && gy < h; gy++ {
 		for gx := 0; gx < raster.GlyphW; gx++ {
-			px, py := x+gx, y+gy
-			idx := py*w + px
-			if px >= 0 && px < w && idx >= 0 && idx < len(dark) {
-				cell[gy][gx] = dark[idx]
+			if m.At(x+gx, y+gy) {
+				cell |= 1 << uint(gy*raster.GlyphW+gx)
 			}
 		}
 	}
 	return cell
 }
 
-func cellEmpty(cell [raster.GlyphH][raster.GlyphW]bool) bool {
-	for _, row := range cell {
-		for _, on := range row {
-			if on {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// glyphTable caches the font as bitmaps for matching.
+// glyphTable caches the font as bit-packed bitmaps for matching.
 var glyphTable = buildGlyphTable()
 
 type glyphEntry struct {
 	r    rune
-	bits [raster.GlyphH][raster.GlyphW]bool
+	bits uint64
 }
 
 func buildGlyphTable() []glyphEntry {
 	var out []glyphEntry
 	for _, r := range raster.GlyphRunes() {
 		g, _ := raster.Glyph(r)
-		var bits [raster.GlyphH][raster.GlyphW]bool
+		var packed uint64
 		for y := 0; y < raster.GlyphH; y++ {
 			for x := 0; x < raster.GlyphW; x++ {
-				bits[y][x] = g[y][x] == 'X'
+				if g[y][x] == 'X' {
+					packed |= 1 << uint(y*raster.GlyphW+x)
+				}
 			}
 		}
-		out = append(out, glyphEntry{r, bits})
+		out = append(out, glyphEntry{r, packed})
 	}
 	return out
 }
 
 // matchGlyph returns the best-matching rune and its Hamming distance.
-func matchGlyph(cell [raster.GlyphH][raster.GlyphW]bool) (rune, int) {
+func matchGlyph(cell uint64) (rune, int) {
 	best := rune(0)
 	bestDist := raster.GlyphW*raster.GlyphH + 1
 	for _, g := range glyphTable {
-		d := 0
-		for y := 0; y < raster.GlyphH; y++ {
-			for x := 0; x < raster.GlyphW; x++ {
-				if cell[y][x] != g.bits[y][x] {
-					d++
-				}
-			}
-			if d >= bestDist {
-				break
-			}
-		}
-		if d < bestDist {
+		if d := bits.OnesCount64(cell ^ g.bits); d < bestDist {
 			best, bestDist = g.r, d
 		}
 	}

@@ -205,6 +205,15 @@ var intensity = [NumColors]int{
 	255, 0, 128, 200, 100, 110, 90, 220, 160, 80, 120, 40, 60, 100, 210, 70,
 }
 
+// ColorIntensity returns the grayscale intensity of a palette color.
+// Out-of-palette values read as blank (255).
+func ColorIntensity(c Color) int {
+	if c < NumColors {
+		return intensity[c]
+	}
+	return 255
+}
+
 // Intensity returns the grayscale intensity of the pixel at (x, y).
 func (im *Image) Intensity(x, y int) int {
 	c := im.At(x, y)

@@ -154,8 +154,23 @@ func (cs *classStats) score(f []float64) float64 {
 
 // ScoreRegion classifies a single region, returning the best non-background
 // class and a confidence that compares it against the background class.
+// The integral is built over the region only, so the call is O(box.Area())
+// regardless of image size.
 func (d *Detector) ScoreRegion(img *raster.Image, box raster.Rect) (string, float64) {
-	f := Features(img, box)
+	in := raster.NewIntegralRegion(img, box)
+	class, conf := d.ScoreRegionFrom(in, box)
+	in.Release()
+	return class, conf
+}
+
+// ScoreRegionFrom classifies the window box against a prebuilt integral
+// image covering it, sharing one region table across tightening and every
+// feature statistic.
+func (d *Detector) ScoreRegionFrom(in *raster.Integral, box raster.Rect) (string, float64) {
+	return d.scoreFeatures(FeaturesFrom(in, box))
+}
+
+func (d *Detector) scoreFeatures(f []float64) (string, float64) {
 	bestClass, bestScore := ClassBackground, 0.0
 	bgScore := 1e-12
 	for i := range d.Classes {
@@ -173,19 +188,24 @@ func (d *Detector) ScoreRegion(img *raster.Image, box raster.Rect) (string, floa
 }
 
 // Detect runs proposal generation, region classification, and per-class
-// non-max suppression over a page screenshot.
+// non-max suppression over a page screenshot. Each proposal's integral
+// image is built once over its window and shared by proposal tightening
+// and the window's feature extraction.
 func (d *Detector) Detect(img *raster.Image) []Detection {
 	threshold := d.Threshold
 	if threshold <= 0 {
 		threshold = 0.5
 	}
 	var dets []Detection
-	for _, box := range Proposals(img) {
-		class, conf := d.ScoreRegion(img, box)
+	f := make([]float64, FeatureDim)
+	for _, p := range proposalsIn(img) {
+		featuresInto(f, p.in, p.box)
+		p.in.Release()
+		class, conf := d.scoreFeatures(f)
 		if class == ClassBackground || conf < threshold {
 			continue
 		}
-		dets = append(dets, Detection{Class: class, Score: conf, Box: box})
+		dets = append(dets, Detection{Class: class, Score: conf, Box: p.box})
 	}
 	return NonMaxSuppression(dets, 0.3)
 }

@@ -18,9 +18,33 @@ import (
 const FeatureDim = 28
 
 // Features computes the appearance feature vector of the region r in img.
+// One-off convenience wrapper: it builds a summed-area table over r only, so
+// the cost is O(r.Area()) regardless of image size. Callers computing several
+// statistics of the same window should build the integral once with
+// raster.NewIntegralRegion and call FeaturesFrom.
 func Features(img *raster.Image, r raster.Rect) []float64 {
-	r = r.Clip(img.W, img.H)
-	f := make([]float64, FeatureDim)
+	in := raster.NewIntegralRegion(img, r)
+	f := FeaturesFrom(in, r)
+	in.Release()
+	return f
+}
+
+// FeaturesFrom computes the appearance feature vector of the window r using
+// a prebuilt integral image covering (at least) r. Repeatedly-queried
+// statistics are O(1) against the table; whole-window statistics come from
+// one streaming Stats pass, so one table per proposal region serves
+// tightening plus the whole feature vector.
+func FeaturesFrom(in *raster.Integral, r raster.Rect) []float64 {
+	return featuresInto(make([]float64, FeatureDim), in, r)
+}
+
+// featuresInto fills f (length FeatureDim) with the window's feature vector
+// and returns it, letting batch callers reuse one buffer across windows.
+func featuresInto(f []float64, in *raster.Integral, r raster.Rect) []float64 {
+	for i := range f {
+		f[i] = 0
+	}
+	r = r.Intersect(in.Region)
 	if r.Empty() {
 		return f
 	}
@@ -30,62 +54,31 @@ func Features(img *raster.Image, r raster.Rect) []float64 {
 	f[2] = w / h
 
 	area := float64(r.Area())
-	var hist [raster.NumColors]int
-	ink := 0
-	hTrans, vTrans := 0, 0
-	for y := r.Y; y < r.Y+r.H; y++ {
-		prev := raster.Color(255)
-		for x := r.X; x < r.X+r.W; x++ {
-			c := img.At(x, y)
-			hist[c]++
-			if img.Intensity(x, y) < 128 {
-				ink++
-			}
-			if x > r.X && c != prev {
-				hTrans++
-			}
-			prev = c
-		}
+	hist, hTrans, vTrans := in.Stats(r)
+	for c, n := range hist {
+		f[3+c] = float64(n) / area
 	}
-	for x := r.X; x < r.X+r.W; x++ {
-		prev := raster.Color(255)
-		for y := r.Y; y < r.Y+r.H; y++ {
-			c := img.At(x, y)
-			if y > r.Y && c != prev {
-				vTrans++
-			}
-			prev = c
-		}
-	}
-	for c := 0; c < int(raster.NumColors); c++ {
-		f[3+c] = float64(hist[c]) / area
-	}
-	f[19] = float64(ink) / area
+	f[19] = float64(in.InkCount(r)) / area
 	f[20] = float64(hTrans) / area
 	f[21] = float64(vTrans) / area
-	f[22] = gridScoreH(img, r)
-	f[23] = gridScoreV(img, r)
-	f[24] = glyphBandRatio(img, r)
-	f[25] = borderScore(img, r)
-	f[26] = checkboxScore(img, r)
-	f[27] = headerScore(img, r)
+	f[22] = gridScoreH(in, r)
+	f[23] = gridScoreV(in, r)
+	f[24] = glyphBandRatio(in, r)
+	f[25] = borderScore(in, r)
+	f[26] = checkboxScore(in, r)
+	f[27] = headerScore(in, r)
 	return f
 }
 
 // gridScoreH returns the fraction of interior rows that are near-uniform
 // non-background lines (grid/stripe structure).
-func gridScoreH(img *raster.Image, r raster.Rect) float64 {
+func gridScoreH(in *raster.Integral, r raster.Rect) float64 {
 	if r.H < 4 {
 		return 0
 	}
 	lines := 0
 	for y := r.Y + 1; y < r.Y+r.H-1; y++ {
-		nonBG := 0
-		for x := r.X + 1; x < r.X+r.W-1; x++ {
-			if img.At(x, y) != raster.White {
-				nonBG++
-			}
-		}
+		nonBG := in.NonWhiteCount(raster.R(r.X+1, y, r.W-2, 1))
 		if float64(nonBG) >= 0.85*float64(r.W-2) {
 			lines++
 		}
@@ -93,18 +86,13 @@ func gridScoreH(img *raster.Image, r raster.Rect) float64 {
 	return float64(lines) / float64(r.H-2)
 }
 
-func gridScoreV(img *raster.Image, r raster.Rect) float64 {
+func gridScoreV(in *raster.Integral, r raster.Rect) float64 {
 	if r.W < 4 {
 		return 0
 	}
 	lines := 0
 	for x := r.X + 1; x < r.X+r.W-1; x++ {
-		nonBG := 0
-		for y := r.Y + 1; y < r.Y+r.H-1; y++ {
-			if img.At(x, y) != raster.White {
-				nonBG++
-			}
-		}
+		nonBG := in.NonWhiteCount(raster.R(x, r.Y+1, 1, r.H-2))
 		if float64(nonBG) >= 0.85*float64(r.H-2) {
 			lines++
 		}
@@ -115,79 +103,52 @@ func gridScoreV(img *raster.Image, r raster.Rect) float64 {
 // glyphBandRatio measures how much of the region's ink falls into a
 // glyph-height band around the vertical center — high for single-line text
 // such as button labels and text CAPTCHAs.
-func glyphBandRatio(img *raster.Image, r raster.Rect) float64 {
-	totalInk, bandInk := 0, 0
-	bandY0 := r.CenterY() - raster.GlyphH
-	bandY1 := r.CenterY() + raster.GlyphH
-	for y := r.Y; y < r.Y+r.H; y++ {
-		for x := r.X; x < r.X+r.W; x++ {
-			if img.Intensity(x, y) < 128 {
-				totalInk++
-				if y >= bandY0 && y <= bandY1 {
-					bandInk++
-				}
-			}
-		}
-	}
+func glyphBandRatio(in *raster.Integral, r raster.Rect) float64 {
+	totalInk := in.InkCount(r)
 	if totalInk == 0 {
 		return 0
 	}
+	bandY0 := r.CenterY() - raster.GlyphH
+	bandY1 := r.CenterY() + raster.GlyphH
+	band := r.Intersect(raster.R(r.X, bandY0, r.W, bandY1-bandY0+1))
+	bandInk := in.InkCount(band)
 	return float64(bandInk) / float64(totalInk)
 }
 
 // borderScore returns the fraction of perimeter pixels that differ from the
-// page background, indicating an outlined widget.
-func borderScore(img *raster.Image, r raster.Rect) float64 {
-	per, hit := 0, 0
-	for x := r.X; x < r.X+r.W; x++ {
-		for _, y := range [2]int{r.Y, r.Y + r.H - 1} {
-			per++
-			if img.At(x, y) != raster.White {
-				hit++
-			}
-		}
-	}
-	for y := r.Y; y < r.Y+r.H; y++ {
-		for _, x := range [2]int{r.X, r.X + r.W - 1} {
-			per++
-			if img.At(x, y) != raster.White {
-				hit++
-			}
-		}
-	}
+// page background, indicating an outlined widget. Perimeter corners count
+// twice (in both numerator and denominator), matching the row/column strip
+// decomposition.
+func borderScore(in *raster.Integral, r raster.Rect) float64 {
+	per := 2*r.W + 2*r.H
 	if per == 0 {
 		return 0
 	}
+	hit := in.NonWhiteCount(raster.R(r.X, r.Y, r.W, 1)) +
+		in.NonWhiteCount(raster.R(r.X, r.Y+r.H-1, r.W, 1)) +
+		in.NonWhiteCount(raster.R(r.X, r.Y, 1, r.H)) +
+		in.NonWhiteCount(raster.R(r.X+r.W-1, r.Y, 1, r.H))
 	return float64(hit) / float64(per)
 }
 
 // checkboxScore looks for a small light square with a darker outline in the
 // left quarter of the region — the signature of the "I'm not a robot"
-// widget.
-func checkboxScore(img *raster.Image, r raster.Rect) float64 {
+// widget. With the integral image each candidate square costs O(1) instead
+// of O(size^2).
+func checkboxScore(in *raster.Integral, r raster.Rect) float64 {
 	if r.W < 30 || r.H < 14 {
 		return 0
 	}
 	best := 0.0
 	for size := 8; size <= 16; size += 2 {
+		inner := size - 4
+		n := inner * inner
 		for y := r.Y + 2; y+size < r.Y+r.H-2; y++ {
 			for x := r.X + 2; x+size < r.X+r.W/3; x++ {
 				sq := raster.R(x, y, size, size)
 				// Outline must be non-white, interior light.
-				edge := borderScore(img, sq)
-				interiorLight := 0
-				n := 0
-				for iy := sq.Y + 2; iy < sq.Y+sq.H-2; iy++ {
-					for ix := sq.X + 2; ix < sq.X+sq.W-2; ix++ {
-						n++
-						if img.Intensity(ix, iy) >= 200 {
-							interiorLight++
-						}
-					}
-				}
-				if n == 0 {
-					continue
-				}
+				edge := borderScore(in, sq)
+				interiorLight := in.LightCount(raster.R(sq.X+2, sq.Y+2, inner, inner))
 				s := edge * float64(interiorLight) / float64(n)
 				if s > best {
 					best = s
@@ -201,7 +162,7 @@ func checkboxScore(img *raster.Image, r raster.Rect) float64 {
 // headerScore measures whether the region's top strip is a solid saturated
 // color while the rest is not — the banner structure of image-grid
 // CAPTCHAs.
-func headerScore(img *raster.Image, r raster.Rect) float64 {
+func headerScore(in *raster.Integral, r raster.Rect) float64 {
 	if r.H < 20 {
 		return 0
 	}
@@ -209,21 +170,16 @@ func headerScore(img *raster.Image, r raster.Rect) float64 {
 	if stripH < 4 {
 		stripH = 4
 	}
-	var counts [raster.NumColors]int
-	n := 0
-	for y := r.Y + 1; y < r.Y+stripH; y++ {
-		for x := r.X + 1; x < r.X+r.W-1; x++ {
-			counts[img.At(x, y)]++
-			n++
-		}
-	}
-	if n == 0 {
+	strip := raster.R(r.X+1, r.Y+1, r.W-2, stripH-1)
+	n := strip.Intersect(in.Region).Area()
+	if strip.W <= 0 || n == 0 {
 		return 0
 	}
+	hist, _, _ := in.Stats(strip)
 	best, bestC := 0, raster.White
-	for c, v := range counts {
-		if v > best {
-			best, bestC = v, raster.Color(c)
+	for c := raster.Color(0); c < raster.NumColors; c++ {
+		if v := hist[c]; v > best {
+			best, bestC = v, c
 		}
 	}
 	if bestC == raster.White || bestC == raster.LightGray {
