@@ -3,23 +3,35 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench check
+.PHONY: all build test race vet bench chaos check
 
 all: build
 
 build:
 	$(GO) build ./...
 
-test:
+# Default test gate: vet first, the full suite, then the race detector over
+# the resilience-critical packages (retry queue, fault injector, context
+# deadlines) so a data race on the farm's new retry paths fails `make test`.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/farm/... ./internal/chaos/... ./internal/browser/...
 
 # The farm and crawler are the concurrent hot paths (shared stage-timing
-# collector, worker pool over one crawler template); keep them race-clean.
+# collector, worker pool over one crawler template, retry re-enqueues); keep
+# them race-clean.
 race:
-	$(GO) test -race ./internal/farm/... ./internal/crawler/...
+	$(GO) test -race ./internal/farm/... ./internal/crawler/... ./internal/chaos/... ./internal/browser/...
 
 vet:
 	$(GO) vet ./...
+
+# The fault-injection matrix: every chaos/retry/deadline/budget test under
+# the race detector. This is the resilience acceptance gate — it includes
+# the 1-vs-30-worker determinism pin for fault-injected crawls.
+chaos:
+	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError' \
+		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/...
 
 # Hot-path microbenchmarks plus the end-to-end throughput run. Scale the
 # corpus with PHISH_BENCH_SITES (default 600).

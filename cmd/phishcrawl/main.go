@@ -1,8 +1,10 @@
 // Command phishcrawl runs the full measurement pipeline: generate the
 // corpus, serve it, train the crawler's models, and crawl every site with
-// the farm, printing per-outcome statistics, per-stage timings, and
-// throughput. The -cpuprofile/-memprofile flags capture pprof profiles of
-// the run for performance work.
+// the farm, printing per-outcome statistics, the failure taxonomy,
+// per-stage timings, and throughput. The -chaos flags inject a
+// deterministic mix of dead/slow/flaky/5xx/truncated/takedown sites into
+// the feed (see docs/OPERATIONS.md); the -cpuprofile/-memprofile flags
+// capture pprof profiles of the run for performance work.
 package main
 
 import (
@@ -13,9 +15,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/report"
 	"repro/internal/sessionio"
 )
 
@@ -27,6 +33,22 @@ func main() {
 	out := flag.String("o", "", "write session logs as JSON Lines to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the crawl to this file")
+
+	def := chaos.DefaultProfile()
+	chaosOn := flag.Bool("chaos", false, "inject operational faults into the feed (dead/stalling/slow/5xx/truncated/takedown/flaky sites)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "fault-assignment seed (0 = derive from -seed)")
+	deadRate := flag.Float64("chaos-dead", def.DeadRate, "fraction of sites refusing connections")
+	stallRate := flag.Float64("chaos-stall", def.StallRate, "fraction of sites stalling past the fetch deadline")
+	slowRate := flag.Float64("chaos-slow", def.SlowRate, "fraction of sites answering slowly but within deadline")
+	serrRate := flag.Float64("chaos-5xx", def.ServerErrorRate, "fraction of sites answering every request with a 503")
+	truncRate := flag.Float64("chaos-truncate", def.TruncateRate, "fraction of sites truncating response bodies")
+	takedownRate := flag.Float64("chaos-takedown", def.TakedownRate, "fraction of sites replaced by a takedown page")
+	flakyRate := flag.Float64("chaos-flaky", def.FlakyRate, "fraction of sites resetting their first connections")
+	retries := flag.Int("retries", 0, "extra attempts per transiently-failed session (0 = default 2, negative disables)")
+	retryBase := flag.Duration("retry-base", 0, "backoff before the first retry (0 = farm default)")
+	retryMax := flag.Duration("retry-max", 0, "cap on the exponential backoff (0 = farm default)")
+	sessionBudget := flag.Duration("session-budget", 0, "per-session wall-clock budget (0 = crawler default, the paper's 20-minute timeout scaled)")
+	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch deadline (0 = browser default)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -41,10 +63,42 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	opts := core.Options{
+		NumSites:      *numSites,
+		Seed:          *seed,
+		Workers:       *workers,
+		ChaosSeed:     *chaosSeed,
+		SessionBudget: *sessionBudget,
+		FetchTimeout:  *fetchTimeout,
+		MaxRetries:    *retries,
+		RetryBase:     *retryBase,
+		RetryMax:      *retryMax,
+	}
+	if *chaosOn {
+		opts.Chaos = &chaos.Profile{
+			DeadRate:        *deadRate,
+			StallRate:       *stallRate,
+			SlowRate:        *slowRate,
+			ServerErrorRate: *serrRate,
+			TruncateRate:    *truncRate,
+			TakedownRate:    *takedownRate,
+			FlakyRate:       *flakyRate,
+		}
+		// Keep stall-vs-deadline separation sane at synthetic timescale:
+		// a stalling site must outlive the fetch deadline.
+		if opts.FetchTimeout == 0 {
+			opts.FetchTimeout = 250 * time.Millisecond
+		}
+	}
+
 	fmt.Printf("Building pipeline (%d sites, seed %d)...\n", *numSites, *seed)
-	p, err := core.NewPipeline(core.Options{NumSites: *numSites, Seed: *seed, Workers: *workers})
+	p, err := core.NewPipeline(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if p.Injector != nil {
+		fmt.Printf("Chaos: injecting faults over %.0f%% of sites (seed %d)\n",
+			p.Injector.Profile.FaultRate()*100, p.Injector.Seed)
 	}
 	fmt.Printf("Corpus: %d sites in %d campaigns. Crawling with %d workers...\n",
 		len(p.Corpus.Sites), p.Corpus.Campaigns, *workers)
@@ -73,6 +127,8 @@ func main() {
 		}
 	}
 	fmt.Printf("Pages visited: %d; input fields identified and filled: %d\n", pages, fields)
+
+	fmt.Printf("\n%s", report.FailureTable(analysis.FailureTaxonomy(p.Logs), p.Stats))
 
 	if len(p.Stats.Stages) > 0 {
 		fmt.Printf("\nPer-stage timing (aggregated across workers):\n%s", metrics.StageTable(p.Stats.Stages))

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/captcha"
 	"repro/internal/crawler"
+	"repro/internal/farm"
 	"repro/internal/feed"
 	"repro/internal/fieldspec"
 	"repro/internal/metrics"
@@ -687,6 +688,28 @@ func SubmitMethodBreakdown(logs []*crawler.SessionLog) *metrics.Histogram {
 		}
 		if method != "" {
 			h.Add(method, 1)
+		}
+	}
+	return h
+}
+
+// FailureTaxonomy tallies the operational fate of every session: healthy
+// outcomes (completed, stuck, page-limit) under their own names, takedown
+// pages, and gave-up sessions broken down by their preserved failure class
+// ("gave-up:dead", "gave-up:timeout", ...). Every session — including nil
+// (lost) ones — lands in exactly one row, so the histogram total equals
+// the crawled site count; it is the table a real crawl's reachability
+// triage starts from.
+func FailureTaxonomy(logs []*crawler.SessionLog) *metrics.Histogram {
+	h := metrics.NewHistogram()
+	for _, l := range logs {
+		switch {
+		case l == nil:
+			h.Add(farm.OutcomeLost, 1)
+		case l.Outcome == farm.OutcomeGaveUp && l.Error != "":
+			h.Add(farm.OutcomeGaveUp+":"+l.Error, 1)
+		default:
+			h.Add(l.Outcome, 1)
 		}
 	}
 	return h

@@ -10,6 +10,7 @@
 package browser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -51,11 +52,16 @@ type Event struct {
 	Time   time.Time
 }
 
+// DefaultFetchTimeout bounds each fetch when Options.Timeout is unset.
+const DefaultFetchTimeout = 10 * time.Second
+
 // Browser is one browsing profile. Create a fresh Browser per crawl session
 // to model the paper's clean-container-per-site setup (Section 4.6).
 type Browser struct {
-	client  *http.Client
-	cookies map[string]string // minimal cookie jar: name -> value
+	client       *http.Client
+	cookies      map[string]string // minimal cookie jar: name -> value
+	ctx          context.Context   // session context; fetch deadlines derive from it
+	fetchTimeout time.Duration
 
 	// NetLog accumulates every request across the session.
 	NetLog []NetRequest
@@ -69,26 +75,39 @@ type Options struct {
 	// phishing-site registry here so no TCP sockets are needed; nil uses
 	// http.DefaultTransport.
 	Transport http.RoundTripper
-	// Timeout bounds each fetch.
+	// Timeout bounds each fetch. It is enforced as a per-request context
+	// deadline (not http.Client.Timeout) so expiry surfaces as
+	// context.DeadlineExceeded and the crawler can classify it.
 	Timeout time.Duration
 }
 
 // New returns a fresh browser profile.
 func New(opts Options) *Browser {
 	if opts.Timeout <= 0 {
-		opts.Timeout = 10 * time.Second
+		opts.Timeout = DefaultFetchTimeout
 	}
 	return &Browser{
 		client: &http.Client{
 			Transport: opts.Transport,
-			Timeout:   opts.Timeout,
 			// Redirects are followed manually so each hop is logged.
 			CheckRedirect: func(req *http.Request, via []*http.Request) error {
 				return http.ErrUseLastResponse
 			},
 		},
-		cookies: map[string]string{},
-		now:     time.Now,
+		cookies:      map[string]string{},
+		ctx:          context.Background(),
+		fetchTimeout: opts.Timeout,
+		now:          time.Now,
+	}
+}
+
+// SetContext installs ctx as the session context: every subsequent fetch
+// derives its per-request deadline from it, so cancelling ctx aborts the
+// session's in-flight network work. The crawler installs its per-session
+// wall-clock budget here (Section 4.6's 20-minute session timeout).
+func (b *Browser) SetContext(ctx context.Context) {
+	if ctx != nil {
+		b.ctx = ctx
 	}
 }
 
@@ -154,44 +173,17 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (bo
 		carried = append(carried, form.Get(k))
 	}
 	for hop := 0; hop < 10; hop++ {
-		var req *http.Request
-		if method == "POST" && form != nil {
-			req, err = http.NewRequest(method, cur, strings.NewReader(form.Encode()))
-			if err == nil {
-				req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
-			}
-		} else {
-			req, err = http.NewRequest(method, cur, nil)
-		}
+		data, status, loc, err := b.roundTrip(method, cur, form, kind, carried)
 		if err != nil {
-			return "", cur, 0, fmt.Errorf("browser: building request: %w", err)
+			return "", cur, 0, err
 		}
-		for name, v := range b.cookies {
-			req.AddCookie(&http.Cookie{Name: name, Value: v})
-		}
-		resp, rerr := b.client.Do(req)
-		if rerr != nil {
-			b.NetLog = append(b.NetLog, NetRequest{Method: method, URL: cur, Status: 0, Kind: kind, Time: b.now()})
-			return "", cur, 0, fmt.Errorf("browser: fetch %s: %w", cur, rerr)
-		}
-		for _, c := range resp.Cookies() {
-			b.cookies[c.Name] = c.Value
-		}
-		entry := NetRequest{Method: method, URL: cur, Status: resp.StatusCode, Kind: kind, Time: b.now()}
-		if method == "POST" {
-			entry.CarriedData = carried
-		}
-		b.NetLog = append(b.NetLog, entry)
-		if resp.StatusCode >= 300 && resp.StatusCode < 400 {
-			loc := resp.Header.Get("Location")
-			io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
-			resp.Body.Close()
+		if status >= 300 && status < 400 {
 			if loc == "" {
-				return "", cur, resp.StatusCode, nil
+				return "", cur, status, nil
 			}
 			next, jerr := joinURL(cur, loc)
 			if jerr != nil {
-				return "", cur, resp.StatusCode, jerr
+				return "", cur, status, jerr
 			}
 			cur = next
 			// Redirect hops re-issue as GET, as browsers do for 302/303.
@@ -199,14 +191,56 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (bo
 			kind = "redirect"
 			continue
 		}
-		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-		resp.Body.Close()
-		if rerr != nil {
-			return "", cur, resp.StatusCode, fmt.Errorf("browser: reading body: %w", rerr)
-		}
-		return string(data), cur, resp.StatusCode, nil
+		return data, cur, status, nil
 	}
 	return "", cur, 0, ErrTooManyRedirects
+}
+
+// roundTrip issues one HTTP request under the per-fetch deadline (derived
+// from the session context, so a session-budget cancellation aborts it),
+// logs it, and absorbs Set-Cookie headers. Redirect statuses return the
+// Location header with an empty body.
+func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, carried []string) (data string, status int, location string, err error) {
+	ctx, cancel := context.WithTimeout(b.ctx, b.fetchTimeout)
+	defer cancel()
+	var req *http.Request
+	if method == "POST" && form != nil {
+		req, err = http.NewRequestWithContext(ctx, method, cur, strings.NewReader(form.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, method, cur, nil)
+	}
+	if err != nil {
+		return "", 0, "", fmt.Errorf("browser: building request: %w", err)
+	}
+	for name, v := range b.cookies {
+		req.AddCookie(&http.Cookie{Name: name, Value: v})
+	}
+	resp, rerr := b.client.Do(req)
+	if rerr != nil {
+		b.NetLog = append(b.NetLog, NetRequest{Method: method, URL: cur, Status: 0, Kind: kind, Time: b.now()})
+		return "", 0, "", fmt.Errorf("browser: fetch %s: %w", cur, rerr)
+	}
+	defer resp.Body.Close()
+	for _, c := range resp.Cookies() {
+		b.cookies[c.Name] = c.Value
+	}
+	entry := NetRequest{Method: method, URL: cur, Status: resp.StatusCode, Kind: kind, Time: b.now()}
+	if method == "POST" {
+		entry.CarriedData = carried
+	}
+	b.NetLog = append(b.NetLog, entry)
+	if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		return "", resp.StatusCode, resp.Header.Get("Location"), nil
+	}
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if rerr != nil {
+		return "", resp.StatusCode, "", fmt.Errorf("browser: reading body of %s: %w", cur, rerr)
+	}
+	return string(raw), resp.StatusCode, "", nil
 }
 
 // joinURL resolves ref against base.

@@ -1,0 +1,63 @@
+package browser
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// stallTransport never answers: it blocks until the request's context is
+// cancelled, mimicking a server that accepts the connection and then
+// stalls forever.
+type stallTransport struct{}
+
+func (stallTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	<-req.Context().Done()
+	return nil, req.Context().Err()
+}
+
+func TestFetchDeadlineCancelsStalledRequest(t *testing.T) {
+	b := New(Options{Transport: stallTransport{}, Timeout: 30 * time.Millisecond})
+	start := time.Now()
+	_, err := b.Navigate("http://stall.test/")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled fetch returned no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline took %s to fire", elapsed)
+	}
+}
+
+func TestSessionContextCancelsFetch(t *testing.T) {
+	// The per-fetch deadline is generous; the session context expires
+	// first and must cut the fetch short.
+	b := New(Options{Transport: stallTransport{}, Timeout: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	b.SetContext(ctx)
+	start := time.Now()
+	_, err := b.Navigate("http://stall.test/")
+	if err == nil {
+		t.Fatal("fetch survived an expired session context")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("session cancellation did not propagate promptly")
+	}
+}
+
+func TestSetContextNilFallsBack(t *testing.T) {
+	b := New(Options{Transport: stallTransport{}, Timeout: 10 * time.Millisecond})
+	b.SetContext(nil) // must not panic; deadline still applies
+	if _, err := b.Navigate("http://stall.test/"); err == nil {
+		t.Fatal("expected deadline error")
+	}
+}

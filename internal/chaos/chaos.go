@@ -1,0 +1,291 @@
+// Package chaos injects deterministic, seed-driven faults into the
+// synthetic phishing feed so the crawl pipeline can be exercised — and
+// tested — against the operational reality the paper crawled: a large
+// share of reported phishing URLs are already dead, slow, cloaked, or
+// mid-takedown by the time the crawler reaches them. An Injector wraps the
+// in-process phishserver transport (or any http.RoundTripper) and assigns
+// each hostname at most one Fault as a pure function of (seed, host), so
+// identical seeds produce identical fault schedules regardless of worker
+// count or request interleaving — the property the farm's 1-vs-30-worker
+// determinism test pins.
+//
+// The injected failure modes mirror the field conditions phishing crawlers
+// report: connection-refused dead sites, stalling and slow responses,
+// 5xx-broken backends, truncated response bodies, hosting-provider
+// takedown pages, and intermittent flakiness that clears after a few
+// attempts. EXPERIMENTS.md maps the default rates to the paper's
+// reachability discussion.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fault identifies one injected failure mode.
+type Fault string
+
+// The failure modes an Injector can assign to a host.
+const (
+	// FaultNone leaves the host healthy.
+	FaultNone Fault = ""
+	// FaultDead refuses every connection: the site is gone.
+	FaultDead Fault = "dead"
+	// FaultStall never answers within any reasonable deadline; the
+	// response arrives only if the request context outlives StallDelay.
+	FaultStall Fault = "stall"
+	// FaultSlow delays every response by SlowDelay but then succeeds.
+	FaultSlow Fault = "slow"
+	// FaultServerError answers every request with a 503 — the site's
+	// backend is broken. Injected at the transport so it is an operational
+	// failure, distinct from the corpus's own HTTP-error termination
+	// pattern (a measured UX behaviour, where only the final POST of a
+	// flow fails; see site.Page.FailStatus).
+	FaultServerError Fault = "server-error"
+	// FaultTruncate cuts every response body short, ending the read with
+	// io.ErrUnexpectedEOF.
+	FaultTruncate Fault = "truncate"
+	// FaultTakedown swaps the whole site for a hosting-provider
+	// suspension page.
+	FaultTakedown Fault = "takedown"
+	// FaultFlaky resets the first FlakyFailures connections to the host,
+	// then behaves normally — the transient failure a retry queue turns
+	// into a degraded completion.
+	FaultFlaky Fault = "flaky"
+)
+
+// Profile parameterises the fault mix. Rates are independent per-site
+// probabilities evaluated in field order; their sum must be <= 1 and the
+// remainder of the probability mass leaves sites healthy.
+type Profile struct {
+	DeadRate        float64
+	StallRate       float64
+	SlowRate        float64
+	ServerErrorRate float64
+	TruncateRate    float64
+	TakedownRate    float64
+	FlakyRate       float64
+
+	// SlowDelay is the per-request latency of FaultSlow sites (default
+	// 2ms — well inside any sane fetch deadline at synthetic timescale).
+	SlowDelay time.Duration
+	// StallDelay bounds how long a FaultStall site blocks when the
+	// request context carries no deadline (default 30s, a safety net:
+	// stalls are normally ended by the per-fetch deadline).
+	StallDelay time.Duration
+	// FlakyFailures is how many connections to a FaultFlaky host are
+	// reset before it recovers (default 2).
+	FlakyFailures int
+}
+
+// DefaultProfile returns the fault mix calibrated against the paper's
+// reachability discussion (see EXPERIMENTS.md): roughly 40% of reported
+// URLs exhibit some operational fault by crawl time, dominated by dead
+// and transiently unreachable sites.
+func DefaultProfile() Profile {
+	return Profile{
+		DeadRate:        0.12,
+		StallRate:       0.04,
+		SlowRate:        0.10,
+		ServerErrorRate: 0.05,
+		TruncateRate:    0.03,
+		TakedownRate:    0.06,
+		FlakyRate:       0.10,
+	}
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.SlowDelay <= 0 {
+		p.SlowDelay = 2 * time.Millisecond
+	}
+	if p.StallDelay <= 0 {
+		p.StallDelay = 30 * time.Second
+	}
+	if p.FlakyFailures <= 0 {
+		p.FlakyFailures = 2
+	}
+	return p
+}
+
+// FaultRate returns the total probability mass assigned to faults.
+func (p Profile) FaultRate() float64 {
+	return p.DeadRate + p.StallRate + p.SlowRate + p.ServerErrorRate +
+		p.TruncateRate + p.TakedownRate + p.FlakyRate
+}
+
+// TakedownHTML is the suspension page FaultTakedown hosts serve — the
+// page a hosting provider substitutes after abuse reports. The crawler's
+// takedown detector keys on its phrasing.
+const TakedownHTML = `<html><head><title>Account Suspended</title></head><body>
+<div><h1>This site has been suspended</h1>
+<p>This website has been taken down for violating our acceptable use policy.
+If you are the owner of this domain, please contact your hosting provider.</p>
+</div></body></html>`
+
+// Injector wraps an http.RoundTripper with per-host fault injection. The
+// zero value is unusable; populate Profile, Seed, and Inner.
+type Injector struct {
+	// Profile is the fault mix.
+	Profile Profile
+	// Seed drives fault assignment; the same seed yields the same
+	// schedule.
+	Seed int64
+	// Inner serves the requests of healthy hosts (and the healthy phases
+	// of slow/flaky hosts).
+	Inner http.RoundTripper
+	// InjectHost, when non-nil, limits injection to hosts it accepts —
+	// the pipeline passes the phishing-site host set so benign redirect
+	// targets stay healthy. nil injects everywhere.
+	InjectHost func(host string) bool
+
+	mu     sync.Mutex
+	resets map[string]int // FaultFlaky hosts: connections reset so far
+}
+
+// FaultFor returns the fault assigned to host: a pure function of
+// (Seed, host), independent of request history and of InjectHost.
+func (in *Injector) FaultFor(host string) Fault {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", in.Seed, host)
+	// 53 uniform bits -> [0, 1).
+	u := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	p := in.Profile
+	for _, c := range []struct {
+		rate  float64
+		fault Fault
+	}{
+		{p.DeadRate, FaultDead},
+		{p.StallRate, FaultStall},
+		{p.SlowRate, FaultSlow},
+		{p.ServerErrorRate, FaultServerError},
+		{p.TruncateRate, FaultTruncate},
+		{p.TakedownRate, FaultTakedown},
+		{p.FlakyRate, FaultFlaky},
+	} {
+		if u < c.rate {
+			return c.fault
+		}
+		u -= c.rate
+	}
+	return FaultNone
+}
+
+// Summary tallies the faults FaultFor assigns across hosts — the injected
+// ground truth an experiment report compares crawl outcomes against.
+func (in *Injector) Summary(hosts []string) map[Fault]int {
+	out := map[Fault]int{}
+	for _, h := range hosts {
+		out[in.FaultFor(h)]++
+	}
+	return out
+}
+
+// RoundTrip implements http.RoundTripper with the host's fault applied.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Hostname()
+	if in.InjectHost != nil && !in.InjectHost(host) {
+		return in.Inner.RoundTrip(req)
+	}
+	p := in.Profile.withDefaults()
+	switch in.FaultFor(host) {
+	case FaultDead:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case FaultStall:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(p.StallDelay):
+			return nil, &net.OpError{Op: "read", Net: "tcp", Err: context.DeadlineExceeded}
+		}
+	case FaultSlow:
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(p.SlowDelay):
+		}
+		return in.Inner.RoundTrip(req)
+	case FaultServerError:
+		return synthResponse(req, http.StatusServiceUnavailable, "text/plain; charset=utf-8", "backend unavailable\n"), nil
+	case FaultTruncate:
+		resp, err := in.Inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return truncateBody(resp), nil
+	case FaultTakedown:
+		return synthResponse(req, http.StatusOK, "text/html; charset=utf-8", TakedownHTML), nil
+	case FaultFlaky:
+		in.mu.Lock()
+		if in.resets == nil {
+			in.resets = make(map[string]int)
+		}
+		reset := in.resets[host] < p.FlakyFailures
+		if reset {
+			in.resets[host]++
+		}
+		in.mu.Unlock()
+		if reset {
+			return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+		}
+		return in.Inner.RoundTrip(req)
+	default:
+		return in.Inner.RoundTrip(req)
+	}
+}
+
+// synthResponse fabricates a complete http.Response the way the in-process
+// phishserver transport does, so faulted responses are indistinguishable
+// from served ones at the client.
+func synthResponse(req *http.Request, status int, contentType, body string) *http.Response {
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": {contentType}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody replaces resp's body with its first half followed by
+// io.ErrUnexpectedEOF, the client-visible signature of a connection torn
+// down mid-transfer.
+func truncateBody(resp *http.Response) *http.Response {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(data) == 0 {
+		resp.Body = io.NopCloser(strings.NewReader(""))
+		return resp
+	}
+	cut := len(data) / 2
+	resp.Body = io.NopCloser(&truncatedReader{data: data[:cut]})
+	resp.ContentLength = int64(len(data))
+	return resp
+}
+
+// truncatedReader yields its data and then fails with io.ErrUnexpectedEOF
+// instead of a clean EOF.
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (r *truncatedReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// okTransport is the healthy inner transport: every request succeeds with
+// a fixed HTML body.
+type okTransport struct{ body string }
+
+func (t okTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	body := t.body
+	if body == "" {
+		body = "<html><body><div>hello from " + req.URL.Hostname() + "</div></body></html>"
+	}
+	return synthResponse(req, http.StatusOK, "text/html; charset=utf-8", body), nil
+}
+
+func newInjector(p Profile, seed int64) *Injector {
+	return &Injector{Profile: p, Seed: seed, Inner: okTransport{}}
+}
+
+func get(t *testing.T, in *Injector, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.RoundTrip(req)
+}
+
+func TestFaultAssignmentDeterministic(t *testing.T) {
+	a := newInjector(DefaultProfile(), 7)
+	b := newInjector(DefaultProfile(), 7)
+	c := newInjector(DefaultProfile(), 8)
+	differ := false
+	for i := 0; i < 200; i++ {
+		host := fmt.Sprintf("site-%03d.test", i)
+		if a.FaultFor(host) != b.FaultFor(host) {
+			t.Fatalf("same seed, different fault for %s", host)
+		}
+		if a.FaultFor(host) != c.FaultFor(host) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultRatesApproximate(t *testing.T) {
+	in := newInjector(Profile{DeadRate: 0.25, FlakyRate: 0.25}, 3)
+	counts := map[Fault]int{}
+	var hosts []string
+	for i := 0; i < 2000; i++ {
+		hosts = append(hosts, fmt.Sprintf("h%04d.test", i))
+	}
+	counts = in.Summary(hosts)
+	for _, f := range []Fault{FaultDead, FaultFlaky} {
+		got := float64(counts[f]) / 2000
+		if got < 0.20 || got > 0.30 {
+			t.Errorf("%s rate = %.3f, want ~0.25", f, got)
+		}
+	}
+	if got := float64(counts[FaultNone]) / 2000; got < 0.45 || got > 0.55 {
+		t.Errorf("healthy rate = %.3f, want ~0.5", got)
+	}
+}
+
+func TestDeadFaultRefusesConnections(t *testing.T) {
+	in := newInjector(Profile{DeadRate: 1}, 1)
+	for i := 0; i < 3; i++ {
+		_, err := get(t, in, "http://dead.test/")
+		if !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("want ECONNREFUSED, got %v", err)
+		}
+	}
+}
+
+func TestFlakyFaultRecovers(t *testing.T) {
+	in := newInjector(Profile{FlakyRate: 1, FlakyFailures: 2}, 1)
+	for i := 0; i < 2; i++ {
+		_, err := get(t, in, "http://flaky.test/")
+		if !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("request %d: want ECONNRESET, got %v", i, err)
+		}
+	}
+	resp, err := get(t, in, "http://flaky.test/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("third request should succeed, got %v / %v", resp, err)
+	}
+	// A different flaky host has its own failure budget.
+	_, err = get(t, in, "http://other.test/")
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("fresh host should still be flaky, got %v", err)
+	}
+}
+
+func TestServerErrorFaultServes503(t *testing.T) {
+	in := newInjector(Profile{ServerErrorRate: 1}, 1)
+	for _, method := range []string{"GET", "POST"} {
+		req, _ := http.NewRequest(method, "http://serr.test/login", strings.NewReader("a=b"))
+		resp, err := in.RoundTrip(req)
+		if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s should 503, got %v / %v", method, resp, err)
+		}
+	}
+}
+
+func TestTruncateFaultCutsBody(t *testing.T) {
+	full := "<html><body>" + strings.Repeat("x", 200) + "</body></html>"
+	in := &Injector{Profile: Profile{TruncateRate: 1}, Seed: 1, Inner: okTransport{body: full}}
+	resp, err := get(t, in, "http://trunc.test/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", rerr)
+	}
+	if len(data) == 0 || len(data) >= len(full) {
+		t.Fatalf("body not truncated: %d of %d bytes", len(data), len(full))
+	}
+	if !strings.HasPrefix(full, string(data)) {
+		t.Error("truncated body is not a prefix of the original")
+	}
+}
+
+func TestTakedownFaultServesSuspensionPage(t *testing.T) {
+	in := newInjector(Profile{TakedownRate: 1}, 1)
+	resp, err := get(t, in, "http://gone.test/login")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("takedown page should serve 200, got %v / %v", resp, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "has been suspended") {
+		t.Errorf("takedown body = %q", body)
+	}
+}
+
+func TestStallFaultHonoursContextCancellation(t *testing.T) {
+	in := newInjector(Profile{StallRate: 1, StallDelay: time.Minute}, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://stall.test/", nil)
+	start := time.Now()
+	_, err := in.RoundTrip(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("stall did not respect the context deadline")
+	}
+}
+
+func TestSlowFaultDelaysThenSucceeds(t *testing.T) {
+	in := newInjector(Profile{SlowRate: 1, SlowDelay: time.Millisecond}, 1)
+	resp, err := get(t, in, "http://slow.test/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("slow site should eventually answer, got %v / %v", resp, err)
+	}
+}
+
+func TestInjectHostScopesInjection(t *testing.T) {
+	in := newInjector(Profile{DeadRate: 1}, 1)
+	in.InjectHost = func(host string) bool { return host != "benign.test" }
+	if resp, err := get(t, in, "http://benign.test/"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("benign host should bypass injection, got %v / %v", resp, err)
+	}
+	if _, err := get(t, in, "http://phish.test/"); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("phishing host should be dead, got %v", err)
+	}
+}

@@ -9,12 +9,15 @@ package core
 
 import (
 	"fmt"
+	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/brands"
 	"repro/internal/browser"
 	"repro/internal/captcha"
+	"repro/internal/chaos"
 	"repro/internal/crawler"
 	"repro/internal/farm"
 	"repro/internal/feed"
@@ -43,6 +46,24 @@ type Options struct {
 	DetectorTrainPages int
 	// MaxPagesPerSite bounds each crawl session.
 	MaxPagesPerSite int
+
+	// Chaos, when non-nil, wraps the serving transport in the fault
+	// injector so the synthetic feed exhibits the dead/slow/flaky/5xx mix
+	// a real reported-URL feed does. nil serves a perfectly healthy feed.
+	Chaos *chaos.Profile
+	// ChaosSeed seeds fault assignment (0 derives Seed+7). Faults are a
+	// pure function of (ChaosSeed, host), so runs are reproducible.
+	ChaosSeed int64
+	// SessionBudget bounds each session's wall clock (0 = crawler
+	// default; negative = unlimited).
+	SessionBudget time.Duration
+	// FetchTimeout bounds each browser fetch (0 = browser default).
+	FetchTimeout time.Duration
+	// MaxRetries, RetryBase, and RetryMax configure the farm's retry
+	// queue (zero values = farm defaults; MaxRetries < 0 disables).
+	MaxRetries int
+	RetryBase  time.Duration
+	RetryMax   time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -75,6 +96,9 @@ type Pipeline struct {
 	CaptchaExemplars []phash.Hash
 
 	Crawler *crawler.Crawler
+	// Injector is the fault-injection layer (nil when Options.Chaos is
+	// nil); its FaultFor/Summary expose the injected ground truth.
+	Injector *chaos.Injector
 
 	// Crawl outputs.
 	Logs  []*crawler.SessionLog
@@ -146,25 +170,57 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: training terminal classifier: %w", termErr)
 	}
 
-	// Crawler template.
-	transport := phishserver.Transport{Registry: p.Registry}
+	// Crawler template. The serving transport is optionally wrapped in
+	// the fault injector, scoped to phishing hosts so benign redirect
+	// targets stay reachable.
+	var transport http.RoundTripper = phishserver.Transport{Registry: p.Registry}
+	if opts.Chaos != nil {
+		chaosSeed := opts.ChaosSeed
+		if chaosSeed == 0 {
+			chaosSeed = opts.Seed + 7
+		}
+		phishHosts := make(map[string]bool, len(p.Corpus.Sites))
+		for _, s := range p.Corpus.Sites {
+			phishHosts[s.Host] = true
+		}
+		p.Injector = &chaos.Injector{
+			Profile:    *opts.Chaos,
+			Seed:       chaosSeed,
+			Inner:      transport,
+			InjectHost: func(host string) bool { return phishHosts[host] },
+		}
+		transport = p.Injector
+	}
 	p.Crawler = &crawler.Crawler{
 		Classifier: p.FieldClassifier,
 		Detector:   p.Detector,
 		NewBrowser: func() *browser.Browser {
-			return browser.New(browser.Options{Transport: transport})
+			return browser.New(browser.Options{Transport: transport, Timeout: opts.FetchTimeout})
 		},
-		MaxPages:  opts.MaxPagesPerSite,
-		FakerSeed: opts.Seed + 6,
+		MaxPages:      opts.MaxPagesPerSite,
+		SessionBudget: opts.SessionBudget,
+		FakerSeed:     opts.Seed + 6,
 	}
 	return p, nil
+}
+
+// farmConfig assembles the farm configuration from the pipeline options.
+func (p *Pipeline) farmConfig() farm.Config {
+	return farm.Config{
+		Workers:    p.Opts.Workers,
+		Crawler:    p.Crawler,
+		MaxRetries: p.Opts.MaxRetries,
+		RetryBase:  p.Opts.RetryBase,
+		RetryMax:   p.Opts.RetryMax,
+		RetrySeed:  p.Opts.Seed + 8,
+	}
 }
 
 // Crawl runs the farm over the filtered feed and attaches feed metadata to
 // the session logs.
 func (p *Pipeline) Crawl() {
 	urls := p.Feed.URLs()
-	p.Logs, p.Stats = farm.Run(farm.Config{Workers: p.Opts.Workers, Crawler: p.Crawler}, urls)
+	p.Logs, p.Stats = farm.Run(p.farmConfig(), urls)
 	analysis.AttachMeta(p.Logs, p.Feed.Filter())
 }
 
@@ -175,7 +231,7 @@ func (p *Pipeline) CrawlSample(n int) {
 	if n < len(urls) {
 		urls = urls[:n]
 	}
-	p.Logs, p.Stats = farm.Run(farm.Config{Workers: p.Opts.Workers, Crawler: p.Crawler}, urls)
+	p.Logs, p.Stats = farm.Run(p.farmConfig(), urls)
 	analysis.AttachMeta(p.Logs, p.Feed.Filter())
 }
 

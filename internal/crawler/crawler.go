@@ -10,7 +10,15 @@
 package crawler
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/browser"
 	"repro/internal/dom"
@@ -38,6 +46,11 @@ const MaxDataAttempts = 3
 // standing in for the paper's 20-minute wall-clock timeout.
 const DefaultMaxPages = 10
 
+// DefaultSessionBudget is the per-session wall-clock budget: the paper's
+// 20-minute session timeout scaled to the synthetic corpus's timescale
+// (sessions complete in milliseconds, so 20s is proportionally generous).
+const DefaultSessionBudget = 20 * time.Second
+
 // Submit strategy names, in ladder order (Section 4.3).
 const (
 	SubmitEnter       = "enter"
@@ -53,8 +66,63 @@ const (
 	OutcomeCompleted = "completed" // reached a page with nothing left to do
 	OutcomeStuck     = "stuck"     // data never accepted / no interactable element
 	OutcomePageLimit = "page-limit"
-	OutcomeError     = "error"
+	OutcomeError     = "error" // unclassified navigation failure
+
+	// Failure taxonomy (the operational outcomes a real crawl of reported
+	// phishing URLs produces; injected by internal/chaos in synthetic runs).
+	OutcomeDead        = "dead"         // connection refused: the site is gone
+	OutcomeTimeout     = "timeout"      // fetch deadline or session budget exhausted
+	OutcomeServerError = "server-error" // the landing page answered with a 5xx
+	OutcomeTruncated   = "truncated"    // response body cut off mid-transfer
+	OutcomeTakedown    = "takedown"     // a hosting-provider suspension page
 )
+
+// Retryable reports whether outcome names a transient failure worth
+// re-queueing: the farm's retry queue consults it before backing off.
+// Takedown pages and healthy outcomes are final.
+func Retryable(outcome string) bool {
+	switch outcome {
+	case OutcomeDead, OutcomeTimeout, OutcomeServerError, OutcomeTruncated, OutcomeError:
+		return true
+	}
+	return false
+}
+
+// ClassifyError maps a navigation error onto the failure taxonomy.
+func ClassifyError(err error) string {
+	var ne net.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return OutcomeTimeout
+	case errors.As(err, &ne) && ne.Timeout():
+		return OutcomeTimeout
+	case errors.Is(err, syscall.ECONNREFUSED):
+		return OutcomeDead
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		return OutcomeTruncated
+	default:
+		return OutcomeError
+	}
+}
+
+// takedownPhrases mark hosting-provider suspension pages. They are matched
+// against the lower-cased page title and text; generated phishing pages
+// never contain them.
+var takedownPhrases = []string{
+	"has been suspended", "account suspended", "has been taken down",
+	"domain has been seized", "this domain is parked",
+}
+
+// isTakedownPage reports whether the observed page is a takedown notice.
+func isTakedownPage(pl *PageLog) bool {
+	text := strings.ToLower(pl.Title + " " + pl.Text)
+	for _, phrase := range takedownPhrases {
+		if strings.Contains(text, phrase) {
+			return true
+		}
+	}
+	return false
+}
 
 // FieldLog records one identified, classified, and filled input field.
 type FieldLog struct {
@@ -114,6 +182,13 @@ type SessionLog struct {
 	Pages      []PageLog
 	NetLog     []browser.NetRequest
 	Outcome    string
+	// Error carries the failure detail behind an error-class Outcome: the
+	// raw navigation error for classified failures, and the preserved
+	// taxonomy class once the farm marks a session gave-up.
+	Error string
+	// Attempts is how many times the farm ran this session (1 = first
+	// try); set by the farm's retry queue.
+	Attempts int
 	// FirstPageEmbedding supports campaign clustering and the cloning
 	// analysis without retaining full screenshots.
 	FirstPageEmbedding visualphish.Embedding
@@ -134,6 +209,10 @@ type Crawler struct {
 	NewBrowser func() *browser.Browser
 	// MaxPages bounds transitions per session.
 	MaxPages int
+	// SessionBudget bounds one session's wall clock, cancelling in-flight
+	// fetches when it expires (the paper's 20-minute timeout). 0 uses
+	// DefaultSessionBudget; negative disables the budget.
+	SessionBudget time.Duration
 	// FakerSeed seeds the per-session forged-data generator.
 	FakerSeed int64
 	// Timings, when non-nil, accumulates per-stage wall-clock (render, OCR,
@@ -163,23 +242,53 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 	if c.DisableOCR {
 		eng = nil
 	}
+	budget := c.SessionBudget
+	if budget == 0 {
+		budget = DefaultSessionBudget
+	}
+	ctx := context.Background()
+	cancel := func() {}
+	if budget > 0 {
+		ctx, cancel = context.WithTimeout(ctx, budget)
+	}
+	defer cancel()
+
 	b := c.NewBrowser()
+	b.SetContext(ctx)
 	fk := faker.New(c.FakerSeed)
 	log := &SessionLog{SeedURL: seedURL}
 
 	page, err := b.Navigate(seedURL)
 	if err != nil {
-		log.Outcome = OutcomeError
+		log.Outcome = ClassifyError(err)
+		log.Error = err.Error()
+		log.NetLog = b.NetLog
+		return log
+	}
+	if page.Status >= http.StatusInternalServerError {
+		log.Outcome = OutcomeServerError
+		log.Error = fmt.Sprintf("HTTP %d on landing page", page.Status)
+		log.NetLog = b.NetLog
 		return log
 	}
 	log.FirstPageEmbedding = visualphish.EmbedCropped(page.Screenshot())
 
 	for step := 0; ; step++ {
+		if ctx.Err() != nil {
+			log.Outcome = OutcomeTimeout
+			log.Error = "session budget exhausted"
+			break
+		}
 		if step >= maxPages {
 			log.Outcome = OutcomePageLimit
 			break
 		}
 		pl := c.observePage(page, step, eng)
+		if isTakedownPage(&pl) {
+			log.Pages = append(log.Pages, pl)
+			log.Outcome = OutcomeTakedown
+			break
+		}
 		fields := c.identifyFields(page, eng)
 		c.classifyAndLog(&pl, fields)
 
@@ -193,14 +302,23 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 		c.Timings.ObserveSince(metrics.StageSubmit, submitStart)
 		log.Pages = append(log.Pages, pl)
 		if next == nil {
-			if pl.SubmitMethod == "" && len(fields) == 0 {
+			switch {
+			case ctx.Err() != nil:
+				// Interactions failed because the budget ran out, not
+				// because the site resisted them.
+				log.Outcome = OutcomeTimeout
+				log.Error = "session budget exhausted"
+			case pl.SubmitMethod == "" && len(fields) == 0:
 				// Nothing to interact with: natural end of the UX.
 				log.Outcome = OutcomeCompleted
-			} else {
+			default:
 				log.Outcome = OutcomeStuck
 			}
 			break
 		}
+		// A mid-flow error page is NOT an operational failure: the paper
+		// measures it as the HTTP-error UX-termination pattern (Section
+		// 5.2.3), so the loop continues and logs it like any other page.
 		page = next
 	}
 	log.NetLog = b.NetLog

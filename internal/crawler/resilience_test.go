@@ -1,0 +1,209 @@
+package crawler
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/chaos"
+)
+
+// rtFunc adapts a function to http.RoundTripper.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func htmlResponse(req *http.Request, status int, body string) *http.Response {
+	return &http.Response{
+		StatusCode: status,
+		Status:     http.StatusText(status),
+		Header:     http.Header{"Content-Type": []string{"text/html; charset=utf-8"}},
+		Body:       io.NopCloser(strings.NewReader(body)),
+		Request:    req,
+	}
+}
+
+// resilienceCrawler builds a minimal crawler (no classifier, no detector)
+// over the given transport — enough to exercise outcome classification.
+func resilienceCrawler(rt http.RoundTripper, fetchTimeout time.Duration) *Crawler {
+	return &Crawler{
+		NewBrowser: func() *browser.Browser {
+			return browser.New(browser.Options{Transport: rt, Timeout: fetchTimeout})
+		},
+		FakerSeed: 1,
+	}
+}
+
+func TestCrawlDeadSiteClassified(t *testing.T) {
+	rt := rtFunc(func(*http.Request) (*http.Response, error) {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	})
+	log := resilienceCrawler(rt, 0).Crawl("http://dead.test/")
+	if log.Outcome != OutcomeDead {
+		t.Errorf("outcome = %q, want %q (error: %s)", log.Outcome, OutcomeDead, log.Error)
+	}
+	if log.Error == "" {
+		t.Error("classified failure should carry the raw error detail")
+	}
+	if len(log.NetLog) == 0 {
+		t.Error("failed navigation should still appear in the net log")
+	}
+}
+
+func TestCrawlStalledFetchClassifiedAsTimeout(t *testing.T) {
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		<-r.Context().Done()
+		return nil, r.Context().Err()
+	})
+	start := time.Now()
+	log := resilienceCrawler(rt, 25*time.Millisecond).Crawl("http://stall.test/")
+	if log.Outcome != OutcomeTimeout {
+		t.Errorf("outcome = %q, want %q", log.Outcome, OutcomeTimeout)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("fetch deadline did not bound the session")
+	}
+}
+
+func TestCrawlSessionBudgetExhaustedMidFlow(t *testing.T) {
+	// Every request costs ~15ms against a 60ms session budget; the landing
+	// page loads, but the submit ladder burns through the budget.
+	form := `<html><body><form action="/"><div><label>Email</label><input name="e"></div>
+<button>Go</button></form></body></html>`
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		select {
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		case <-time.After(15 * time.Millisecond):
+		}
+		return htmlResponse(r, http.StatusOK, form), nil
+	})
+	c := resilienceCrawler(rt, time.Minute)
+	c.SessionBudget = 60 * time.Millisecond
+	start := time.Now()
+	log := c.Crawl("http://budget.test/")
+	if log.Outcome != OutcomeTimeout {
+		t.Errorf("outcome = %q, want %q", log.Outcome, OutcomeTimeout)
+	}
+	if log.Error != "session budget exhausted" {
+		t.Errorf("error = %q", log.Error)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("session budget did not bound wall clock")
+	}
+}
+
+func TestCrawlLandingServerErrorClassified(t *testing.T) {
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		return htmlResponse(r, http.StatusServiceUnavailable, "<html><body>503</body></html>"), nil
+	})
+	log := resilienceCrawler(rt, 0).Crawl("http://serr.test/")
+	if log.Outcome != OutcomeServerError {
+		t.Errorf("outcome = %q, want %q", log.Outcome, OutcomeServerError)
+	}
+	if !strings.Contains(log.Error, "landing page") {
+		t.Errorf("error = %q", log.Error)
+	}
+}
+
+func TestCrawlMidFlowServerErrorIsTermination(t *testing.T) {
+	// A flow whose final POST returns a 5xx is the paper's HTTP-error
+	// UX-termination pattern (Section 5.2.3), not an operational failure:
+	// the error page must be logged and the session must complete, so the
+	// termination analysis can count it.
+	form := `<html><body><form action="/"><div><label>Email</label><input name="e"></div>
+<button>Go</button></form></body></html>`
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		if r.Method == "POST" {
+			return htmlResponse(r, http.StatusBadGateway, "<html><body><div>bad gateway</div></body></html>"), nil
+		}
+		return htmlResponse(r, http.StatusOK, form), nil
+	})
+	log := resilienceCrawler(rt, 0).Crawl("http://midflow.test/")
+	if log.Outcome != OutcomeCompleted {
+		t.Errorf("outcome = %q, want %q", log.Outcome, OutcomeCompleted)
+	}
+	if len(log.Pages) != 2 {
+		t.Fatalf("pages logged = %d, want 2 (form + error page)", len(log.Pages))
+	}
+	if got := log.Pages[1].Status; got != http.StatusBadGateway {
+		t.Errorf("terminal page status = %d, want 502", got)
+	}
+}
+
+// truncatedBody yields its data and then fails with ErrUnexpectedEOF.
+type truncatedBody struct{ r io.Reader }
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+func (*truncatedBody) Close() error { return nil }
+
+func TestCrawlTruncatedBodyClassified(t *testing.T) {
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: http.StatusOK,
+			Header:     http.Header{"Content-Type": []string{"text/html"}},
+			Body:       &truncatedBody{strings.NewReader("<html><body><div>cut")},
+			Request:    r,
+		}, nil
+	})
+	log := resilienceCrawler(rt, 0).Crawl("http://trunc.test/")
+	if log.Outcome != OutcomeTruncated {
+		t.Errorf("outcome = %q, want %q (error: %s)", log.Outcome, OutcomeTruncated, log.Error)
+	}
+}
+
+func TestCrawlTakedownPageClassified(t *testing.T) {
+	rt := rtFunc(func(r *http.Request) (*http.Response, error) {
+		return htmlResponse(r, http.StatusOK, chaos.TakedownHTML), nil
+	})
+	log := resilienceCrawler(rt, 0).Crawl("http://gone.test/")
+	if log.Outcome != OutcomeTakedown {
+		t.Errorf("outcome = %q, want %q", log.Outcome, OutcomeTakedown)
+	}
+	if len(log.Pages) != 1 {
+		t.Errorf("takedown session logged %d pages, want 1", len(log.Pages))
+	}
+}
+
+func TestClassifyErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{context.DeadlineExceeded, OutcomeTimeout},
+		{context.Canceled, OutcomeTimeout},
+		{&net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, OutcomeDead},
+		{io.ErrUnexpectedEOF, OutcomeTruncated},
+		{&net.OpError{Op: "read", Err: syscall.ECONNRESET}, OutcomeError},
+	}
+	for _, c := range cases {
+		if got := ClassifyError(c.err); got != c.want {
+			t.Errorf("ClassifyError(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryableSet(t *testing.T) {
+	for _, o := range []string{OutcomeDead, OutcomeTimeout, OutcomeServerError, OutcomeTruncated, OutcomeError} {
+		if !Retryable(o) {
+			t.Errorf("Retryable(%q) = false, want true", o)
+		}
+	}
+	for _, o := range []string{OutcomeCompleted, OutcomeStuck, OutcomePageLimit, OutcomeTakedown} {
+		if Retryable(o) {
+			t.Errorf("Retryable(%q) = true, want false", o)
+		}
+	}
+}

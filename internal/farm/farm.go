@@ -2,11 +2,19 @@
 // crawler farm of Section 4.6: a pool of parallel workers, each giving
 // every site a fresh browser profile (the paper's clean container per
 // session), with aggregate throughput accounting (the paper sustains more
-// than 1,000 sites per day on 30 parallel sessions).
+// than 1,000 sites per day on 30 parallel sessions). Because real feeds
+// are full of dead, slow, and flaky sites, the farm also carries the
+// operational machinery a production crawl needs: a retry queue with
+// capped exponential backoff and deterministic jitter for transient
+// failures, a per-session panic guard so one bad site cannot kill a
+// worker, and a failure taxonomy in its Stats.
 package farm
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/crawler"
@@ -16,10 +24,31 @@ import (
 // DefaultWorkers matches the paper's 30 parallel Docker sessions.
 const DefaultWorkers = 30
 
+// DefaultMaxRetries is how many extra attempts a transiently-failed
+// session gets before the farm gives up.
+const DefaultMaxRetries = 2
+
+// Default backoff bounds, tuned to the synthetic corpus's timescale
+// (sessions complete in milliseconds; a real deployment would configure
+// seconds-to-minutes here).
+const (
+	defaultRetryBase = 25 * time.Millisecond
+	defaultRetryMax  = 400 * time.Millisecond
+)
+
 // OutcomeLost is the Stats.Outcomes key counting sessions that produced no
 // log at all — a worker never wrote one — so outcome counts always sum to
 // Sites and silent losses are visible in the report.
 const OutcomeLost = "lost"
+
+// OutcomeGaveUp replaces a transient-failure outcome once retries are
+// exhausted; the underlying classification is preserved in
+// SessionLog.Error and tallied in Stats.Failures.
+const OutcomeGaveUp = "gave-up"
+
+// OutcomePanic classifies a session whose crawl panicked and was recovered
+// by the worker guard. Panics are treated as transient (retryable).
+const OutcomePanic = "panic"
 
 // Config configures a crawl farm.
 type Config struct {
@@ -28,6 +57,18 @@ type Config struct {
 	// Crawler is the shared crawler template; its NewBrowser hook supplies
 	// the per-session fresh profile.
 	Crawler *crawler.Crawler
+	// MaxRetries is how many extra attempts a transiently-failed session
+	// gets before the farm gives up (0 = DefaultMaxRetries; negative
+	// disables retrying).
+	MaxRetries int
+	// RetryBase is the backoff before the first retry; each further retry
+	// doubles it (default 25ms at synthetic timescale).
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff (default 400ms).
+	RetryMax time.Duration
+	// RetrySeed drives the deterministic backoff jitter, so a run's retry
+	// schedule is reproducible from its seeds.
+	RetrySeed int64
 }
 
 // Stats summarizes a finished run.
@@ -38,6 +79,19 @@ type Stats struct {
 	// Stages is the per-stage timing breakdown (render, OCR, detect,
 	// submit) aggregated across every worker, in stage order.
 	Stages []metrics.StageStat
+	// Retries counts re-queued attempts beyond each session's first.
+	Retries int
+	// Degraded counts sessions that reached a non-failure outcome only
+	// after at least one retry — the crawl completed, but the site made
+	// it fight for it.
+	Degraded int
+	// Panics counts worker panics the guard recovered (including ones
+	// whose retry later succeeded).
+	Panics int
+	// Failures is the failure taxonomy of gave-up sessions: the last
+	// classified failure (dead, timeout, server-error, truncated, error,
+	// panic) per site that exhausted its retries.
+	Failures map[string]int
 }
 
 // SitesPerDay extrapolates throughput.
@@ -48,8 +102,18 @@ func (s Stats) SitesPerDay() float64 {
 	return float64(s.Sites) / s.Elapsed.Seconds() * 86400
 }
 
+// job is one queued crawl attempt.
+type job struct {
+	idx     int
+	attempt int // 0 = first try
+}
+
 // Run crawls every URL with the configured parallelism and returns the
-// session logs in input order plus run statistics.
+// session logs in input order plus run statistics. Sessions that fail with
+// a transient (retryable) outcome are re-queued with capped exponential
+// backoff up to MaxRetries times; a session that panics is recovered,
+// classified, and retried like any other transient failure, so one bad
+// site never costs a worker or loses the run.
 func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -58,6 +122,24 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 	if workers > len(urls) && len(urls) > 0 {
 		workers = len(urls)
 	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	retryBase, retryMax := cfg.RetryBase, cfg.RetryMax
+	if retryBase <= 0 {
+		retryBase = defaultRetryBase
+	}
+	if retryMax < retryBase {
+		retryMax = defaultRetryMax
+	}
+	if retryMax < retryBase {
+		retryMax = retryBase
+	}
+
 	logs := make([]*crawler.SessionLog, len(urls))
 	// All workers record into one shared stage-timing collector (it is
 	// atomic inside); reuse the template's when the caller installed one so
@@ -67,28 +149,59 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 		timings = &metrics.StageTimings{}
 	}
 	start := time.Now()
-	var wg sync.WaitGroup
-	// Buffered to the full job count so the producer never blocks: all
-	// indices are enqueued up front and workers drain at their own pace.
-	jobs := make(chan int, len(urls))
+	var (
+		wg      sync.WaitGroup
+		pending sync.WaitGroup // open jobs: one per URL until its final attempt lands
+		retries int64
+		panics  int64
+	)
+	// Buffered to the full job count so neither the producer nor a retry
+	// timer ever blocks: each URL has at most one outstanding job at any
+	// moment, so capacity len(urls) suffices.
+	jobs := make(chan job, len(urls))
+	pending.Add(len(urls))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
 			// Each worker gets its own crawler so faker sequences differ
 			// across sessions without shared state.
 			c := *cfg.Crawler
 			c.Timings = timings
-			for idx := range jobs {
-				c.FakerSeed = cfg.Crawler.FakerSeed + int64(idx)*7919
-				logs[idx] = c.Crawl(urls[idx])
+			for jb := range jobs {
+				// The faker seed derives from the job index (not the worker
+				// or the attempt), which keeps runs reproducible across
+				// worker counts and makes retries exact re-executions.
+				c.FakerSeed = cfg.Crawler.FakerSeed + int64(jb.idx)*7919
+				lg := crawlGuarded(&c, urls[jb.idx], &panics)
+				if retryable(lg.Outcome) {
+					if jb.attempt < maxRetries {
+						atomic.AddInt64(&retries, 1)
+						next := job{idx: jb.idx, attempt: jb.attempt + 1}
+						time.AfterFunc(
+							backoffDelay(retryBase, retryMax, next.attempt, cfg.RetrySeed, next.idx),
+							func() { jobs <- next })
+						continue
+					}
+					// Retries exhausted: keep the taxonomy class in Error.
+					lg.Error = lg.Outcome
+					lg.Outcome = OutcomeGaveUp
+				}
+				lg.Attempts = jb.attempt + 1
+				logs[jb.idx] = lg
+				pending.Done()
 			}
-		}(w)
+		}()
 	}
 	for i := range urls {
-		jobs <- i
+		jobs <- job{idx: i}
 	}
-	close(jobs)
+	go func() {
+		// Close only once every URL has a final log; retry timers always
+		// fire before that, so no send can race the close.
+		pending.Wait()
+		close(jobs)
+	}()
 	wg.Wait()
 
 	stats := Stats{
@@ -96,13 +209,74 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 		Elapsed:  time.Since(start),
 		Outcomes: map[string]int{},
 		Stages:   timings.Snapshot(),
+		Retries:  int(atomic.LoadInt64(&retries)),
+		Panics:   int(atomic.LoadInt64(&panics)),
+		Failures: map[string]int{},
 	}
 	for _, l := range logs {
-		if l != nil {
-			stats.Outcomes[l.Outcome]++
-		} else {
+		if l == nil {
 			stats.Outcomes[OutcomeLost]++
+			continue
+		}
+		stats.Outcomes[l.Outcome]++
+		if l.Outcome == OutcomeGaveUp {
+			stats.Failures[l.Error]++
+		} else if l.Attempts > 1 {
+			stats.Degraded++
 		}
 	}
 	return logs, stats
+}
+
+// retryable extends the crawler's transient-failure set with the farm's
+// own panic classification.
+func retryable(outcome string) bool {
+	return crawler.Retryable(outcome) || outcome == OutcomePanic
+}
+
+// crawlGuarded runs one session under the per-worker panic guard: a panic
+// anywhere in the crawl (browser, renderer, models) is recovered into a
+// classified, retryable session log instead of killing the worker.
+func crawlGuarded(c *crawler.Crawler, url string, panics *int64) (lg *crawler.SessionLog) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddInt64(panics, 1)
+			lg = &crawler.SessionLog{
+				SeedURL: url,
+				Outcome: OutcomePanic,
+				Error:   fmt.Sprintf("recovered panic: %v", r),
+			}
+		}
+	}()
+	lg = c.Crawl(url)
+	if lg == nil {
+		lg = &crawler.SessionLog{SeedURL: url, Outcome: OutcomeLost}
+	}
+	return lg
+}
+
+// backoffDelay computes the capped exponential backoff before attempt
+// (1-based), jittered deterministically into [d/2, d] by hashing
+// (seed, idx, attempt) — the full-jitter scheme real crawl farms use to
+// de-synchronize retry bursts, made reproducible for the determinism
+// tests.
+func backoffDelay(base, max time.Duration, attempt int, seed int64, idx int) time.Duration {
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", seed, idx, attempt)
+	half := uint64(d / 2)
+	if half == 0 {
+		return d
+	}
+	return d/2 + time.Duration(h.Sum64()%(half+1))
 }

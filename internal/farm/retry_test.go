@@ -1,0 +1,268 @@
+package farm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/chaos"
+	"repro/internal/crawler"
+	"repro/internal/phishserver"
+	"repro/internal/site"
+)
+
+// chaosFarmCrawler builds a crawler template whose browser fetches through
+// the given fault injector (wrapping the registry transport).
+func chaosFarmCrawler(reg *phishserver.Registry, in *chaos.Injector, fetchTimeout time.Duration) *crawler.Crawler {
+	in.Inner = phishserver.Transport{Registry: reg}
+	c := testCrawler(reg, nil)
+	c.NewBrowser = func() *browser.Browser {
+		return browser.New(browser.Options{Transport: in, Timeout: fetchTimeout})
+	}
+	return c
+}
+
+func TestRetryFlakyEventuallySucceeds(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	s := quickSite("flaky0.test")
+	reg.AddSite(s)
+	in := &chaos.Injector{Profile: chaos.Profile{FlakyRate: 1, FlakyFailures: 2}, Seed: 1}
+	cfg := Config{
+		Workers: 2, Crawler: chaosFarmCrawler(reg, in, 0),
+		MaxRetries: 3, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+	}
+	logs, stats := Run(cfg, []string{s.SeedURL()})
+	if logs[0].Outcome != crawler.OutcomeCompleted {
+		t.Fatalf("outcome = %q (error %q), want completed", logs[0].Outcome, logs[0].Error)
+	}
+	if logs[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two connection resets, then success)", logs[0].Attempts)
+	}
+	if stats.Retries != 2 {
+		t.Errorf("stats.Retries = %d, want 2", stats.Retries)
+	}
+	if stats.Degraded != 1 {
+		t.Errorf("stats.Degraded = %d, want 1", stats.Degraded)
+	}
+	if len(stats.Failures) != 0 {
+		t.Errorf("failures on a recovered run: %v", stats.Failures)
+	}
+}
+
+func TestDeadSiteExhaustsRetries(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	s := quickSite("dead0.test")
+	reg.AddSite(s)
+	in := &chaos.Injector{Profile: chaos.Profile{DeadRate: 1}, Seed: 1}
+	cfg := Config{
+		Workers: 1, Crawler: chaosFarmCrawler(reg, in, 0),
+		MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+	}
+	logs, stats := Run(cfg, []string{s.SeedURL()})
+	if logs[0].Outcome != OutcomeGaveUp {
+		t.Fatalf("outcome = %q, want %q", logs[0].Outcome, OutcomeGaveUp)
+	}
+	if logs[0].Error != crawler.OutcomeDead {
+		t.Errorf("preserved class = %q, want %q", logs[0].Error, crawler.OutcomeDead)
+	}
+	if logs[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (initial + 2 retries)", logs[0].Attempts)
+	}
+	if stats.Failures[crawler.OutcomeDead] != 1 {
+		t.Errorf("failure taxonomy = %v, want dead:1", stats.Failures)
+	}
+	if stats.Outcomes[OutcomeGaveUp] != 1 {
+		t.Errorf("outcomes = %v", stats.Outcomes)
+	}
+}
+
+func TestRetryDisabledGivesUpImmediately(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	s := quickSite("dead1.test")
+	reg.AddSite(s)
+	in := &chaos.Injector{Profile: chaos.Profile{DeadRate: 1}, Seed: 1}
+	logs, stats := Run(Config{
+		Workers: 1, Crawler: chaosFarmCrawler(reg, in, 0), MaxRetries: -1,
+	}, []string{s.SeedURL()})
+	if logs[0].Outcome != OutcomeGaveUp || logs[0].Attempts != 1 {
+		t.Errorf("outcome = %q attempts = %d, want gave-up after 1", logs[0].Outcome, logs[0].Attempts)
+	}
+	if stats.Retries != 0 {
+		t.Errorf("retries = %d with retries disabled", stats.Retries)
+	}
+}
+
+func TestPanicInOneSessionDoesNotLoseRun(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	var urls []string
+	for i := 0; i < 6; i++ {
+		s := quickSite(fmtHost(300 + i))
+		reg.AddSite(s)
+		urls = append(urls, s.SeedURL())
+	}
+	tmpl := testCrawler(reg, nil)
+	inner := tmpl.NewBrowser
+	var calls int64
+	tmpl.NewBrowser = func() *browser.Browser {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			panic("simulated renderer crash")
+		}
+		return inner()
+	}
+	logs, stats := Run(Config{
+		Workers: 3, Crawler: tmpl,
+		MaxRetries: 2, RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond,
+	}, urls)
+	for i, l := range logs {
+		if l == nil {
+			t.Fatalf("log %d lost", i)
+		}
+	}
+	if stats.Panics != 1 {
+		t.Errorf("panics = %d, want 1", stats.Panics)
+	}
+	if stats.Outcomes[OutcomeLost] != 0 || stats.Outcomes[OutcomePanic] != 0 {
+		t.Errorf("outcomes = %v: the panicked session should have been retried", stats.Outcomes)
+	}
+	if stats.Outcomes[crawler.OutcomeCompleted] != 6 {
+		t.Errorf("outcomes = %v, want all 6 completed", stats.Outcomes)
+	}
+	if stats.Degraded != 1 {
+		t.Errorf("degraded = %d, want 1 (the session that survived its panic)", stats.Degraded)
+	}
+}
+
+// TestChaosDeterministicAcrossWorkerCounts is the acceptance pin for the
+// fault-injection layer: a fault-injected crawl loses no sessions,
+// classifies every site, and — because fault assignment is a pure function
+// of (seed, host) and retry scheduling never leaks into session inputs —
+// produces identical outcomes whether run serially or with 30 workers.
+func TestChaosDeterministicAcrossWorkerCounts(t *testing.T) {
+	profile := chaos.Profile{
+		DeadRate: 0.15, StallRate: 0.05, SlowRate: 0.10,
+		ServerErrorRate: 0.10, TruncateRate: 0.10, TakedownRate: 0.10,
+		FlakyRate: 0.15, SlowDelay: time.Millisecond, FlakyFailures: 2,
+	}
+	const seed = 99
+	run := func(workers int) ([]*crawler.SessionLog, Stats, *chaos.Injector) {
+		reg := phishserver.NewRegistry()
+		var urls []string
+		var sites []*site.Site
+		for i := 0; i < 40; i++ {
+			s := quickSite(fmtHost(400 + i))
+			reg.AddSite(s)
+			sites = append(sites, s)
+			urls = append(urls, s.SeedURL())
+		}
+		// Fresh injector per run: flaky-failure counters are stateful.
+		in := &chaos.Injector{Profile: profile, Seed: seed}
+		logs, stats := Run(Config{
+			Workers: workers, Crawler: chaosFarmCrawler(reg, in, 150*time.Millisecond),
+			MaxRetries: 3, RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+		}, urls)
+		return logs, stats, in
+	}
+
+	serial, serialStats, in := run(1)
+	wide, wideStats, _ := run(30)
+
+	// Zero lost sessions; every site classified identically in both runs.
+	for i := range serial {
+		a, b := serial[i], wide[i]
+		if a == nil || b == nil {
+			t.Fatalf("site %d: lost session (serial=%v wide=%v)", i, a == nil, b == nil)
+		}
+		if a.Outcome == "" || b.Outcome == "" {
+			t.Fatalf("site %d: unclassified session", i)
+		}
+		if a.Outcome != b.Outcome || a.Error != b.Error || a.Attempts != b.Attempts {
+			t.Errorf("site %d: serial (%s/%s/%d) vs wide (%s/%s/%d)",
+				i, a.Outcome, a.Error, a.Attempts, b.Outcome, b.Error, b.Attempts)
+		}
+	}
+
+	// Aggregate counts identical.
+	for o, n := range serialStats.Outcomes {
+		if wideStats.Outcomes[o] != n {
+			t.Errorf("outcome %q: %d serial vs %d wide", o, n, wideStats.Outcomes[o])
+		}
+	}
+	for c, n := range serialStats.Failures {
+		if wideStats.Failures[c] != n {
+			t.Errorf("failure %q: %d serial vs %d wide", c, n, wideStats.Failures[c])
+		}
+	}
+	if serialStats.Retries != wideStats.Retries || serialStats.Degraded != wideStats.Degraded {
+		t.Errorf("retries/degraded: %d/%d serial vs %d/%d wide",
+			serialStats.Retries, serialStats.Degraded, wideStats.Retries, wideStats.Degraded)
+	}
+
+	// Every session's fate matches its injected fault — the ground truth
+	// the injector exposes via FaultFor.
+	for i, l := range serial {
+		host := fmtHost(400 + i)
+		switch in.FaultFor(host) {
+		case chaos.FaultDead:
+			if l.Outcome != OutcomeGaveUp || l.Error != crawler.OutcomeDead {
+				t.Errorf("%s (dead): %s/%s", host, l.Outcome, l.Error)
+			}
+		case chaos.FaultStall:
+			if l.Outcome != OutcomeGaveUp || l.Error != crawler.OutcomeTimeout {
+				t.Errorf("%s (stall): %s/%s", host, l.Outcome, l.Error)
+			}
+		case chaos.FaultServerError:
+			if l.Outcome != OutcomeGaveUp || l.Error != crawler.OutcomeServerError {
+				t.Errorf("%s (server-error): %s/%s", host, l.Outcome, l.Error)
+			}
+		case chaos.FaultTruncate:
+			if l.Outcome != OutcomeGaveUp || l.Error != crawler.OutcomeTruncated {
+				t.Errorf("%s (truncate): %s/%s", host, l.Outcome, l.Error)
+			}
+		case chaos.FaultTakedown:
+			if l.Outcome != crawler.OutcomeTakedown {
+				t.Errorf("%s (takedown): %s", host, l.Outcome)
+			}
+		case chaos.FaultFlaky:
+			if l.Outcome != crawler.OutcomeCompleted || l.Attempts != 3 {
+				t.Errorf("%s (flaky): %s after %d attempts, want completed after 3", host, l.Outcome, l.Attempts)
+			}
+		case chaos.FaultNone, chaos.FaultSlow:
+			if l.Outcome != crawler.OutcomeCompleted || l.Attempts != 1 {
+				t.Errorf("%s (healthy): %s after %d attempts", host, l.Outcome, l.Attempts)
+			}
+		}
+	}
+}
+
+func TestBackoffDelayCappedAndJittered(t *testing.T) {
+	base, max := 25*time.Millisecond, 400*time.Millisecond
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := backoffDelay(base, max, attempt, 1, 0)
+		if d > max {
+			t.Errorf("attempt %d: delay %s exceeds cap %s", attempt, d, max)
+		}
+		if d < base/2 {
+			t.Errorf("attempt %d: delay %s below half the base", attempt, d)
+		}
+		if d < prev/2 {
+			t.Errorf("attempt %d: delay %s collapsed from %s", attempt, d, prev)
+		}
+		prev = d
+	}
+	// Deterministic: same (seed, idx, attempt) → same jitter.
+	if backoffDelay(base, max, 3, 7, 9) != backoffDelay(base, max, 3, 7, 9) {
+		t.Error("backoff jitter not deterministic")
+	}
+	// Different sites decorrelate.
+	same := true
+	for idx := 1; idx < 10; idx++ {
+		if backoffDelay(base, max, 3, 7, idx) != backoffDelay(base, max, 3, 7, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("jitter identical across sites")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/farm"
 	"repro/internal/metrics"
 	"repro/internal/vision"
 )
@@ -299,6 +300,29 @@ func SubmitMethods(h *metrics.Histogram) string {
 		fmt.Fprintf(&b, "  %-14s %6d (%5.1f%%)\n", row.Key, row.Count, pct)
 	}
 	b.WriteString("(paper reports 12% of sites requiring visual detection)\n")
+	return b.String()
+}
+
+// FailureTable renders the crawl failure taxonomy plus the farm's
+// resilience counters — the operational-health table implied by the
+// paper's reachability discussion (a large share of reported URLs are
+// dead or unreachable by crawl time). Rows come from
+// analysis.FailureTaxonomy; the footer summarizes the retry queue's work.
+func FailureTable(h *metrics.Histogram, st farm.Stats) string {
+	var b strings.Builder
+	b.WriteString("Failure taxonomy: operational fate of every crawl session\n")
+	total := h.Total()
+	fmt.Fprintf(&b, "%-24s %8s %8s\n", "Classification", "Sites", "%")
+	for _, row := range h.SortedByCount() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(row.Count) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-24s %8d %7.1f%%\n", row.Key, row.Count, pct)
+	}
+	fmt.Fprintf(&b, "%-24s %8d %7.1f%%\n", "Total", total, 100.0)
+	fmt.Fprintf(&b, "Retries: %d; degraded completions (succeeded after retry): %d; recovered panics: %d\n",
+		st.Retries, st.Degraded, st.Panics)
 	return b.String()
 }
 
