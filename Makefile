@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench chaos check
+.PHONY: all build test race vet bench chaos fuzz check
 
 all: build
 
@@ -27,11 +27,20 @@ vet:
 	$(GO) vet ./...
 
 # The fault-injection matrix: every chaos/retry/deadline/budget test under
-# the race detector. This is the resilience acceptance gate — it includes
-# the 1-vs-30-worker determinism pin for fault-injected crawls.
+# the race detector, plus the crash-recovery suite — journal torn-tail and
+# corruption handling, and the kill-and-resume smoke run (SIGKILL a
+# journaled crawl mid-run, tear the tail, resume, require output identical
+# to an uninterrupted run). This is the resilience acceptance gate — it
+# includes the 1-vs-30-worker determinism pin for fault-injected crawls.
 chaos:
-	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError' \
-		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/...
+	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume' \
+		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/... ./internal/journal/...
+	$(GO) test -run 'KillResumeSmoke' ./cmd/phishcrawl/...
+
+# Coverage-guided fuzzing of the journal's record framing: encode/decode
+# round-trips, CRC mismatch detection, and hostile length prefixes.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzRecordRoundTrip -fuzztime=15s ./internal/journal
 
 # Hot-path microbenchmarks plus the end-to-end throughput run. Scale the
 # corpus with PHISH_BENCH_SITES (default 600).

@@ -4,7 +4,10 @@
 // per-stage timings, and throughput. The -chaos flags inject a
 // deterministic mix of dead/slow/flaky/5xx/truncated/takedown sites into
 // the feed (see docs/OPERATIONS.md); the -cpuprofile/-memprofile flags
-// capture pprof profiles of the run for performance work.
+// capture pprof profiles of the run for performance work. The -journal
+// flags make the crawl itself crash-safe: every finished session streams
+// into a durable segment store, and -resume continues an interrupted run,
+// re-crawling only the URLs it never completed.
 package main
 
 import (
@@ -20,6 +23,9 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/farm"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sessionio"
@@ -31,8 +37,13 @@ func main() {
 	workers := flag.Int("workers", 30, "parallel crawl sessions (paper: 30)")
 	sample := flag.Int("sample", 0, "crawl only the first N sites (0 = all)")
 	out := flag.String("o", "", "write session logs as JSON Lines to this file")
+	detectorTrain := flag.Int("detector-train", 0, "object-detector training pages (0 = pipeline default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the crawl to this file")
+	journalDir := flag.String("journal", "", "stream finished sessions into a crash-safe journal at this directory")
+	resume := flag.Bool("resume", false, "resume the journal at -journal: skip already-completed URLs")
+	compact := flag.Bool("compact", false, "after the crawl, compact superseded records out of the journal")
+	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always | batch | none")
 
 	def := chaos.DefaultProfile()
 	chaosOn := flag.Bool("chaos", false, "inject operational faults into the feed (dead/stalling/slow/5xx/truncated/takedown/flaky sites)")
@@ -64,15 +75,16 @@ func main() {
 	}
 
 	opts := core.Options{
-		NumSites:      *numSites,
-		Seed:          *seed,
-		Workers:       *workers,
-		ChaosSeed:     *chaosSeed,
-		SessionBudget: *sessionBudget,
-		FetchTimeout:  *fetchTimeout,
-		MaxRetries:    *retries,
-		RetryBase:     *retryBase,
-		RetryMax:      *retryMax,
+		NumSites:           *numSites,
+		Seed:               *seed,
+		Workers:            *workers,
+		DetectorTrainPages: *detectorTrain,
+		ChaosSeed:          *chaosSeed,
+		SessionBudget:      *sessionBudget,
+		FetchTimeout:       *fetchTimeout,
+		MaxRetries:         *retries,
+		RetryBase:          *retryBase,
+		RetryMax:           *retryMax,
 	}
 	if *chaosOn {
 		opts.Chaos = &chaos.Profile{
@@ -102,25 +114,41 @@ func main() {
 	}
 	fmt.Printf("Corpus: %d sites in %d campaigns. Crawling with %d workers...\n",
 		len(p.Corpus.Sites), p.Corpus.Campaigns, *workers)
-	if *sample > 0 {
-		p.CrawlSample(*sample)
+
+	var (
+		logs  []*crawler.SessionLog
+		stats farm.Stats
+	)
+	if *journalDir != "" {
+		logs, stats = crawlJournaled(p, *journalDir, *sample, *resume, *compact, *journalSync)
 	} else {
-		p.Crawl()
+		if *resume {
+			log.Fatal("-resume requires -journal <dir>")
+		}
+		if *sample > 0 {
+			p.CrawlSample(*sample)
+		} else {
+			p.Crawl()
+		}
+		logs, stats = p.Logs, p.Stats
 	}
 
 	fmt.Printf("\nCrawled %d sites in %s (%.0f sites/day extrapolated; paper: >1,000/day)\n",
-		p.Stats.Sites, p.Stats.Elapsed.Round(1e6), p.Stats.SitesPerDay())
+		stats.Sites, stats.Elapsed.Round(1e6), stats.SitesPerDay())
 	var outcomes []string
-	for o := range p.Stats.Outcomes {
+	for o := range stats.Outcomes {
 		outcomes = append(outcomes, o)
 	}
 	sort.Strings(outcomes)
 	for _, o := range outcomes {
-		fmt.Printf("  %-12s %d\n", o, p.Stats.Outcomes[o])
+		fmt.Printf("  %-12s %d\n", o, stats.Outcomes[o])
 	}
 
 	pages, fields := 0, 0
-	for _, l := range p.Logs {
+	for _, l := range logs {
+		if l == nil {
+			continue
+		}
 		pages += len(l.Pages)
 		for _, pg := range l.Pages {
 			fields += len(pg.Fields)
@@ -128,14 +156,14 @@ func main() {
 	}
 	fmt.Printf("Pages visited: %d; input fields identified and filled: %d\n", pages, fields)
 
-	fmt.Printf("\n%s", report.FailureTable(analysis.FailureTaxonomy(p.Logs), p.Stats))
+	fmt.Printf("\n%s", report.FailureTable(analysis.FailureTaxonomy(logs), stats))
 
-	if len(p.Stats.Stages) > 0 {
-		fmt.Printf("\nPer-stage timing (aggregated across workers):\n%s", metrics.StageTable(p.Stats.Stages))
+	if len(stats.Stages) > 0 {
+		fmt.Printf("\nPer-stage timing (aggregated across workers):\n%s", metrics.StageTable(stats.Stages))
 	}
 
 	if *out != "" {
-		if err := sessionio.WriteFile(*out, p.Logs); err != nil {
+		if err := sessionio.WriteFile(*out, logs); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("session logs written to %s\n", *out)
@@ -152,4 +180,71 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// crawlJournaled runs the crash-safe crawl path: sessions stream into the
+// journal as they complete, an interrupted journal resumes, and the
+// returned logs/stats are the merged view across every run the journal
+// has seen. Outcome statistics are recomputed from the journaled sessions
+// (exact even when an earlier run was SIGKILLed before writing its stats
+// record); elapsed time, stage timings, and panic counts merge from the
+// per-run stats records, so they cover runs that reached completion.
+func crawlJournaled(p *core.Pipeline, dir string, sample int, resume, compact bool, syncPolicy string) ([]*crawler.SessionLog, farm.Stats) {
+	var policy journal.SyncPolicy
+	switch syncPolicy {
+	case "always":
+		policy = journal.SyncAlways
+	case "batch":
+		policy = journal.SyncBatch
+	case "none":
+		policy = journal.SyncNone
+	default:
+		log.Fatalf("unknown -journal-sync %q (want always, batch, or none)", syncPolicy)
+	}
+	j, err := journal.Open(dir, journal.Options{Sync: policy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := j.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	if n := j.CompletedCount(); n > 0 && !resume {
+		log.Fatalf("journal %s already holds %d sessions; pass -resume to continue it or point -journal at a fresh directory", dir, n)
+	}
+	skipped, err := p.CrawlJournal(j, sample)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resume {
+		fmt.Printf("Journal: resumed %s — %d URLs already complete, crawled %d\n", dir, skipped, p.Stats.Sites)
+	} else {
+		fmt.Printf("Journal: %d sessions journaled to %s\n", p.Stats.Sites, dir)
+	}
+	if compact {
+		dropped, err := j.Compact()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Journal: compaction dropped %d superseded records\n", dropped)
+	}
+
+	logs, err := j.Sessions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs, err := j.StatsRuns()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := farm.Tally(logs)
+	var runLevel farm.Stats
+	for _, r := range runs {
+		runLevel.Merge(r)
+	}
+	stats.Elapsed = runLevel.Elapsed
+	stats.Stages = runLevel.Stages
+	stats.Panics = runLevel.Panics
+	return logs, stats
 }

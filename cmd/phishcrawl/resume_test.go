@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// timeRe strips the wall-clock NetLog timestamps, the only fields of an
+// export that legitimately differ between runs.
+var timeRe = regexp.MustCompile(`"Time":"[^"]*"`)
+
+func normalizedExport(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(timeRe.ReplaceAll(data, []byte(`"Time":""`)))
+}
+
+// segmentFiles returns the journal's segment paths in name order.
+func segmentFiles(dir string) []string {
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	sort.Strings(segs)
+	return segs
+}
+
+// TestKillResumeSmoke is the crash-recovery smoke run wired into `make
+// chaos`: crawl with a journal, SIGKILL the process mid-crawl, tear the
+// journal's tail mid-record, resume with -resume, and require the resumed
+// export to match a clean uninterrupted run byte-for-byte (after stripping
+// wall-clock timestamps).
+func TestKillResumeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary three times")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "phishcrawl")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building phishcrawl: %v\n%s", err, out)
+	}
+
+	args := []string{"-sites", "300", "-workers", "8", "-detector-train", "150", "-seed", "42"}
+	run := func(extra ...string) string {
+		out, err := exec.Command(bin, append(append([]string{}, args...), extra...)...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("phishcrawl %v: %v\n%s", extra, err, out)
+		}
+		return string(out)
+	}
+
+	// Reference: one uninterrupted, unjournaled run.
+	clean := filepath.Join(dir, "clean.jsonl")
+	run("-o", clean)
+
+	// Interrupted run: SIGKILL as soon as the journal holds data, which is
+	// mid-crawl (sessions stream into the journal as they complete).
+	jdir := filepath.Join(dir, "journal")
+	cmd := exec.Command(bin, append(append([]string{}, args...), "-journal", jdir)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		var total int64
+		for _, seg := range segmentFiles(jdir) {
+			if fi, err := os.Stat(seg); err == nil {
+				total += fi.Size()
+			}
+		}
+		if total > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("journal never grew; crawl did not start?")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill; the journal is what matters
+
+	// Tear the tail: chop one byte off the last segment, simulating a crash
+	// mid-append. Resume must truncate the torn record and re-crawl its URL.
+	segs := segmentFiles(jdir)
+	if len(segs) == 0 {
+		t.Fatal("no journal segments after kill")
+	}
+	last := segs[len(segs)-1]
+	if fi, err := os.Stat(last); err == nil && fi.Size() > 1 {
+		if err := os.Truncate(last, fi.Size()-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Resume and export the merged view.
+	resumed := filepath.Join(dir, "resumed.jsonl")
+	out := run("-journal", jdir, "-resume", "-o", resumed)
+	if !strings.Contains(out, "Journal: resumed") {
+		t.Fatalf("resume banner missing from output:\n%s", out)
+	}
+
+	cleanNorm := normalizedExport(t, clean)
+	resumedNorm := normalizedExport(t, resumed)
+	if cleanNorm != resumedNorm {
+		cl := strings.Split(cleanNorm, "\n")
+		rl := strings.Split(resumedNorm, "\n")
+		n := 0
+		for n < len(cl) && n < len(rl) && cl[n] == rl[n] {
+			n++
+		}
+		t.Fatalf("resumed export diverges from clean run at line %d (clean %d lines, resumed %d)",
+			n+1, len(cl), len(rl))
+	}
+}

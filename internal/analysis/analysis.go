@@ -62,17 +62,31 @@ func ESLD(rawURL string) string {
 // session logs by seed-URL match, the join the farm performs implicitly in
 // the paper's pipeline.
 func AttachMeta(logs []*crawler.SessionLog, entries []feed.Entry) {
+	byURL := MetaIndex(entries)
+	for _, l := range logs {
+		AttachMetaIndexed(l, byURL)
+	}
+}
+
+// MetaIndex builds the seed-URL → feed-entry join index once, so a
+// streaming consumer (the journal sink journaling each session as it
+// completes) can attach metadata per log without rebuilding the map.
+func MetaIndex(entries []feed.Entry) map[string]feed.Entry {
 	byURL := make(map[string]feed.Entry, len(entries))
 	for _, e := range entries {
 		byURL[e.URL] = e
 	}
-	for _, l := range logs {
-		if e, ok := byURL[l.SeedURL]; ok && e.Site != nil {
-			l.SiteID = e.Site.ID
-			l.Brand = e.Brand
-			l.Category = e.Sector
-			l.CampaignID = e.Site.CampaignID
-		}
+	return byURL
+}
+
+// AttachMetaIndexed attaches one log's feed metadata from a prebuilt
+// MetaIndex.
+func AttachMetaIndexed(l *crawler.SessionLog, byURL map[string]feed.Entry) {
+	if e, ok := byURL[l.SeedURL]; ok && e.Site != nil {
+		l.SiteID = e.Site.ID
+		l.Brand = e.Brand
+		l.Category = e.Sector
+		l.CampaignID = e.Site.CampaignID
 	}
 }
 

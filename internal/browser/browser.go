@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"time"
 
@@ -168,9 +169,20 @@ func (b *Browser) buildPage(body, pageURL string, status int) (*Page, error) {
 // fetch performs one logged request, handling cookies and redirect chains.
 func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (body, finalURL string, status int, err error) {
 	cur := rawURL
+	// Carried values are logged in sorted field order: map iteration order
+	// would otherwise make two identical runs export different logs, and
+	// the crawl journal's resume guarantee is that a resumed run's records
+	// match an uninterrupted run's.
 	var carried []string
-	for k := range form {
-		carried = append(carried, form.Get(k))
+	if len(form) > 0 {
+		keys := make([]string, 0, len(form))
+		for k := range form {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			carried = append(carried, form.Get(k))
+		}
 	}
 	for hop := 0; hop < 10; hop++ {
 		data, status, loc, err := b.roundTrip(method, cur, form, kind, carried)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/feed"
 	"repro/internal/fielddata"
+	"repro/internal/journal"
 	"repro/internal/pagegen"
 	"repro/internal/phash"
 	"repro/internal/phishserver"
@@ -222,6 +223,57 @@ func (p *Pipeline) Crawl() {
 	urls := p.Feed.URLs()
 	p.Logs, p.Stats = farm.Run(p.farmConfig(), urls)
 	analysis.AttachMeta(p.Logs, p.Feed.Filter())
+}
+
+// CrawlJournal crawls up to sample feed URLs (0 = all), streaming every
+// finished session into j the moment it completes instead of accumulating
+// logs in memory — the run-level durability layer for a 43-day crawl. URLs
+// the journal already holds are skipped, so reopening the journal of an
+// interrupted run resumes it: only incomplete URLs are re-crawled, and
+// because per-session seeds derive from feed indices, the resumed sessions
+// are identical to the ones an uninterrupted run would have produced. Feed
+// metadata is attached before journaling; a stats record is appended when
+// the run completes. p.Stats reports THIS run only (merged totals come
+// from the journal); p.Logs stays nil. Returns how many URLs were skipped
+// as already complete.
+func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, err error) {
+	urls := p.Feed.URLs()
+	// Guard the operator against resuming with a mismatched corpus: every
+	// journaled URL must exist in this feed, or the checkpoint (and the
+	// sessions behind it) belong to a different -sites/-seed.
+	inFeed := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		inFeed[u] = true
+	}
+	for u := range j.CompletedURLs() {
+		if !inFeed[u] {
+			return 0, fmt.Errorf("core: journal holds sessions for URLs not in this feed (e.g. %s); it was recorded with different -sites/-seed", u)
+		}
+	}
+	if sample > 0 && sample < len(urls) {
+		urls = urls[:sample]
+	}
+	for _, u := range urls {
+		if j.Completed(u) {
+			skipped++
+		}
+	}
+	byURL := analysis.MetaIndex(p.Feed.Filter())
+	cfg := p.farmConfig()
+	cfg.Skip = func(_ int, u string) bool { return j.Completed(u) }
+	cfg.Sink = func(_ int, lg *crawler.SessionLog) error {
+		analysis.AttachMetaIndexed(lg, byURL)
+		return j.AppendSession(lg)
+	}
+	p.Logs = nil
+	p.Stats, err = farm.RunStream(cfg, urls)
+	if err != nil {
+		return skipped, fmt.Errorf("core: journaling crawl: %w", err)
+	}
+	if err := j.AppendStats(p.Stats); err != nil {
+		return skipped, fmt.Errorf("core: journaling run stats: %w", err)
+	}
+	return skipped, nil
 }
 
 // CrawlSample crawls only the first n feed entries (for quick looks and

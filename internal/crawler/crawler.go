@@ -189,6 +189,11 @@ type SessionLog struct {
 	// Attempts is how many times the farm ran this session (1 = first
 	// try); set by the farm's retry queue.
 	Attempts int
+	// FeedIndex is this session's position in the crawl feed, recorded by
+	// the farm. Journaled and exported logs are re-assembled in feed order
+	// by this index, and a resumed crawl derives the same per-session
+	// seeds from it that the uninterrupted run would have used.
+	FeedIndex int
 	// FirstPageEmbedding supports campaign clustering and the cloning
 	// analysis without retaining full screenshots.
 	FirstPageEmbedding visualphish.Embedding

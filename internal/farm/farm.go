@@ -69,6 +69,20 @@ type Config struct {
 	// RetrySeed drives the deterministic backoff jitter, so a run's retry
 	// schedule is reproducible from its seeds.
 	RetrySeed int64
+	// Skip, when non-nil, reports whether the URL at index idx should be
+	// skipped entirely — typically because a resumed run's journal already
+	// holds its session. Skipped URLs get no session, no log slot, and no
+	// stats contribution, but every crawled URL keeps deriving its
+	// per-session seed from its original index, so a resumed crawl
+	// reproduces the uninterrupted run's sessions exactly.
+	Skip func(idx int, url string) bool
+	// Sink, when non-nil, receives each finished session as it completes
+	// (calls are serialized — a journal append needs no extra locking) and
+	// switches the farm to streaming mode: logs are not accumulated and
+	// Run returns a nil slice. The index is the session's position in the
+	// input URL list. After a sink error the farm keeps crawling but stops
+	// delivering; RunStream surfaces the first error.
+	Sink func(idx int, lg *crawler.SessionLog) error
 }
 
 // Stats summarizes a finished run.
@@ -102,6 +116,60 @@ func (s Stats) SitesPerDay() float64 {
 	return float64(s.Sites) / s.Elapsed.Seconds() * 86400
 }
 
+// Merge folds another run's statistics into s: counters add, outcome and
+// failure maps merge, elapsed times sum (total crawl time across runs),
+// and stage timings combine via metrics.MergeStageStats. It is how a
+// resumed crawl's per-run stats records accumulate into one report.
+func (s *Stats) Merge(o Stats) {
+	s.Sites += o.Sites
+	s.Elapsed += o.Elapsed
+	s.Retries += o.Retries
+	s.Degraded += o.Degraded
+	s.Panics += o.Panics
+	if len(o.Outcomes) > 0 && s.Outcomes == nil {
+		s.Outcomes = map[string]int{}
+	}
+	for k, v := range o.Outcomes {
+		s.Outcomes[k] += v
+	}
+	if len(o.Failures) > 0 && s.Failures == nil {
+		s.Failures = map[string]int{}
+	}
+	for k, v := range o.Failures {
+		s.Failures[k] += v
+	}
+	s.Stages = metrics.MergeStageStats(s.Stages, o.Stages)
+}
+
+// Tally recomputes the session-derived half of Stats from final logs:
+// Sites, Outcomes, Failures, Degraded, and Retries (each session's final
+// Attempts-1 re-queues). Elapsed, Stages, and Panics are run-level facts a
+// log cannot carry; they stay zero. A nil entry counts as lost, exactly as
+// Run counts a session no worker recorded. Tally is how a resumed crawl
+// rebuilds exact outcome statistics from its journal even when an earlier
+// run crashed before writing a stats record.
+func Tally(logs []*crawler.SessionLog) Stats {
+	s := Stats{
+		Sites:    len(logs),
+		Outcomes: map[string]int{},
+		Failures: map[string]int{},
+	}
+	for _, l := range logs {
+		if l == nil {
+			s.Outcomes[OutcomeLost]++
+			continue
+		}
+		s.Outcomes[l.Outcome]++
+		s.Retries += l.Attempts - 1
+		if l.Outcome == OutcomeGaveUp {
+			s.Failures[l.Error]++
+		} else if l.Attempts > 1 {
+			s.Degraded++
+		}
+	}
+	return s
+}
+
 // job is one queued crawl attempt.
 type job struct {
 	idx     int
@@ -113,14 +181,43 @@ type job struct {
 // a transient (retryable) outcome are re-queued with capped exponential
 // backoff up to MaxRetries times; a session that panics is recovered,
 // classified, and retried like any other transient failure, so one bad
-// site never costs a worker or loses the run.
+// site never costs a worker or loses the run. With Config.Sink set the
+// farm streams instead of accumulating and the returned slice is nil; use
+// RunStream to also observe sink errors.
 func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
+	logs, stats, _ := run(cfg, urls)
+	return logs, stats
+}
+
+// RunStream crawls like Run but requires Config.Sink: each finished
+// session is handed to the sink as it completes and never retained, so a
+// 43-day crawl holds O(workers) sessions in memory instead of O(feed).
+// The returned error is the first sink failure (the crawl itself finishes
+// regardless, and Stats still counts every session).
+func RunStream(cfg Config, urls []string) (Stats, error) {
+	if cfg.Sink == nil {
+		return Stats{}, fmt.Errorf("farm: RunStream requires a Config.Sink")
+	}
+	_, stats, err := run(cfg, urls)
+	return stats, err
+}
+
+func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
+	// Apply the skip filter first: include holds the original feed indices
+	// that will actually be crawled, so seed derivation below is untouched
+	// by resume.
+	include := make([]int, 0, len(urls))
+	for i, u := range urls {
+		if cfg.Skip == nil || !cfg.Skip(i, u) {
+			include = append(include, i)
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
-	if workers > len(urls) && len(urls) > 0 {
-		workers = len(urls)
+	if workers > len(include) && len(include) > 0 {
+		workers = len(include)
 	}
 	maxRetries := cfg.MaxRetries
 	if maxRetries == 0 {
@@ -140,10 +237,16 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 		retryMax = retryBase
 	}
 
-	logs := make([]*crawler.SessionLog, len(urls))
-	// All workers record into one shared stage-timing collector (it is
-	// atomic inside); reuse the template's when the caller installed one so
-	// timings accumulate across Run calls.
+	// Streaming mode keeps no log slice at all; that is the point.
+	var logs []*crawler.SessionLog
+	if cfg.Sink == nil {
+		logs = make([]*crawler.SessionLog, len(urls))
+	}
+	// Each worker records stage timings into a private collector and the
+	// collectors merge once at the end — same totals as the old shared
+	// collector, without cross-worker cache-line contention. Reuse the
+	// template's collector as the merge target when the caller installed
+	// one so timings still accumulate across Run calls.
 	timings := cfg.Crawler.Timings
 	if timings == nil {
 		timings = &metrics.StageTimings{}
@@ -155,11 +258,41 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 		retries int64
 		panics  int64
 	)
+	// land serializes the completion path: sink delivery and the incremental
+	// outcome tally.
+	var land struct {
+		sync.Mutex
+		outcomes map[string]int
+		failures map[string]int
+		degraded int
+		count    int
+		sinkErr  error
+	}
+	land.outcomes = map[string]int{}
+	land.failures = map[string]int{}
+	finish := func(lg *crawler.SessionLog) {
+		land.Lock()
+		defer land.Unlock()
+		land.count++
+		land.outcomes[lg.Outcome]++
+		if lg.Outcome == OutcomeGaveUp {
+			land.failures[lg.Error]++
+		} else if lg.Attempts > 1 {
+			land.degraded++
+		}
+		if cfg.Sink == nil {
+			logs[lg.FeedIndex] = lg
+			return
+		}
+		if land.sinkErr == nil {
+			land.sinkErr = cfg.Sink(lg.FeedIndex, lg)
+		}
+	}
 	// Buffered to the full job count so neither the producer nor a retry
 	// timer ever blocks: each URL has at most one outstanding job at any
-	// moment, so capacity len(urls) suffices.
-	jobs := make(chan job, len(urls))
-	pending.Add(len(urls))
+	// moment, so capacity len(include) suffices.
+	jobs := make(chan job, len(include))
+	pending.Add(len(include))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -167,7 +300,9 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 			// Each worker gets its own crawler so faker sequences differ
 			// across sessions without shared state.
 			c := *cfg.Crawler
-			c.Timings = timings
+			wt := &metrics.StageTimings{}
+			c.Timings = wt
+			defer func() { timings.Merge(wt) }()
 			for jb := range jobs {
 				// The faker seed derives from the job index (not the worker
 				// or the attempt), which keeps runs reproducible across
@@ -188,12 +323,13 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 					lg.Outcome = OutcomeGaveUp
 				}
 				lg.Attempts = jb.attempt + 1
-				logs[jb.idx] = lg
+				lg.FeedIndex = jb.idx
+				finish(lg)
 				pending.Done()
 			}
 		}()
 	}
-	for i := range urls {
+	for _, i := range include {
 		jobs <- job{idx: i}
 	}
 	go func() {
@@ -205,27 +341,21 @@ func Run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats) {
 	wg.Wait()
 
 	stats := Stats{
-		Sites:    len(urls),
+		Sites:    len(include),
 		Elapsed:  time.Since(start),
-		Outcomes: map[string]int{},
+		Outcomes: land.outcomes,
 		Stages:   timings.Snapshot(),
 		Retries:  int(atomic.LoadInt64(&retries)),
 		Panics:   int(atomic.LoadInt64(&panics)),
-		Failures: map[string]int{},
+		Failures: land.failures,
+		Degraded: land.degraded,
 	}
-	for _, l := range logs {
-		if l == nil {
-			stats.Outcomes[OutcomeLost]++
-			continue
-		}
-		stats.Outcomes[l.Outcome]++
-		if l.Outcome == OutcomeGaveUp {
-			stats.Failures[l.Error]++
-		} else if l.Attempts > 1 {
-			stats.Degraded++
-		}
+	// Sessions that never landed (a worker died without recording — the
+	// panic guard should make this impossible) stay visible as lost.
+	if lost := len(include) - land.count; lost > 0 {
+		stats.Outcomes[OutcomeLost] += lost
 	}
-	return logs, stats
+	return logs, stats, land.sinkErr
 }
 
 // retryable extends the crawler's transient-failure set with the farm's

@@ -1,0 +1,326 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/farm"
+	"repro/internal/metrics"
+)
+
+// testSession fabricates a distinguishable session log.
+func testSession(idx int, url, outcome string) *crawler.SessionLog {
+	return &crawler.SessionLog{
+		SeedURL:   url,
+		SiteID:    strings.ReplaceAll(url, "http://", "site-"),
+		Outcome:   outcome,
+		Attempts:  1 + idx%3,
+		FeedIndex: idx,
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j
+}
+
+func appendN(t *testing.T, j *Journal, n, from int) []*crawler.SessionLog {
+	t.Helper()
+	var logs []*crawler.SessionLog
+	for i := from; i < from+n; i++ {
+		lg := testSession(i, "http://host"+itoa(i)+".example/login", "completed")
+		if err := j.AppendSession(lg); err != nil {
+			t.Fatalf("AppendSession(%d): %v", i, err)
+		}
+		logs = append(logs, lg)
+	}
+	return logs
+}
+
+func itoa(i int) string {
+	b, _ := json.Marshal(i)
+	return string(b)
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncNone})
+	want := appendN(t, j, 10, 0)
+	st := farm.Stats{
+		Sites: 10, Elapsed: 3 * time.Second,
+		Outcomes: map[string]int{"completed": 10},
+		Failures: map[string]int{},
+		Stages:   []metrics.StageStat{{Stage: "render", Count: 10, Total: time.Second}},
+	}
+	if err := j.AppendStats(st); err != nil {
+		t.Fatalf("AppendStats: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	got, err := j2.Sessions()
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sessions round-trip mismatch:\n got %+v\nwant %+v", got[0], want[0])
+	}
+	runs, err := j2.StatsRuns()
+	if err != nil {
+		t.Fatalf("StatsRuns: %v", err)
+	}
+	if len(runs) != 1 || !reflect.DeepEqual(runs[0], st) {
+		t.Fatalf("stats round-trip mismatch: %+v", runs)
+	}
+	if j2.CompletedCount() != 10 {
+		t.Fatalf("CompletedCount = %d, want 10", j2.CompletedCount())
+	}
+	if !j2.Completed(want[3].SeedURL) || j2.Completed("http://never.example/") {
+		t.Fatal("Completed() wrong for known/unknown URL")
+	}
+}
+
+func TestJournalSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, Sync: SyncNone})
+	want := appendN(t, j, 40, 0)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several rolled segments, got %v", segs)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	got, err := j2.Sessions()
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("rolled journal did not round-trip")
+	}
+	// The journal must stay appendable across reopen with rolled segments.
+	appendN(t, j2, 5, 40)
+	if j2.CompletedCount() != 45 {
+		t.Fatalf("CompletedCount = %d, want 45", j2.CompletedCount())
+	}
+}
+
+func TestJournalResumeSkipsCompleted(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncNone})
+	appendN(t, j, 7, 0)
+	// Simulate a crash: no Close, no final checkpoint.
+	j.active.Close()
+
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if j2.CompletedCount() != 7 {
+		t.Fatalf("CompletedCount after crash-reopen = %d, want 7", j2.CompletedCount())
+	}
+	appendN(t, j2, 3, 7)
+	got, err := j2.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("Sessions = %d, want 10", len(got))
+	}
+	for i, lg := range got {
+		if lg.FeedIndex != i {
+			t.Fatalf("session %d has FeedIndex %d; want feed order", i, lg.FeedIndex)
+		}
+	}
+}
+
+func TestJournalSupersededRetryRecordsAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, Sync: SyncNone})
+	appendN(t, j, 12, 0)
+	// Re-crawl three URLs (a later resumed run re-adjudicating them): the
+	// newer records supersede the old ones.
+	for _, i := range []int{2, 5, 9} {
+		lg := testSession(i, "http://host"+itoa(i)+".example/login", "stuck")
+		lg.Attempts = 9
+		if err := j.AppendSession(lg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(j *Journal, total int) {
+		t.Helper()
+		got, err := j.Sessions()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != total {
+			t.Fatalf("Sessions = %d, want %d (latest per URL)", len(got), total)
+		}
+		for _, i := range []int{2, 5, 9} {
+			if got[i].Outcome != "stuck" || got[i].Attempts != 9 {
+				t.Fatalf("session %d not superseded: %+v", i, got[i])
+			}
+		}
+	}
+	check(j, 12)
+
+	dropped, err := j.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if dropped != 3 {
+		t.Fatalf("Compact dropped %d records, want 3", dropped)
+	}
+	check(j, 12)
+	// Still appendable after compaction, and the rewrite survives reopen.
+	appendN(t, j, 1, 12)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if j2.CompletedCount() != 13 {
+		t.Fatalf("CompletedCount after compact+reopen = %d, want 13", j2.CompletedCount())
+	}
+	check(j2, 13)
+}
+
+func TestJournalManifestRebuiltFromSegments(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, Sync: SyncNone})
+	want := appendN(t, j, 20, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Lose the manifest (and the checkpoint, which might otherwise mask
+	// index rebuilding): the segment files alone must reconstruct the
+	// journal.
+	os.Remove(filepath.Join(dir, manifestName))
+	os.Remove(filepath.Join(dir, checkpointName))
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	got, err := j2.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("manifest rebuild lost records")
+	}
+}
+
+func TestJournalStaleCheckpointDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncNone})
+	appendN(t, j, 6, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an OS crash that lost the tail data but kept the newer
+	// checkpoint: chop the last record off the segment while CHECKPOINT
+	// still claims it.
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-40); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	// The torn sixth record is gone; the checkpoint must not resurrect it.
+	if j2.CompletedCount() != 5 {
+		t.Fatalf("CompletedCount = %d, want 5 after stale checkpoint discard", j2.CompletedCount())
+	}
+	got, err := j2.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("Sessions = %d, want 5", len(got))
+	}
+}
+
+func TestJournalOrphanSegmentAdopted(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Sync: SyncNone})
+	want := appendN(t, j, 4, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A roll that crashed after creating the next segment but before
+	// committing the manifest leaves an empty orphan.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(2)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	got, err := j2.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("orphan adoption lost records")
+	}
+	appendN(t, j2, 2, 4)
+	if j2.CompletedCount() != 6 {
+		t.Fatalf("CompletedCount = %d, want 6", j2.CompletedCount())
+	}
+}
+
+func TestJournalCheckpointSpeedsReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 1024, CheckpointEvery: 4, Sync: SyncNone})
+	appendN(t, j, 30, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointName)); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	j2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if j2.CompletedCount() != 30 {
+		t.Fatalf("CompletedCount = %d, want 30", j2.CompletedCount())
+	}
+}
+
+func TestJournalRejectsSealedSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, Sync: SyncNone})
+	appendN(t, j, 20, 0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, checkpointName)) // force a full scan
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("need rolled segments, got %v", segs)
+	}
+	// Flip a byte in the middle of the FIRST (sealed) segment: that is
+	// corruption, not a torn tail, and Open must refuse rather than
+	// silently drop records.
+	path := filepath.Join(dir, segs[0])
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open accepted a corrupt sealed segment")
+	}
+}

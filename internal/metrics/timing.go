@@ -67,6 +67,24 @@ func (t *StageTimings) Observe(s Stage, d time.Duration) {
 	t.nanos[s].Add(int64(d))
 }
 
+// Merge adds o's accumulated counts and durations into t, so per-worker
+// collectors can record contention-free and be combined once at the end of
+// a run. Either side may be nil (no-op). Merging while o is still being
+// written is safe but may miss in-flight observations.
+func (t *StageTimings) Merge(o *StageTimings) {
+	if t == nil || o == nil {
+		return
+	}
+	for i := 0; i < int(numStages); i++ {
+		if n := o.counts[i].Load(); n != 0 {
+			t.counts[i].Add(n)
+		}
+		if n := o.nanos[i].Load(); n != 0 {
+			t.nanos[i].Add(n)
+		}
+	}
+}
+
 // StageStat is a point-in-time snapshot of one stage's counters.
 type StageStat struct {
 	Stage string
@@ -95,6 +113,32 @@ func (t *StageTimings) Snapshot() []StageStat {
 			Stage: stageNames[i],
 			Count: t.counts[i].Load(),
 			Total: time.Duration(t.nanos[i].Load()),
+		}
+	}
+	return out
+}
+
+// MergeStageStats combines two snapshots stage-by-stage, matching rows by
+// stage name: counts and totals add, a's row order is preserved, and stages
+// present only in b are appended in b's order. It supports merging
+// farm.Stats across resumed runs, where each run contributes its own
+// snapshot.
+func MergeStageStats(a, b []StageStat) []StageStat {
+	if len(a) == 0 {
+		return append([]StageStat(nil), b...)
+	}
+	out := append([]StageStat(nil), a...)
+	index := make(map[string]int, len(out))
+	for i, s := range out {
+		index[s.Stage] = i
+	}
+	for _, s := range b {
+		if i, ok := index[s.Stage]; ok {
+			out[i].Count += s.Count
+			out[i].Total += s.Total
+		} else {
+			index[s.Stage] = len(out)
+			out = append(out, s)
 		}
 	}
 	return out

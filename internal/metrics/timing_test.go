@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -82,5 +83,72 @@ func TestStageTableAndNames(t *testing.T) {
 	}
 	if StageRender.String() != "render" || Stage(99).String() != "stage(99)" {
 		t.Error("stage names wrong")
+	}
+}
+
+func TestStageTimingsMerge(t *testing.T) {
+	var a, b StageTimings
+	a.Observe(StageRender, 10*time.Millisecond)
+	a.Observe(StageOCR, time.Millisecond)
+	b.Observe(StageRender, 5*time.Millisecond)
+	b.Observe(StageRender, 5*time.Millisecond)
+	b.Observe(StageDetect, 2*time.Millisecond)
+	a.Merge(&b)
+	for _, s := range a.Snapshot() {
+		switch s.Stage {
+		case "render":
+			if s.Count != 3 || s.Total != 20*time.Millisecond {
+				t.Errorf("render = %+v", s)
+			}
+		case "ocr":
+			if s.Count != 1 || s.Total != time.Millisecond {
+				t.Errorf("ocr = %+v", s)
+			}
+		case "detect":
+			if s.Count != 1 || s.Total != 2*time.Millisecond {
+				t.Errorf("detect = %+v", s)
+			}
+		}
+	}
+	// b is untouched by the merge.
+	for _, s := range b.Snapshot() {
+		if s.Stage == "render" && s.Count != 2 {
+			t.Errorf("merge mutated the source: %+v", s)
+		}
+	}
+	// Nil on either side is a no-op, not a crash.
+	var nilT *StageTimings
+	nilT.Merge(&a)
+	a.Merge(nil)
+}
+
+func TestMergeStageStats(t *testing.T) {
+	a := []StageStat{
+		{Stage: "render", Count: 2, Total: 20 * time.Millisecond},
+		{Stage: "ocr", Count: 1, Total: time.Millisecond},
+	}
+	b := []StageStat{
+		{Stage: "ocr", Count: 3, Total: 3 * time.Millisecond},
+		{Stage: "submit", Count: 5, Total: 5 * time.Millisecond},
+	}
+	got := MergeStageStats(a, b)
+	want := []StageStat{
+		{Stage: "render", Count: 2, Total: 20 * time.Millisecond},
+		{Stage: "ocr", Count: 4, Total: 4 * time.Millisecond},
+		{Stage: "submit", Count: 5, Total: 5 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged = %+v, want %+v", got, want)
+	}
+	// Inputs must not be mutated (aliasing bug guard).
+	if a[1].Count != 1 {
+		t.Error("MergeStageStats mutated its input")
+	}
+	// Empty sides.
+	if got := MergeStageStats(nil, b); !reflect.DeepEqual(got, b) {
+		t.Errorf("nil+b = %+v", got)
+	}
+	if got := MergeStageStats(a, nil); !reflect.DeepEqual(got, a) {
+		t.Errorf("a+nil = %+v", got)
 	}
 }

@@ -1,6 +1,9 @@
 package raster
 
-import "strings"
+import (
+	"sort"
+	"strings"
+)
 
 // The bitmap font: each glyph is 5 pixels wide and 7 tall, described by 7
 // strings where 'X' marks an on pixel. Lowercase letters render with their
@@ -96,12 +99,15 @@ func HasGlyph(r rune) bool {
 	return ok || r == ' '
 }
 
-// GlyphRunes returns every rune the font defines, in no particular order.
+// GlyphRunes returns every rune the font defines, in ascending code-point
+// order. The order is stable so that consumers resolving ties by table
+// position (OCR glyph matching) behave identically across processes.
 func GlyphRunes() []rune {
 	out := make([]rune, 0, len(glyphs))
 	for r := range glyphs {
 		out = append(out, r)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

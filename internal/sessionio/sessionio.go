@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"repro/internal/crawler"
 )
@@ -55,17 +56,43 @@ func Read(r io.Reader) ([]*crawler.SessionLog, error) {
 	return out, nil
 }
 
-// WriteFile writes the sessions to path.
+// WriteFile writes the sessions to path crash-safely: the JSONL is
+// written to a temporary file in the target directory, fsynced, and
+// atomically renamed over the destination. A crash mid-write leaves
+// either the previous file or the complete new one — never a truncated
+// JSONL that would poison later analysis.
 func WriteFile(path string, logs []*crawler.SessionLog) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("sessionio: %w", err)
 	}
-	defer f.Close()
-	if err := Write(f, logs); err != nil {
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
 		return err
 	}
-	return f.Close()
+	if err := Write(tmp, logs); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("sessionio: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sessionio: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sessionio: %w", err)
+	}
+	// Make the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // ReadFile loads sessions from path.

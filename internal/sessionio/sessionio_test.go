@@ -1,6 +1,7 @@
 package sessionio
 
 import (
+	"os"
 	"bytes"
 	"path/filepath"
 	"reflect"
@@ -115,5 +116,46 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+func TestWriteFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "logs.jsonl")
+
+	// Seed the destination with a previous export.
+	if err := WriteFile(path, []*crawler.SessionLog{{SiteID: "old"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite: readers must only ever observe the old or the new complete
+	// file, and the temp file must not linger.
+	if err := WriteFile(path, sampleLogs()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].SiteID != "site-1" {
+		t.Errorf("replaced content = %+v", back)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+
+	// A failed write (unencodable destination dir) must not clobber the
+	// existing file and must clean up its temp.
+	if err := WriteFile(filepath.Join(dir, "no-such-subdir", "x.jsonl"), sampleLogs()); err == nil {
+		t.Error("writing into a missing directory should fail")
+	}
+	back, err = ReadFile(path)
+	if err != nil || len(back) != 2 {
+		t.Errorf("original damaged by failed write: %v, %d sessions", err, len(back))
 	}
 }
