@@ -3,17 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench chaos fuzz check
+.PHONY: all build test race vet lint bench chaos fuzz check
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# Default test gate: vet first, the full suite, then the race detector over
-# the resilience-critical packages (retry queue, fault injector, context
-# deadlines) so a data race on the farm's new retry paths fails `make test`.
-test: vet
+# Default test gate: lint first (gofmt, go vet, phishvet), the full suite,
+# then the race detector over the resilience-critical packages (retry
+# queue, fault injector, context deadlines) so a data race on the farm's
+# new retry paths fails `make test`.
+test: lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/farm/... ./internal/chaos/... ./internal/browser/...
 
@@ -25,6 +26,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static gate: formatting, go vet, and phishvet — the project's
+# determinism-and-durability linter (map-order leaks, wall-clock reads,
+# global randomness, dropped durability errors, non-atomic writes). See
+# docs/OPERATIONS.md for rule docs and the suppression syntax.
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/phishvet ./...
 
 # The fault-injection matrix: every chaos/retry/deadline/budget test under
 # the race detector, plus the crash-recovery suite — journal torn-tail and
@@ -47,4 +58,4 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline' -benchmem ./...
 
-check: build vet test race
+check: build lint test race

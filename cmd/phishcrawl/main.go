@@ -63,6 +63,7 @@ func main() {
 	flag.Parse()
 
 	if *cpuProfile != "" {
+		//phishvet:ignore atomicwrite: pprof needs an open stream; a torn profile from a crash is discarded, not analyzed
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			log.Fatal(err)
@@ -170,6 +171,7 @@ func main() {
 	}
 
 	if *memProfile != "" {
+		//phishvet:ignore atomicwrite: pprof needs an open stream; a torn profile from a crash is discarded, not analyzed
 		f, err := os.Create(*memProfile)
 		if err != nil {
 			log.Fatal(err)

@@ -8,7 +8,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 	"time"
 
@@ -19,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pagegen"
 	"repro/internal/report"
+	"repro/internal/sessionio"
 	"repro/internal/termclass"
 	"repro/internal/textclass"
 	"repro/internal/vision"
@@ -38,7 +38,7 @@ func main() {
 
 	fmt.Fprintf(&b, "# PhishInPatterns — Reproduction Report\n\n")
 	fmt.Fprintf(&b, "Corpus: %d sites, seed %d, %d workers. Generated %s.\n",
-		*numSites, *seed, *workers, time.Now().UTC().Format(time.RFC3339))
+		*numSites, *seed, *workers, metrics.Now().UTC().Format(time.RFC3339))
 
 	// Model evaluations with the paper's protocols.
 	section("Table 6 — input-field classifier (1,000 train / 310 test)")
@@ -118,7 +118,9 @@ func main() {
 		fmt.Print(b.String())
 		return
 	}
-	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+	// Atomic replace: a crash mid-write must never leave a truncated
+	// report over a previous complete one.
+	if err := sessionio.WriteRaw(*out, []byte(b.String())); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("report written to %s\n", *out)

@@ -1,0 +1,92 @@
+// Command phishvet runs the project's determinism-and-durability linter
+// over package patterns, printing compiler-style diagnostics and gating CI
+// through its exit code:
+//
+//	phishvet ./...                            # whole tree (make lint does this)
+//	phishvet -rules maporder,wallclock ./...  # a subset of rules
+//	phishvet ./internal/phishvet/testdata/src/maporder/...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure
+// (including packages that do not type-check — findings in a broken
+// package are not trustworthy).
+//
+// Suppress a finding with a justified ignore on the same line or the line
+// above; bare ignores are themselves diagnostics:
+//
+//	//phishvet:ignore <rule>: <justification>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/phishvet"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	list := flag.Bool("list", false, "list rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: phishvet [-rules r1,r2] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, r := range phishvet.Rules() {
+			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+	selected, err := phishvet.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader, err := phishvet.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			broken = true
+			fmt.Fprintf(os.Stderr, "phishvet: %s: %v\n", pkg.Path, terr)
+		}
+	}
+	if broken {
+		os.Exit(2)
+	}
+
+	diags := phishvet.Check(pkgs, selected)
+	for _, d := range diags {
+		// Relative paths keep output stable across checkouts and clickable
+		// from the repo root.
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "phishvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

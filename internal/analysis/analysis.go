@@ -10,6 +10,7 @@ package analysis
 
 import (
 	"net/url"
+	"sort"
 	"strings"
 
 	"repro/internal/captcha"
@@ -265,11 +266,18 @@ func FieldsPerStage(logs []*crawler.SessionLog) []StageField {
 	}
 	var out []StageField
 	for stage := 1; stage <= 5; stage++ {
-		for t, n := range counts[stage] {
+		// Emit types in sorted order: Figure 9 renders straight from this
+		// slice, so its row order must not depend on map iteration.
+		typs := make([]fieldspec.Type, 0, len(counts[stage]))
+		for t := range counts[stage] {
+			typs = append(typs, t)
+		}
+		sort.Slice(typs, func(i, j int) bool { return typs[i] < typs[j] })
+		for _, t := range typs {
 			out = append(out, StageField{
 				Stage: stage,
 				Type:  t,
-				Pct:   100 * float64(n) / float64(typeTotals[t]),
+				Pct:   100 * float64(counts[stage][t]) / float64(typeTotals[t]),
 			})
 		}
 	}

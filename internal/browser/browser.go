@@ -66,8 +66,25 @@ type Browser struct {
 
 	// NetLog accumulates every request across the session.
 	NetLog []NetRequest
-	// now supplies timestamps (overridable in tests).
+	// now supplies log timestamps. The default is a deterministic
+	// session-logical clock (see sessionClock), not the wall clock: log
+	// times are part of the journaled session bytes, and the journal's
+	// resume guarantee is that a resumed run's records are byte-identical
+	// to an uninterrupted run's.
 	now func() time.Time
+}
+
+// sessionClock returns the browser's default timestamp source: a logical
+// clock that starts at the Unix epoch and advances one millisecond per
+// observation. Event ORDER — the only thing the analyses consume — is
+// preserved, and two crawls of the same seed produce identical bytes.
+// Wall-clock time stays behind the internal/metrics seam.
+func sessionClock() func() time.Time {
+	var ticks int64
+	return func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond)).UTC()
+	}
 }
 
 // Options configures a Browser.
@@ -98,7 +115,7 @@ func New(opts Options) *Browser {
 		cookies:      map[string]string{},
 		ctx:          context.Background(),
 		fetchTimeout: opts.Timeout,
-		now:          time.Now,
+		now:          sessionClock(),
 	}
 }
 
@@ -227,8 +244,16 @@ func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, ca
 	if err != nil {
 		return "", 0, "", fmt.Errorf("browser: building request: %w", err)
 	}
-	for name, v := range b.cookies {
-		req.AddCookie(&http.Cookie{Name: name, Value: v})
+	// The Cookie header is part of the request bytes the server (and the
+	// keylogging analysis) observes; emit it in sorted name order so it
+	// never depends on map iteration.
+	names := make([]string, 0, len(b.cookies))
+	for name := range b.cookies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		req.AddCookie(&http.Cookie{Name: name, Value: b.cookies[name]})
 	}
 	resp, rerr := b.client.Do(req)
 	if rerr != nil {

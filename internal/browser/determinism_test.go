@@ -1,0 +1,82 @@
+package browser
+
+import (
+	"net/http"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// cookieEchoTransport sets several cookies on the first response and
+// records the Cookie header order of every subsequent request.
+type cookieEchoTransport struct {
+	headers *[]string
+}
+
+func (t cookieEchoTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if h := req.Header.Get("Cookie"); h != "" {
+		*t.headers = append(*t.headers, h)
+	}
+	resp := &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{},
+		Body:       http.NoBody,
+		Request:    req,
+	}
+	resp.Header.Set("Content-Type", "text/html")
+	if len(*t.headers) == 0 {
+		for _, c := range []string{"zeta=1", "alpha=2", "mid=3", "beta=4"} {
+			resp.Header.Add("Set-Cookie", c)
+		}
+	}
+	return resp, nil
+}
+
+// TestCookieHeaderSorted pins the maporder fix in roundTrip: the Cookie
+// header is part of the request bytes the phishing server observes, so it
+// must be emitted in sorted name order, never map-iteration order.
+func TestCookieHeaderSorted(t *testing.T) {
+	var headers []string
+	b := New(Options{Transport: cookieEchoTransport{headers: &headers}})
+	if _, err := b.Navigate("http://phish.test/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Navigate("http://phish.test/next"); err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 1 {
+		t.Fatalf("recorded %d Cookie headers, want 1: %v", len(headers), headers)
+	}
+	want := "alpha=2; beta=4; mid=3; zeta=1"
+	if headers[0] != want {
+		t.Errorf("Cookie header = %q, want sorted %q", headers[0], want)
+	}
+}
+
+// TestSessionClockDeterministic pins the wallclock fix: two identical
+// sessions produce identical NetLog timestamps (a logical clock, not wall
+// time), so journaled session bytes never differ between a clean run and
+// a resumed one.
+func TestSessionClockDeterministic(t *testing.T) {
+	run := func() []NetRequest {
+		b := newBrowser(testSite())
+		if _, err := b.Navigate("http://phish.test/"); err != nil {
+			t.Fatal(err)
+		}
+		return b.NetLog
+	}
+	a, c := run(), run()
+	if !reflect.DeepEqual(a, c) {
+		t.Errorf("two identical sessions diverged:\n%+v\nvs\n%+v", a, c)
+	}
+	times := make([]int64, len(a))
+	for i, r := range a {
+		if r.Time.IsZero() {
+			t.Errorf("NetLog[%d].Time is zero", i)
+		}
+		times[i] = r.Time.UnixNano()
+	}
+	if !sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] }) {
+		t.Errorf("logical clock not monotonic: %v", times)
+	}
+}

@@ -135,7 +135,7 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	// training them one after another. Errors are checked in the original
 	// serial order so the reported failure doesn't depend on scheduling.
 	var (
-		wg                         sync.WaitGroup
+		wg                        sync.WaitGroup
 		fieldErr, detErr, termErr error
 	)
 	wg.Add(4)

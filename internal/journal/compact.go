@@ -47,7 +47,7 @@ func (j *Journal) Compact() (dropped int, err error) {
 			return nil
 		}
 		if err := out.Sync(); err != nil {
-			out.Close()
+			_ = out.Close() // the Sync failure is the error worth reporting
 			return fmt.Errorf("journal: compact: %w", err)
 		}
 		err := out.Close()
@@ -72,7 +72,7 @@ func (j *Journal) Compact() (dropped int, err error) {
 	}
 	abort := func() {
 		if out != nil {
-			out.Close()
+			_ = out.Close() // aborting: the segment is being deleted anyway
 		}
 		for _, s := range newSegments {
 			os.Remove(filepath.Join(j.dir, s.Name))
@@ -137,7 +137,7 @@ func (j *Journal) Compact() (dropped int, err error) {
 	j.active = f
 	j.activeSize = lastSize
 	j.unsynced = 0
-	oldActive.Close()
+	_ = oldActive.Close() // superseded handle; its segment file is deleted below
 	for _, s := range oldSegments {
 		os.Remove(filepath.Join(j.dir, s.Name))
 	}

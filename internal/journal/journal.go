@@ -157,7 +157,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: opening active segment: %w", err)
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close() // the Seek failure is the error worth reporting
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.active = f
@@ -693,7 +693,7 @@ func createFileSync(path string) error {
 		return fmt.Errorf("journal: creating segment: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the Sync failure is the error worth reporting
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -714,12 +714,12 @@ func atomicWriteFile(path string, data []byte) error {
 	tmpName := tmp.Name()
 	cleanup := func() { os.Remove(tmpName) }
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the Write failure is the error worth reporting
 		cleanup()
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the Sync failure is the error worth reporting
 		cleanup()
 		return fmt.Errorf("journal: %w", err)
 	}

@@ -1,0 +1,23 @@
+package metrics
+
+import "time"
+
+// This file is the project's only sanctioned wall-clock entry point
+// outside _test.go files. Crawl *output* must be a pure function of the
+// feed seed, so seeded code never reads the clock; operational code that
+// legitimately needs wall time — throughput accounting, report headers —
+// routes through here, where phishvet's wallclock rule can see exactly
+// what depends on it.
+
+// Now returns the current wall-clock time.
+func Now() time.Time { return time.Now() }
+
+// Stopwatch measures elapsed wall-clock time for operational accounting
+// (farm throughput, stage totals). It never feeds session output.
+type Stopwatch struct{ start time.Time }
+
+// NewStopwatch starts a stopwatch.
+func NewStopwatch() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the wall-clock time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }

@@ -1,0 +1,25 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchElapsed(t *testing.T) {
+	sw := NewStopwatch()
+	time.Sleep(5 * time.Millisecond)
+	if e := sw.Elapsed(); e < 5*time.Millisecond {
+		t.Errorf("Elapsed() = %v, want >= 5ms", e)
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	a := Now()
+	if a.IsZero() {
+		t.Fatal("Now() returned the zero time")
+	}
+	time.Sleep(time.Millisecond)
+	if b := Now(); !b.After(a) {
+		t.Errorf("Now() did not advance: %v then %v", a, b)
+	}
+}

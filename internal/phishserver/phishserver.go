@@ -12,6 +12,7 @@ import (
 	"hash/fnv"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 
@@ -178,9 +179,15 @@ func (h *siteHandler) handleSubmit(w http.ResponseWriter, req *http.Request, ses
 	}
 	// Validate: on any failure, re-serve the identical page so the
 	// crawler's DOM hash sees no progress and it retries with fresh data
-	// (Section 4.3).
-	for field, validator := range page.Validate {
-		if !validate(validator, req.PostForm.Get(field)) {
+	// (Section 4.3). Fields are checked in sorted order so which failing
+	// field "wins" never depends on map iteration.
+	fields := make([]string, 0, len(page.Validate))
+	for field := range page.Validate {
+		fields = append(fields, field)
+	}
+	sort.Strings(fields)
+	for _, field := range fields {
+		if !validate(page.Validate[field], req.PostForm.Get(field)) {
 			servePage(w, page.HTML)
 			return
 		}

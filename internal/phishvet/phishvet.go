@@ -1,0 +1,276 @@
+// Package phishvet is the project's determinism-and-durability linter: a
+// small go/ast + go/types analyzer framework with rules tuned to the
+// invariants this codebase's reproduction guarantees rest on. The paper's
+// analyses (Tables 1-7) only reproduce if a crawl is a pure function of
+// the feed seed, and the journal's kill-and-resume guarantee only holds if
+// every byte on the durability path is written atomically and checked.
+// Those invariants are exactly the class of bugs `go vet` and the race
+// detector cannot see — map-iteration order leaking into output, a stray
+// wall-clock read in seeded code, a dropped fsync error — so phishvet
+// machine-checks them on every `make lint`.
+//
+// Each rule reports diagnostics at file:line:col. A finding can be
+// suppressed with a justified ignore comment on the same line (or the
+// line above):
+//
+//	//phishvet:ignore <rule>: <justification>
+//
+// Bare ignores (no justification) are rejected with a diagnostic of their
+// own, so every suppression in the tree stays auditable.
+package phishvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String formats the diagnostic the way compilers do, so editors and CI
+// log scrapers pick the location up.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Rule is one named check.
+type Rule struct {
+	// Name is the identifier used in -rules filters and ignore comments.
+	Name string
+	// Doc is the one-line description shown by `phishvet -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one package to one rule and collects its reports.
+type Pass struct {
+	Pkg   *Package
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// calleePkgFunc resolves a call of the form pkg.Fn(...) to the imported
+// package path and function name. It returns ("", "") for anything else
+// (method calls, locals, type conversions).
+func (p *Pass) calleePkgFunc(call *ast.CallExpr) (path, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return p.selectorPkgFunc(sel)
+}
+
+// selectorPkgFunc resolves pkg.Name selectors (calls or bare references)
+// to (import path, name) when pkg is an imported package and Name is a
+// function; anything else returns ("", "").
+func (p *Pass) selectorPkgFunc(sel *ast.SelectorExpr) (path, name string) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	if _, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// within reports whether the package's import path contains the given
+// "/"-separated segment sequence (e.g. "internal/journal"). Fixture
+// packages under testdata mimic production paths this way, so path-scoped
+// rules behave identically on both.
+func within(pkgPath, segments string) bool {
+	return strings.Contains("/"+pkgPath+"/", "/"+segments+"/")
+}
+
+// Rules returns every rule in stable order.
+func Rules() []Rule {
+	return []Rule{maporderRule(), wallclockRule(), globalrandRule(), checkedsyncRule(), atomicwriteRule()}
+}
+
+// RuleNames returns the names of rs.
+func RuleNames(rs []Rule) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// suppressionRule is the meta-rule name attached to diagnostics about the
+// ignore comments themselves (bare ignores, unknown rules, dead ignores).
+const suppressionRule = "suppression"
+
+// suppression is one parsed //phishvet:ignore comment.
+type suppression struct {
+	file string
+	line int
+	rule string
+	pos  token.Pos
+	used bool
+	// bad carries the rejection message for malformed ignores ("" = valid).
+	bad string
+}
+
+// parseSuppressions extracts every //phishvet:ignore comment in the
+// package. Malformed ones (no rule, no ": justification", unknown rule)
+// come back with bad set and never suppress anything.
+func parseSuppressions(pkg *Package, known map[string]bool) []suppression {
+	var out []suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//phishvet:ignore")
+				if !ok {
+					continue
+				}
+				// Tolerate a trailing comment on the same line (the fixture
+				// harness puts // want expectations there).
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				s := suppression{
+					file: pkg.Fset.Position(c.Pos()).Filename,
+					line: pkg.Fset.Position(c.Pos()).Line,
+					pos:  c.Pos(),
+				}
+				rule, just, found := strings.Cut(strings.TrimSpace(text), ":")
+				rule = strings.TrimSpace(rule)
+				switch {
+				case !found || strings.TrimSpace(just) == "":
+					s.bad = "bare //phishvet:ignore: write //phishvet:ignore <rule>: <justification> so the suppression stays auditable"
+				case !known[rule]:
+					s.bad = fmt.Sprintf("//phishvet:ignore names unknown rule %q (known: %s)", rule, strings.Join(RuleNames(Rules()), ", "))
+				default:
+					s.rule = rule
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether the suppression applies to a diagnostic of rule
+// at (file, line): same line as the comment, or the line directly below
+// (for ignores placed on their own line above the flagged statement).
+func (s *suppression) covers(rule string, pos token.Position) bool {
+	return s.bad == "" && s.rule == rule && s.file == pos.Filename &&
+		(s.line == pos.Line || s.line == pos.Line-1)
+}
+
+// Check runs the rules over the packages, applies justified suppressions,
+// reports malformed and dead suppressions, and returns the surviving
+// diagnostics sorted by position.
+func Check(pkgs []*Package, rules []Rule) []Diagnostic {
+	known := map[string]bool{}
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+	enabled := map[string]bool{}
+	for _, r := range rules {
+		enabled[r.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, r := range rules {
+			r.Run(&Pass{Pkg: pkg, rule: r.Name, diags: &raw})
+		}
+		sups := parseSuppressions(pkg, known)
+		for _, d := range raw {
+			suppressed := false
+			for i := range sups {
+				if sups[i].covers(d.Rule, d.Pos) {
+					sups[i].used = true
+					suppressed = true
+				}
+			}
+			if !suppressed {
+				out = append(out, d)
+			}
+		}
+		for _, s := range sups {
+			switch {
+			case s.bad != "":
+				out = append(out, Diagnostic{Pos: pkg.Fset.Position(s.pos), Rule: suppressionRule, Message: s.bad})
+			case !s.used && enabled[s.rule]:
+				// A justified ignore that matches nothing is stale — the code
+				// it excused was fixed or moved. Keep the tree honest.
+				out = append(out, Diagnostic{
+					Pos:     pkg.Fset.Position(s.pos),
+					Rule:    suppressionRule,
+					Message: fmt.Sprintf("//phishvet:ignore %s suppresses nothing here: delete the stale suppression", s.rule),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Select returns the rules whose names appear in the comma-separated
+// filter ("" selects all), erroring on unknown names.
+func Select(filter string) ([]Rule, error) {
+	all := Rules()
+	if filter == "" {
+		return all, nil
+	}
+	byName := map[string]Rule{}
+	for _, r := range all {
+		byName[r.Name] = r
+	}
+	var out []Rule
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("phishvet: unknown rule %q (known: %s)", name, strings.Join(RuleNames(all), ", "))
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

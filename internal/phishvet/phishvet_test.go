@@ -1,0 +1,157 @@
+package phishvet
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One loader for the whole test binary: the GOROOT source importer costs a
+// couple of seconds the first time, and every fixture shares the cache.
+var (
+	loaderOnce sync.Once
+	testLdr    *Loader
+	testLdrErr error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { testLdr, testLdrErr = NewLoader(".") })
+	if testLdrErr != nil {
+		t.Fatal(testLdrErr)
+	}
+	return testLdr
+}
+
+// want is one expectation parsed from a `// want "regexp"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts every `// want "re" ["re" ...]` expectation from
+// the packages' comments. The marker may trail other comment text (as it
+// does on //phishvet:ignore lines).
+func collectWants(t *testing.T, pkgs []*Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					i := strings.Index(c.Text, "// want ")
+					if i < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					ms := wantQuoted.FindAllStringSubmatch(c.Text[i:], -1)
+					if len(ms) == 0 {
+						t.Errorf("%s:%d: // want with no quoted regexp", pos.Filename, pos.Line)
+						continue
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+							continue
+						}
+						out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs every rule over the fixture tree under
+// testdata/src/<name> and requires the diagnostics to match the // want
+// expectations exactly, both ways.
+func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	l := testLoader(t)
+	pkgs, err := l.Load(filepath.ToSlash(filepath.Join("internal/phishvet/testdata/src", name)) + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: fixture does not type-check: %v", pkg.Path, terr)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	diags := Check(pkgs, Rules())
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMaporderFixture(t *testing.T)   { checkFixture(t, "maporder") }
+func TestWallclockFixture(t *testing.T)  { checkFixture(t, "wallclock") }
+func TestGlobalrandFixture(t *testing.T) { checkFixture(t, "globalrand") }
+func TestCheckedsyncFixture(t *testing.T) {
+	checkFixture(t, "checkedsync")
+}
+func TestAtomicwriteFixture(t *testing.T) { checkFixture(t, "atomicwrite") }
+func TestSuppressionFixture(t *testing.T) { checkFixture(t, "suppression") }
+
+// TestRepoIsViolationFree is the pin the whole PR exists for: the real
+// tree, checked with every rule, must stay clean. A failure here means a
+// new change reintroduced the bug class a previous PR fixed by hand.
+func TestRepoIsViolationFree(t *testing.T) {
+	l := testLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range Check(pkgs, Rules()) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Rules()) {
+		t.Fatalf("Select(\"\") = %d rules, err %v", len(all), err)
+	}
+	two, err := Select("wallclock, maporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RuleNames(two); fmt.Sprint(got) != "[wallclock maporder]" {
+		t.Errorf("Select order = %v", got)
+	}
+	if _, err := Select("nope"); err == nil {
+		t.Error("unknown rule name should error")
+	}
+}

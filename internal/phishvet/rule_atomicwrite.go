@@ -1,0 +1,37 @@
+package phishvet
+
+import (
+	"go/ast"
+)
+
+// atomicwriteFuncs are the os entry points that create or clobber a file
+// in place. Run artifacts (session exports, reports, journal state) must
+// go through the temp+fsync+rename helpers in internal/sessionio or
+// internal/journal, so a crash never leaves a truncated artifact for a
+// later analysis to choke on.
+var atomicwriteFuncs = map[string]bool{"WriteFile": true, "Create": true}
+
+func atomicwriteRule() Rule {
+	return Rule{
+		Name: "atomicwrite",
+		Doc:  "direct os.WriteFile/os.Create outside sessionio/journal",
+		Run: func(p *Pass) {
+			if within(p.Pkg.Path, "internal/sessionio") || within(p.Pkg.Path, "internal/journal") {
+				return
+			}
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					path, name := p.selectorPkgFunc(sel)
+					if path == "os" && atomicwriteFuncs[name] {
+						p.Reportf(sel.Pos(), "os.%s writes in place: run artifacts go through sessionio/journal's atomic temp+fsync+rename writers", name)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,36 @@
+package phishvet
+
+import (
+	"go/ast"
+)
+
+// randConstructors are the math/rand functions that build seed-plumbed
+// generators; everything else at package level draws from the process
+// global source, which no seed in this codebase controls.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors, should the tree ever migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func globalrandRule() Rule {
+	return Rule{
+		Name: "globalrand",
+		Doc:  "top-level math/rand calls (process-global randomness) in seeded code",
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					path, name := p.selectorPkgFunc(sel)
+					if (path == "math/rand" || path == "math/rand/v2") && !randConstructors[name] {
+						p.Reportf(sel.Pos(), "rand.%s draws from the process-global source: plumb a seeded *rand.Rand instead", name)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,165 @@
+package phishvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maporderRule flags `for … range` over a map whose body performs work
+// that observes iteration order — exactly the bug class PR 3 had to hunt
+// by hand (unsorted GlyphRunes, unsorted form keys) before kill-and-resume
+// runs became byte-identical.
+//
+// Order-insensitive accumulation passes: writing into another map,
+// counters (`total += v`), `delete`. The sanctioned emission idiom passes
+// too: collecting keys or values into a slice that the enclosing code
+// sorts (`keys = append(keys, k)` … `sort.Strings(keys)`). What gets
+// flagged is everything whose effect depends on which element comes first:
+//
+//   - a call executed for its side effects (a statement-position call:
+//     fmt.Fprintf into a report, Write into a hasher, AddCookie into a
+//     request),
+//   - a channel send,
+//   - defer/go launched per element,
+//   - appending to a slice that is never sorted.
+//
+// Function literals defined in the body but not invoked there are not
+// entered: storing a closure per key is order-free.
+func maporderRule() Rule {
+	return Rule{
+		Name: "maporder",
+		Doc:  "map iteration feeding output/hashing without sorted keys",
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				sorted := sortedObjects(p, f)
+				flagged := map[ast.Node]bool{}
+				ast.Inspect(f, func(n ast.Node) bool {
+					rng, ok := n.(*ast.RangeStmt)
+					if !ok || !rangesOverMap(p, rng) {
+						return true
+					}
+					checkMapRangeBody(p, rng, sorted, flagged)
+					return true
+				})
+			}
+		},
+	}
+}
+
+func rangesOverMap(p *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := p.Pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRangeBody reports each order-observing statement in the range
+// body once (flagged dedupes statements nested map ranges would visit
+// twice).
+func checkMapRangeBody(p *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool, flagged map[ast.Node]bool) {
+	report := func(n ast.Node, format string, args ...any) {
+		if !flagged[n] {
+			flagged[n] = true
+			p.Reportf(n.Pos(), format, args...)
+		}
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.isBuiltin(call, "delete") || p.isBuiltin(call, "panic") {
+				return true
+			}
+			name := calleeName(call)
+			if name == "" {
+				name = "function"
+			}
+			report(s, "%s called for effect in map-iteration order: iterate sorted keys so output/hash bytes are reproducible", name)
+			return true
+		case *ast.SendStmt:
+			report(s, "channel send in map-iteration order: receivers see a random element order; iterate sorted keys")
+			return true
+		case *ast.DeferStmt:
+			report(s, "defer scheduled in map-iteration order runs in a random order: iterate sorted keys")
+			return true
+		case *ast.GoStmt:
+			report(s, "goroutines launched in map-iteration order: iterate sorted keys so downstream ordering is reproducible")
+			return true
+		case *ast.AssignStmt:
+			for _, rhs := range s.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !p.isBuiltin(call, "append") {
+					continue
+				}
+				for _, lhs := range s.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue // index/field targets are map-style accumulation
+					}
+					obj := objectOf(p, id)
+					if obj != nil && !sorted[obj] {
+						report(s, "%s accumulates in map-iteration order and is never sorted here: sort it (or collect-and-sort keys) before emission", id.Name)
+					}
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(rng.Body, walk)
+}
+
+// sortOrderers maps package path -> function names that impose an order on
+// a slice argument.
+var sortOrderers = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedObjects collects every object that appears inside an argument of a
+// sort.*/slices.Sort* call anywhere in the file. Object identity keeps
+// this precise across functions, so searching the whole file is safe and
+// handles the collect-then-sort idiom wherever the sort lands.
+func sortedObjects(p *Pass, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name := p.calleePkgFunc(call)
+		if fns, ok := sortOrderers[path]; !ok || !fns[name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := objectOf(p, id); obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func objectOf(p *Pass, id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}

@@ -1,0 +1,40 @@
+package phishvet
+
+import (
+	"go/ast"
+)
+
+// wallclockFuncs are the time functions that read the wall clock. A crawl
+// must be a pure function of the feed seed, so these are forbidden outside
+// the one sanctioned seam (internal/metrics, whose Now/Stopwatch the farm
+// and the CLIs route through) — timers and sleeps that take explicit
+// durations are fine, clock *reads* are not.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func wallclockRule() Rule {
+	return Rule{
+		Name: "wallclock",
+		Doc:  "time.Now/Since/Until outside the internal/metrics clock seam",
+		Run: func(p *Pass) {
+			if within(p.Pkg.Path, "internal/metrics") {
+				return
+			}
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					// Bare references (`now: time.Now`) are flagged too: a
+					// stored func value escapes the seam just as surely as a
+					// call.
+					path, name := p.selectorPkgFunc(sel)
+					if path == "time" && wallclockFuncs[name] {
+						p.Reportf(sel.Pos(), "time.%s reads the wall clock in seeded code: route it through the metrics seam (metrics.Now / metrics.NewStopwatch)", name)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,25 @@
+// Package atomicwrite exercises the atomicwrite rule: in-place file
+// creation outside the sessionio/journal atomic writers is flagged.
+package atomicwrite
+
+import "os"
+
+func flagged(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want "os.WriteFile writes in place"
+		return err
+	}
+	f, err := os.Create(path) // want "os.Create writes in place"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func ok(path string) error {
+	// Reading is not writing.
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

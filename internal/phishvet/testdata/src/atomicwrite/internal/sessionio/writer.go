@@ -1,0 +1,11 @@
+// Package sessionio mimics the production atomic writer: the atomicwrite
+// rule exempts internal/sessionio, where temp+fsync+rename lives, so the
+// direct write below produces no finding.
+package sessionio
+
+import "os"
+
+// WriteRaw stands in for the production atomic writer.
+func WriteRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

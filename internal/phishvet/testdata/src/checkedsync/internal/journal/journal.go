@@ -1,0 +1,34 @@
+// Package journal mimics the production durability path: the checkedsync
+// rule flags silent error drops here and accepts the explicit `_ = ...`
+// acknowledgment.
+package journal
+
+import "os"
+
+func flagged(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Write(data)                // want "Write error discarded on the durability path"
+	f.Sync()                     // want "Sync error discarded on the durability path"
+	f.Close()                    // want "Close error discarded on the durability path"
+	os.Rename(path, path+".bak") // want "Rename error discarded on the durability path"
+	return nil
+}
+
+func ok(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // acknowledged: the Write failure is the one reported
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,17 @@
+// Package globalrand exercises the globalrand rule: draws from the
+// process-global source are flagged, seed-plumbed generators pass.
+package globalrand
+
+import "math/rand"
+
+func flagged() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	return rand.Intn(10)               // want "rand.Intn draws from the process-global source"
+}
+
+func ok(seed int64) int {
+	// Constructors are how seeds get plumbed; the generator they return is
+	// a method receiver, not a package-level draw.
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

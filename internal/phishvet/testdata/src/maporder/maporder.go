@@ -1,0 +1,59 @@
+// Package maporder exercises the maporder rule: map ranges whose bodies
+// observe iteration order (output calls, channel sends, defer/go, unsorted
+// accumulation) are flagged; order-insensitive bodies and the sanctioned
+// collect-and-sort idiom pass.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func flagged(m map[string]int, ch chan string) {
+	for k := range m {
+		fmt.Println(k) // want "Println called for effect in map-iteration order"
+	}
+	for k := range m {
+		ch <- k // want "channel send in map-iteration order"
+	}
+	for k := range m {
+		defer fmt.Println(k) // want "defer scheduled in map-iteration order"
+	}
+	for k := range m {
+		go work(k) // want "goroutines launched in map-iteration order"
+	}
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "out accumulates in map-iteration order"
+	}
+	_ = out
+}
+
+func ok(m map[string]int) []string {
+	// The sanctioned emission idiom: collect keys, sort, then emit.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Order-insensitive accumulation passes: map writes, counters, delete.
+	total := 0
+	inverse := map[int]string{}
+	for k, v := range m {
+		total += v
+		inverse[v] = k
+		delete(m, k)
+	}
+	_ = total
+
+	// Closures stored per element are not entered: storing is order-free.
+	fns := map[string]func(){}
+	for k := range m {
+		k := k
+		fns[k] = func() { fmt.Println(k) }
+	}
+	return keys
+}
+
+func work(string) {}

@@ -1,0 +1,20 @@
+// Package suppression exercises the ignore-comment contract: a justified
+// ignore suppresses its finding, bare and unknown-rule ignores are
+// rejected (and suppress nothing), and stale ignores are reported.
+package suppression
+
+import "time"
+
+// A justified ignore on the line above suppresses the finding below it.
+//
+//phishvet:ignore wallclock: fixture demonstrates a sanctioned suppression
+var sanctioned = time.Now
+
+//phishvet:ignore wallclock // want "bare //phishvet:ignore"
+var bare = time.Now // want "time.Now reads the wall clock"
+
+//phishvet:ignore notarule: no such rule exists // want "names unknown rule"
+var unknown = time.Now // want "time.Now reads the wall clock"
+
+//phishvet:ignore wallclock: nothing here reads the clock // want "suppresses nothing"
+var stale = 1

@@ -1,0 +1,8 @@
+// Package metrics mimics the production clock seam: the wallclock rule
+// exempts any internal/metrics package, so these reads produce no findings.
+package metrics
+
+import "time"
+
+// Now is the sanctioned wall-clock read.
+func Now() time.Time { return time.Now() }

@@ -1,0 +1,23 @@
+// Package wallclock exercises the wallclock rule: clock reads are flagged
+// in seeded code, while duration arithmetic and explicit timers pass.
+package wallclock
+
+import "time"
+
+func flagged() time.Duration {
+	t := time.Now()    // want "time.Now reads the wall clock in seeded code"
+	d := time.Since(t) // want "time.Since reads the wall clock in seeded code"
+	_ = time.Until(t)  // want "time.Until reads the wall clock in seeded code"
+	return d
+}
+
+// A stored function value escapes the seam just like a call.
+var clock = time.Now // want "time.Now reads the wall clock in seeded code"
+
+func ok(ch chan struct{}) {
+	// Durations and explicit timers take no clock reading.
+	const budget = 5 * time.Second
+	timer := time.AfterFunc(budget, func() {})
+	defer timer.Stop()
+	<-ch
+}

@@ -62,6 +62,30 @@ func Read(r io.Reader) ([]*crawler.SessionLog, error) {
 // either the previous file or the complete new one — never a truncated
 // JSONL that would poison later analysis.
 func WriteFile(path string, logs []*crawler.SessionLog) error {
+	return atomicReplace(path, func(tmp *os.File) error {
+		return Write(tmp, logs)
+	})
+}
+
+// WriteRaw atomically replaces path with data, with the same
+// temp+fsync+rename guarantee as WriteFile. It is the sanctioned writer
+// for every non-session run artifact (reports, exports): phishvet's
+// atomicwrite rule forbids direct os.WriteFile outside this package and
+// the journal.
+func WriteRaw(path string, data []byte) error {
+	return atomicReplace(path, func(tmp *os.File) error {
+		if _, err := tmp.Write(data); err != nil {
+			return fmt.Errorf("sessionio: %w", err)
+		}
+		return nil
+	})
+}
+
+// atomicReplace runs write against a temp file in path's directory, then
+// fsyncs, renames over path, and fsyncs the directory so the rename
+// itself is durable. Every error on that chain is checked: a silently
+// dropped fsync failure would turn "durable" into "probably durable".
+func atomicReplace(path string, write func(*os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -69,11 +93,11 @@ func WriteFile(path string, logs []*crawler.SessionLog) error {
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
-		tmp.Close()
+		_ = tmp.Close() // already failing; the close error would mask err
 		os.Remove(tmpName)
 		return err
 	}
-	if err := Write(tmp, logs); err != nil {
+	if err := write(tmp); err != nil {
 		return fail(err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -88,9 +112,16 @@ func WriteFile(path string, logs []*crawler.SessionLog) error {
 		return fmt.Errorf("sessionio: %w", err)
 	}
 	// Make the rename itself durable.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sessionio: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // surface the sync failure, not the close
+		return fmt.Errorf("sessionio: syncing directory: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("sessionio: %w", err)
 	}
 	return nil
 }

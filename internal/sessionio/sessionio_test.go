@@ -1,8 +1,8 @@
 package sessionio
 
 import (
-	"os"
 	"bytes"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -157,5 +157,42 @@ func TestWriteFileAtomicReplace(t *testing.T) {
 	back, err = ReadFile(path)
 	if err != nil || len(back) != 2 {
 		t.Errorf("original damaged by failed write: %v, %d sessions", err, len(back))
+	}
+}
+
+func TestWriteRawAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.txt")
+
+	if err := WriteRaw(path, []byte("old report")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRaw(path, []byte("new report")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new report" {
+		t.Errorf("content = %q, want %q", got, "new report")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+
+	// A failed write must not clobber the existing file.
+	if err := WriteRaw(filepath.Join(dir, "missing", "x.txt"), []byte("y")); err == nil {
+		t.Error("writing into a missing directory should fail")
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "new report" {
+		t.Errorf("original damaged by failed write: %v %q", err, got)
 	}
 }
