@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench chaos fuzz check
+.PHONY: all build test race vet lint bench chaos fuzz status-smoke check
 
 all: build
 
@@ -43,10 +43,17 @@ lint:
 # journaled crawl mid-run, tear the tail, resume, require output identical
 # to an uninterrupted run). This is the resilience acceptance gate — it
 # includes the 1-vs-30-worker determinism pin for fault-injected crawls.
-chaos:
+chaos: status-smoke
 	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume' \
 		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/... ./internal/journal/...
 	$(GO) test -run 'KillResumeSmoke' ./cmd/phishcrawl/...
+
+# Live-telemetry smoke: start a short crawl with -status-addr, hit the
+# /status endpoint mid-run (JSON and plain text), and require well-formed
+# progress counts and per-stage p50/p90/p99. The curl equivalent is
+# `curl http://ADDR/status?format=json`.
+status-smoke:
+	$(GO) test -run 'StatusSmoke' ./cmd/phishcrawl/...
 
 # Coverage-guided fuzzing of the journal's record framing: encode/decode
 # round-trips, CRC mismatch detection, and hostile length prefixes.

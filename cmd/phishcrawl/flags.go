@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// cliFlags collects the parsed command-line values whose combinations can
+// be incoherent. validateFlags rejects bad configurations immediately
+// after flag parsing — before corpus generation and model training — so an
+// operator typo fails in milliseconds, not minutes into a run.
+type cliFlags struct {
+	sites         int
+	sample        int
+	workers       int
+	retries       int
+	sessionBudget time.Duration
+	fetchTimeout  time.Duration
+	progress      time.Duration
+	journalDir    string
+	journalSync   string
+	resume        bool
+	compact       bool
+	statusAddr    string
+}
+
+// validateFlags returns the first configuration error, or nil. Kept free
+// of flag.* and os.* so tests can table-drive it directly.
+func validateFlags(f cliFlags) error {
+	if f.sites <= 0 {
+		return fmt.Errorf("-sites must be positive (got %d)", f.sites)
+	}
+	if f.sample < 0 {
+		return fmt.Errorf("-sample must be >= 0 (got %d; 0 crawls the full feed)", f.sample)
+	}
+	if f.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d; 0 uses the default)", f.workers)
+	}
+	if f.retries < 0 {
+		return fmt.Errorf("-retries must be >= 0 (got %d; 0 uses the farm default)", f.retries)
+	}
+	if f.sessionBudget < 0 {
+		return fmt.Errorf("-session-budget must be >= 0 (got %v; 0 uses the crawler default)", f.sessionBudget)
+	}
+	if f.fetchTimeout < 0 {
+		return fmt.Errorf("-fetch-timeout must be >= 0 (got %v; 0 uses the browser default)", f.fetchTimeout)
+	}
+	if f.progress < 0 {
+		return fmt.Errorf("-progress must be >= 0 (got %v; 0 disables the periodic progress line)", f.progress)
+	}
+	switch f.journalSync {
+	case "always", "batch", "none":
+	default:
+		return fmt.Errorf("unknown -journal-sync %q (want always, batch, or none)", f.journalSync)
+	}
+	if f.resume && f.journalDir == "" {
+		return fmt.Errorf("-resume requires -journal <dir>")
+	}
+	if f.compact && f.journalDir == "" {
+		return fmt.Errorf("-compact requires -journal <dir>")
+	}
+	if f.statusAddr != "" && f.compact {
+		return fmt.Errorf("-status-addr cannot be combined with -compact: compaction rewrites the journal after the crawl ends, when the status server no longer reports live progress; run the compaction pass separately")
+	}
+	return nil
+}

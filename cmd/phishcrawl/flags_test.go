@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validFlags returns a baseline configuration every field of which passes
+// validation; cases mutate one knob at a time.
+func validFlags() cliFlags {
+	return cliFlags{
+		sites:       100,
+		workers:     8,
+		journalSync: "always",
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliFlags)
+		wantErr string // empty = must pass
+	}{
+		{"baseline", func(*cliFlags) {}, ""},
+		{"zero workers is the default", func(f *cliFlags) { f.workers = 0 }, ""},
+		{"journal alone", func(f *cliFlags) { f.journalDir = "j" }, ""},
+		{"resume with journal", func(f *cliFlags) { f.journalDir = "j"; f.resume = true }, ""},
+		{"compact with journal", func(f *cliFlags) { f.journalDir = "j"; f.compact = true }, ""},
+		{"status with journal", func(f *cliFlags) { f.journalDir = "j"; f.statusAddr = ":0" }, ""},
+		{"progress interval", func(f *cliFlags) { f.progress = time.Second }, ""},
+		{"sync batch", func(f *cliFlags) { f.journalSync = "batch" }, ""},
+		{"sync none", func(f *cliFlags) { f.journalSync = "none" }, ""},
+
+		{"zero sites", func(f *cliFlags) { f.sites = 0 }, "-sites"},
+		{"negative sites", func(f *cliFlags) { f.sites = -5 }, "-sites"},
+		{"negative sample", func(f *cliFlags) { f.sample = -1 }, "-sample"},
+		{"negative workers", func(f *cliFlags) { f.workers = -1 }, "-workers"},
+		{"negative retries", func(f *cliFlags) { f.retries = -1 }, "-retries"},
+		{"negative session budget", func(f *cliFlags) { f.sessionBudget = -time.Second }, "-session-budget"},
+		{"negative fetch timeout", func(f *cliFlags) { f.fetchTimeout = -time.Second }, "-fetch-timeout"},
+		{"negative progress", func(f *cliFlags) { f.progress = -time.Second }, "-progress"},
+		{"bad journal sync", func(f *cliFlags) { f.journalSync = "fsync" }, "-journal-sync"},
+		{"resume without journal", func(f *cliFlags) { f.resume = true }, "-resume requires -journal"},
+		{"compact without journal", func(f *cliFlags) { f.compact = true }, "-compact requires -journal"},
+		{"status with compact", func(f *cliFlags) {
+			f.journalDir = "j"
+			f.compact = true
+			f.statusAddr = ":0"
+		}, "-status-addr cannot be combined with -compact"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := validFlags()
+			tc.mutate(&f)
+			err := validateFlags(f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags(%+v) = %v, want nil", f, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags(%+v) passed, want error mentioning %q", f, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

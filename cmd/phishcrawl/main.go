@@ -7,7 +7,9 @@
 // capture pprof profiles of the run for performance work. The -journal
 // flags make the crawl itself crash-safe: every finished session streams
 // into a durable segment store, and -resume continues an interrupted run,
-// re-crawling only the URLs it never completed.
+// re-crawling only the URLs it never completed. -status-addr serves live
+// run progress (counts, ETA, per-stage latency percentiles) over HTTP, and
+// -progress prints a periodic one-line summary to stderr.
 package main
 
 import (
@@ -55,12 +57,31 @@ func main() {
 	truncRate := flag.Float64("chaos-truncate", def.TruncateRate, "fraction of sites truncating response bodies")
 	takedownRate := flag.Float64("chaos-takedown", def.TakedownRate, "fraction of sites replaced by a takedown page")
 	flakyRate := flag.Float64("chaos-flaky", def.FlakyRate, "fraction of sites resetting their first connections")
-	retries := flag.Int("retries", 0, "extra attempts per transiently-failed session (0 = default 2, negative disables)")
+	retries := flag.Int("retries", 0, "extra attempts per transiently-failed session (0 = default 2)")
 	retryBase := flag.Duration("retry-base", 0, "backoff before the first retry (0 = farm default)")
 	retryMax := flag.Duration("retry-max", 0, "cap on the exponential backoff (0 = farm default)")
 	sessionBudget := flag.Duration("session-budget", 0, "per-session wall-clock budget (0 = crawler default, the paper's 20-minute timeout scaled)")
 	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch deadline (0 = browser default)")
+	statusAddr := flag.String("status-addr", "", "serve live run progress over HTTP at this address (e.g. 127.0.0.1:8844; /status, ?format=json)")
+	progressEvery := flag.Duration("progress", 0, "print a one-line progress summary to stderr at this interval (0 = off)")
 	flag.Parse()
+
+	if err := validateFlags(cliFlags{
+		sites:         *numSites,
+		sample:        *sample,
+		workers:       *workers,
+		retries:       *retries,
+		sessionBudget: *sessionBudget,
+		fetchTimeout:  *fetchTimeout,
+		progress:      *progressEvery,
+		journalDir:    *journalDir,
+		journalSync:   *journalSync,
+		resume:        *resume,
+		compact:       *compact,
+		statusAddr:    *statusAddr,
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	if *cpuProfile != "" {
 		//phishvet:ignore atomicwrite: pprof needs an open stream; a torn profile from a crash is discarded, not analyzed
@@ -104,11 +125,36 @@ func main() {
 		}
 	}
 
+	// Progress plumbing starts before the (slow) pipeline build so the
+	// status endpoint answers from the first second of a run; the total is
+	// filled in once the feed exists.
+	var mon *farm.Monitor
+	if *statusAddr != "" || *progressEvery > 0 {
+		mon = farm.NewMonitor()
+	}
+	if *statusAddr != "" {
+		srv, addr, err := startStatus(*statusAddr, mon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("Status: serving live progress on http://%s/status\n", addr)
+	}
+	if *progressEvery > 0 {
+		defer startProgressLog(mon, *progressEvery)()
+	}
+
 	fmt.Printf("Building pipeline (%d sites, seed %d)...\n", *numSites, *seed)
 	p, err := core.NewPipeline(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	p.Monitor = mon
+	total := len(p.Feed.URLs())
+	if *sample > 0 && *sample < total {
+		total = *sample
+	}
+	mon.SetTotal(total)
 	if p.Injector != nil {
 		fmt.Printf("Chaos: injecting faults over %.0f%% of sites (seed %d)\n",
 			p.Injector.Profile.FaultRate()*100, p.Injector.Seed)
@@ -123,9 +169,6 @@ func main() {
 	if *journalDir != "" {
 		logs, stats = crawlJournaled(p, *journalDir, *sample, *resume, *compact, *journalSync)
 	} else {
-		if *resume {
-			log.Fatal("-resume requires -journal <dir>")
-		}
 		if *sample > 0 {
 			p.CrawlSample(*sample)
 		} else {
@@ -187,10 +230,11 @@ func main() {
 // crawlJournaled runs the crash-safe crawl path: sessions stream into the
 // journal as they complete, an interrupted journal resumes, and the
 // returned logs/stats are the merged view across every run the journal
-// has seen. Outcome statistics are recomputed from the journaled sessions
-// (exact even when an earlier run was SIGKILLed before writing its stats
-// record); elapsed time, stage timings, and panic counts merge from the
-// per-run stats records, so they cover runs that reached completion.
+// has seen. Outcome statistics AND stage latency histograms are recomputed
+// from the journaled sessions themselves (exact even when an earlier run
+// was SIGKILLed before writing its stats record — each session log carries
+// its trace); only elapsed time and panic counts, which no session log can
+// carry, merge from the per-run stats records.
 func crawlJournaled(p *core.Pipeline, dir string, sample int, resume, compact bool, syncPolicy string) ([]*crawler.SessionLog, farm.Stats) {
 	var policy journal.SyncPolicy
 	switch syncPolicy {
@@ -245,8 +289,11 @@ func crawlJournaled(p *core.Pipeline, dir string, sample int, resume, compact bo
 	for _, r := range runs {
 		runLevel.Merge(r)
 	}
+	// Stages stay the Tally-derived view. Overwriting them with (or merging
+	// in) the journaled per-run records would drop killed runs' sessions and
+	// double-count the rest — the stats records carry the very histograms
+	// Tally just rebuilt from the same sessions.
 	stats.Elapsed = runLevel.Elapsed
-	stats.Stages = runLevel.Stages
 	stats.Panics = runLevel.Panics
 	return logs, stats
 }

@@ -22,6 +22,20 @@ func readExport(t *testing.T, path string) string {
 	return string(data)
 }
 
+// stageTable extracts the per-stage timing table from a run's output.
+func stageTable(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "Per-stage timing")
+	if i < 0 {
+		t.Fatalf("no per-stage timing table in output:\n%s", out)
+	}
+	rest := out[i:]
+	if j := strings.Index(rest, "\nsession logs written"); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}
+
 // segmentFiles returns the journal's segment paths in name order.
 func segmentFiles(dir string) []string {
 	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
@@ -54,7 +68,7 @@ func TestKillResumeSmoke(t *testing.T) {
 
 	// Reference: one uninterrupted, unjournaled run.
 	clean := filepath.Join(dir, "clean.jsonl")
-	run("-o", clean)
+	cleanOut := run("-o", clean)
 
 	// Interrupted run: SIGKILL as soon as the journal holds data, which is
 	// mid-crawl (sessions stream into the journal as they complete).
@@ -104,6 +118,19 @@ func TestKillResumeSmoke(t *testing.T) {
 	out := run("-journal", jdir, "-resume", "-o", resumed)
 	if !strings.Contains(out, "Journal: resumed") {
 		t.Fatalf("resume banner missing from output:\n%s", out)
+	}
+
+	// Stage latency percentiles derive from session-logical traces, so the
+	// per-stage table — p50/p90/p99 included — must be identical between the
+	// clean run and the kill/resume run, not merely close.
+	cleanStages := stageTable(t, cleanOut)
+	resumedStages := stageTable(t, out)
+	if !strings.Contains(cleanStages, "P50") || !strings.Contains(cleanStages, "P99") {
+		t.Errorf("stage table missing percentile columns:\n%s", cleanStages)
+	}
+	if cleanStages != resumedStages {
+		t.Errorf("per-stage timing diverges between clean and resumed runs:\nclean:\n%s\nresumed:\n%s",
+			cleanStages, resumedStages)
 	}
 
 	cleanBytes := readExport(t, clean)

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/metrics"
+)
+
+// statusView is the JSON shape GET /status?format=json serves. Durations
+// are flattened to integer milliseconds so the payload stays trivially
+// parseable from shell tooling (jq, curl | python).
+type statusView struct {
+	Total        int         `json:"total"`
+	Done         int         `json:"done"`
+	PreCompleted int         `json:"preCompleted"`
+	Retried      int         `json:"retried"`
+	Degraded     int         `json:"degraded"`
+	Failed       int         `json:"failed"`
+	Panics       int         `json:"panics"`
+	ElapsedMs    int64       `json:"elapsedMs"`
+	EtaMs        int64       `json:"etaMs"`
+	SitesPerDay  float64     `json:"sitesPerDay"`
+	Stages       []stageView `json:"stages"`
+}
+
+// stageView carries one stage's latency summary: call count, total, and
+// the p50/p90/p99 read off the stage's streaming histogram.
+type stageView struct {
+	Stage   string `json:"stage"`
+	Count   int64  `json:"count"`
+	TotalMs int64  `json:"totalMs"`
+	P50Ms   int64  `json:"p50Ms"`
+	P90Ms   int64  `json:"p90Ms"`
+	P99Ms   int64  `json:"p99Ms"`
+}
+
+func makeStatusView(p farm.Progress) statusView {
+	v := statusView{
+		Total:        p.Total,
+		Done:         p.Done,
+		PreCompleted: p.PreCompleted,
+		Retried:      p.Retried,
+		Degraded:     p.Degraded,
+		Failed:       p.Failed,
+		Panics:       p.Panics,
+		ElapsedMs:    p.Elapsed.Milliseconds(),
+		EtaMs:        p.ETA.Milliseconds(),
+		SitesPerDay:  p.SitesPerDay,
+	}
+	for _, s := range p.Stages {
+		v.Stages = append(v.Stages, stageView{
+			Stage:   string(s.Stage),
+			Count:   s.Count,
+			TotalMs: s.Total.Milliseconds(),
+			P50Ms:   s.P50().Milliseconds(),
+			P90Ms:   s.P90().Milliseconds(),
+			P99Ms:   s.P99().Milliseconds(),
+		})
+	}
+	return v
+}
+
+// startStatus binds addr and serves live run progress at /status: plain
+// text by default (the one-line progress summary plus the per-stage
+// percentile table), JSON with ?format=json. Returns the server (so main
+// can Close it) and the resolved listen address — pass ":0" or
+// "127.0.0.1:0" to let the kernel pick a free port.
+func startStatus(addr string, mon *farm.Monitor) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("-status-addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		p := mon.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(makeStatusView(p))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, p.String())
+		if len(p.Stages) > 0 {
+			fmt.Fprintf(w, "\n%s", metrics.StageTable(p.Stages))
+		}
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// startProgressLog prints the monitor's one-line progress summary to
+// stderr every interval. The returned stop function halts the ticker and
+// prints one final line so the last state of a finished crawl is always
+// visible, however the interval aligned.
+func startProgressLog(mon *farm.Monitor, every time.Duration) (stop func()) {
+	tick := time.NewTicker(every)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintln(os.Stderr, mon.Snapshot().String())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(done)
+		<-finished
+		fmt.Fprintln(os.Stderr, mon.Snapshot().String())
+	}
+}

@@ -85,6 +85,11 @@ func main() {
 		p.Stats.Sites, p.Stats.Elapsed.Round(time.Millisecond), *workers, p.Stats.SitesPerDay())
 	fmt.Fprintf(&b, "Outcomes: %v\n", p.Stats.Outcomes)
 
+	section("Per-stage latency (session-logical clock)")
+	code(metrics.StageTable(p.Stats.Stages))
+	section("Session timeline (deepest crawl session)")
+	code(report.SessionTimeline(report.PickTimelineSession(logs)))
+
 	section("Table 1 — crawling summary")
 	code(report.Table1(analysis.Summarize(p.Feed, logs), *numSites))
 	section("Table 2 — business categories")

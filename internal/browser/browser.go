@@ -87,6 +87,18 @@ func sessionClock() func() time.Time {
 	}
 }
 
+// SetClock replaces the browser's timestamp source. The crawler installs
+// the session trace's logical clock here so browser log timestamps and
+// trace span boundaries advance one shared deterministic timeline; the
+// replacement must be another logical clock, never the wall clock (log
+// times are journaled session bytes, pinned byte-identical across
+// kill/resume). A nil clock keeps the current source.
+func (b *Browser) SetClock(clock func() time.Time) {
+	if clock != nil {
+		b.now = clock
+	}
+}
+
 // Options configures a Browser.
 type Options struct {
 	// Transport serves the requests. Tests and the crawl farm inject the

@@ -101,6 +101,11 @@ type Pipeline struct {
 	// nil); its FaultFor/Summary expose the injected ground truth.
 	Injector *chaos.Injector
 
+	// Monitor, when set before crawling, receives live run progress
+	// (completions, retries, stage latencies) for cmd/phishcrawl's status
+	// endpoint and progress line. nil disables progress tracking.
+	Monitor *farm.Monitor
+
 	// Crawl outputs.
 	Logs  []*crawler.SessionLog
 	Stats farm.Stats
@@ -214,6 +219,7 @@ func (p *Pipeline) farmConfig() farm.Config {
 		RetryBase:  p.Opts.RetryBase,
 		RetryMax:   p.Opts.RetryMax,
 		RetrySeed:  p.Opts.Seed + 8,
+		Monitor:    p.Monitor,
 	}
 }
 
@@ -258,6 +264,7 @@ func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, er
 			skipped++
 		}
 	}
+	p.Monitor.AddPreCompleted(skipped)
 	byURL := analysis.MetaIndex(p.Feed.Filter())
 	cfg := p.farmConfig()
 	cfg.Skip = func(_ int, u string) bool { return j.Completed(u) }

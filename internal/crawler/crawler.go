@@ -30,6 +30,7 @@ import (
 	"repro/internal/raster"
 	"repro/internal/script"
 	"repro/internal/textclass"
+	"repro/internal/trace"
 	"repro/internal/vision"
 	"repro/internal/visualphish"
 )
@@ -194,6 +195,13 @@ type SessionLog struct {
 	// by this index, and a resumed crawl derives the same per-session
 	// seeds from it that the uninterrupted run would have used.
 	FeedIndex int
+	// Trace is the session's span tree (session → page → stage) on the
+	// session-logical clock: what the crawler actually did, in order, with
+	// work-proportional durations. Being logical, it is a pure function of
+	// the session's content — byte-stable across runs, worker counts, and
+	// journal resume — and it is the single source the farm derives
+	// Stats.Stages latency histograms from.
+	Trace []trace.Span `json:",omitempty"`
 	// FirstPageEmbedding supports campaign clustering and the cloning
 	// analysis without retaining full screenshots.
 	FirstPageEmbedding visualphish.Embedding
@@ -220,9 +228,13 @@ type Crawler struct {
 	SessionBudget time.Duration
 	// FakerSeed seeds the per-session forged-data generator.
 	FakerSeed int64
-	// Timings, when non-nil, accumulates per-stage wall-clock (render, OCR,
-	// detect, submit). The farm points every worker's copy at one shared
-	// collector; nil disables instrumentation at zero cost.
+	// Timings, when non-nil, accumulates per-stage durations (render, OCR,
+	// detect, submit) across every attempt this crawler runs. Durations
+	// are measured on the session-logical trace clock, not the wall clock,
+	// so accumulated timings are deterministic. The farm does NOT use this
+	// collector for Stats.Stages (those fold from finished sessions'
+	// traces, final attempt only); it exists for direct callers such as
+	// the profiling harness. nil disables it at zero cost.
 	Timings *metrics.StageTimings
 
 	// DisableOCR turns off the visual label fallback of Section 4.1 — the
@@ -263,6 +275,17 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 	fk := faker.New(c.FakerSeed)
 	log := &SessionLog{SeedURL: seedURL}
 
+	// The trace session owns the logical clock for the whole session: the
+	// browser's log timestamps and the span boundaries advance one shared
+	// timeline, so the exported trace is byte-stable for a fixed seed.
+	tr := trace.NewSession()
+	b.SetClock(tr.Clock())
+	root := tr.Begin(trace.KindSession, seedURL)
+	defer func() {
+		tr.End(root)
+		log.Trace = tr.Spans()
+	}()
+
 	page, err := b.Navigate(seedURL)
 	if err != nil {
 		log.Outcome = ClassifyError(err)
@@ -288,24 +311,29 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 			log.Outcome = OutcomePageLimit
 			break
 		}
-		pl := c.observePage(page, step, eng)
+		pg := tr.Begin(trace.KindPage, page.URL)
+		pl := c.observePage(page, step, eng, tr)
 		if isTakedownPage(&pl) {
 			log.Pages = append(log.Pages, pl)
 			log.Outcome = OutcomeTakedown
+			tr.End(pg)
 			break
 		}
-		fields := c.identifyFields(page, eng)
+		fields := c.identifyFields(page, eng, tr)
 		c.classifyAndLog(&pl, fields)
 
 		var next *browser.Page
-		submitStart := c.Timings.Start()
+		// The submit span needs no explicit work cost: every keystroke and
+		// request the ladder performs ticks the shared logical clock.
+		submit := tr.Begin(trace.KindStage, metrics.StageSubmit.String())
 		if len(fields) > 0 {
 			next = c.fillAndSubmit(page, fields, &pl, fk)
 		} else {
 			next = c.clickThrough(page, &pl)
 		}
-		c.Timings.ObserveSince(metrics.StageSubmit, submitStart)
+		c.Timings.Observe(metrics.StageSubmit, tr.End(submit))
 		log.Pages = append(log.Pages, pl)
+		tr.End(pg)
 		if next == nil {
 			switch {
 			case ctx.Err() != nil:
@@ -330,11 +358,15 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 	return log
 }
 
-// observePage collects the per-page metadata of Section 4.5.
-func (c *Crawler) observePage(p *browser.Page, index int, eng *ocr.Engine) PageLog {
-	renderStart := c.Timings.Start()
+// observePage collects the per-page metadata of Section 4.5, recording
+// render and detect stage spans with work-proportional logical costs (DOM
+// nodes rendered; detections scored) so trace durations reflect relative
+// stage cost deterministically.
+func (c *Crawler) observePage(p *browser.Page, index int, eng *ocr.Engine, tr *trace.Session) PageLog {
+	render := tr.Begin(trace.KindStage, metrics.StageRender.String())
 	shot := p.Screenshot()
-	c.Timings.ObserveSince(metrics.StageRender, renderStart)
+	tr.Advance(countNodes(p.Doc))
+	c.Timings.Observe(metrics.StageRender, tr.End(render))
 	pl := PageLog{
 		Index:      index,
 		URL:        p.URL,
@@ -348,14 +380,26 @@ func (c *Crawler) observePage(p *browser.Page, index int, eng *ocr.Engine) PageL
 		ScriptSrcs: script.ExternalScripts(p.Doc),
 	}
 	if c.Detector != nil {
-		detectStart := c.Timings.Start()
+		detect := tr.Begin(trace.KindStage, metrics.StageDetect.String())
 		pl.Detections = c.Detector.Detect(shot)
-		c.Timings.ObserveSince(metrics.StageDetect, detectStart)
+		tr.Advance(1 + 8*len(pl.Detections))
+		c.Timings.Observe(metrics.StageDetect, tr.End(detect))
 		for _, det := range pl.Detections {
 			pl.DetectionHashes = append(pl.DetectionHashes, phash.Compute(shot.Sub(det.Box)))
 		}
 	}
 	return pl
+}
+
+// countNodes is the render stage's logical work cost: one tick per DOM
+// node, the quantity render time actually scales with.
+func countNodes(doc *dom.Node) int {
+	n := 0
+	doc.Walk(func(*dom.Node) bool {
+		n++
+		return true
+	})
+	return n
 }
 
 func (c *Crawler) classifyAndLog(pl *PageLog, fields []FieldInfo) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/ocr"
 	"repro/internal/raster"
 	"repro/internal/textclass"
+	"repro/internal/trace"
 )
 
 // ocrSearchDist is the pixel distance (left and above the input box) the
@@ -36,7 +37,7 @@ type FieldInfo struct {
 // assemble each one's description from DOM context, and fall back to OCR on
 // the rendered page when the DOM is uninformative. A nil engine disables
 // the OCR fallback (the DOM-only ablation).
-func (c *Crawler) identifyFields(p *browser.Page, eng *ocr.Engine) []FieldInfo {
+func (c *Crawler) identifyFields(p *browser.Page, eng *ocr.Engine, tr *trace.Session) []FieldInfo {
 	lay := p.Render().Layout
 	var out []FieldInfo
 	for _, n := range p.VisibleInputs() {
@@ -52,9 +53,12 @@ func (c *Crawler) identifyFields(p *browser.Page, eng *ocr.Engine) []FieldInfo {
 			// regions to the left and above the box (Figure 3 defence).
 			// The page's cached ink mask is shared across every field's
 			// label search on this rendering.
-			ocrStart := c.Timings.Start()
+			span := tr.Begin(trace.KindStage, metrics.StageOCR.String())
 			desc = eng.TextNearMask(p.OCRMask(), box, ocrSearchDist)
-			c.Timings.ObserveSince(metrics.StageOCR, ocrStart)
+			// The OCR work cost scales with how much label text the visual
+			// search had to read.
+			tr.Advance(1 + len(desc))
+			c.Timings.Observe(metrics.StageOCR, tr.End(span))
 			info.UsedOCR = true
 		}
 		info.Description = strings.TrimSpace(desc)

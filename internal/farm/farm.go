@@ -83,6 +83,9 @@ type Config struct {
 	// input URL list. After a sink error the farm keeps crawling but stops
 	// delivering; RunStream surfaces the first error.
 	Sink func(idx int, lg *crawler.SessionLog) error
+	// Monitor, when non-nil, receives live progress (completions, retries,
+	// panics, stage latencies) for the status endpoint and progress line.
+	Monitor *Monitor
 }
 
 // Stats summarizes a finished run.
@@ -90,8 +93,11 @@ type Stats struct {
 	Sites    int
 	Elapsed  time.Duration
 	Outcomes map[string]int
-	// Stages is the per-stage timing breakdown (render, OCR, detect,
-	// submit) aggregated across every worker, in stage order.
+	// Stages is the per-stage latency breakdown (render, OCR, detect,
+	// submit) in stage order: counts, totals, and streaming histogram
+	// percentiles. It folds from finished sessions' traces — final
+	// attempts only, on the session-logical clock — so it is byte-identical
+	// across worker counts and across journal kill/resume.
 	Stages []metrics.StageStat
 	// Retries counts re-queued attempts beyond each session's first.
 	Retries int
@@ -141,24 +147,30 @@ func (s *Stats) Merge(o Stats) {
 	s.Stages = metrics.MergeStageStats(s.Stages, o.Stages)
 }
 
-// Tally recomputes the session-derived half of Stats from final logs:
-// Sites, Outcomes, Failures, Degraded, and Retries (each session's final
-// Attempts-1 re-queues). Elapsed, Stages, and Panics are run-level facts a
-// log cannot carry; they stay zero. A nil entry counts as lost, exactly as
-// Run counts a session no worker recorded. Tally is how a resumed crawl
-// rebuilds exact outcome statistics from its journal even when an earlier
-// run crashed before writing a stats record.
+// Tally recomputes the session-derived part of Stats from final logs:
+// Sites, Outcomes, Failures, Degraded, Retries (each session's final
+// Attempts-1 re-queues), and Stages — stage latencies fold from each log's
+// trace spans exactly as a live run folds them at completion, so a resumed
+// crawl's tallied Stages match an uninterrupted run's byte for byte even
+// when an earlier run was killed before writing its stats record. (They
+// must NOT additionally be merged from journaled per-run stats records:
+// that would double-count every session a completed run already tallied.)
+// Elapsed and Panics are run-level facts a log cannot carry; they stay
+// zero. A nil entry counts as lost, exactly as Run counts a session no
+// worker recorded.
 func Tally(logs []*crawler.SessionLog) Stats {
 	s := Stats{
 		Sites:    len(logs),
 		Outcomes: map[string]int{},
 		Failures: map[string]int{},
 	}
+	stages := &metrics.StageTimings{}
 	for _, l := range logs {
 		if l == nil {
 			s.Outcomes[OutcomeLost]++
 			continue
 		}
+		observeTrace(stages, l.Trace)
 		s.Outcomes[l.Outcome]++
 		s.Retries += l.Attempts - 1
 		if l.Outcome == OutcomeGaveUp {
@@ -167,6 +179,7 @@ func Tally(logs []*crawler.SessionLog) Stats {
 			s.Degraded++
 		}
 	}
+	s.Stages = stages.Snapshot()
 	return s
 }
 
@@ -242,15 +255,14 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 	if cfg.Sink == nil {
 		logs = make([]*crawler.SessionLog, len(urls))
 	}
-	// Each worker records stage timings into a private collector and the
-	// collectors merge once at the end — same totals as the old shared
-	// collector, without cross-worker cache-line contention. Reuse the
-	// template's collector as the merge target when the caller installed
-	// one so timings still accumulate across Run calls.
-	timings := cfg.Crawler.Timings
-	if timings == nil {
-		timings = &metrics.StageTimings{}
-	}
+	// Stats.Stages folds from each FINISHED session's trace spans, never
+	// from live per-attempt worker timings: a killed run's stats record is
+	// lost but its journaled sessions are not, so deriving stages from
+	// sessions is what keeps a resumed run's Stats identical to an
+	// uninterrupted run's (and what made the old two-source scheme —
+	// worker collectors live, stats records on resume — double-count
+	// retried attempts relative to the journal view).
+	stages := &metrics.StageTimings{}
 	// Throughput accounting is operational, not measured output; it goes
 	// through the metrics stopwatch so the farm itself never reads the
 	// wall clock (phishvet's wallclock rule pins this).
@@ -277,6 +289,8 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 		land.Lock()
 		defer land.Unlock()
 		land.count++
+		observeTrace(stages, lg.Trace)
+		cfg.Monitor.noteDone(lg)
 		land.outcomes[lg.Outcome]++
 		if lg.Outcome == OutcomeGaveUp {
 			land.failures[lg.Error]++
@@ -301,20 +315,20 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 		go func() {
 			defer wg.Done()
 			// Each worker gets its own crawler so faker sequences differ
-			// across sessions without shared state.
+			// across sessions without shared state. The copy shares the
+			// template's optional Timings collector (atomic, attempt-level);
+			// Stats.Stages does not read it.
 			c := *cfg.Crawler
-			wt := &metrics.StageTimings{}
-			c.Timings = wt
-			defer func() { timings.Merge(wt) }()
 			for jb := range jobs {
 				// The faker seed derives from the job index (not the worker
 				// or the attempt), which keeps runs reproducible across
 				// worker counts and makes retries exact re-executions.
 				c.FakerSeed = cfg.Crawler.FakerSeed + int64(jb.idx)*7919
-				lg := crawlGuarded(&c, urls[jb.idx], &panics)
+				lg := crawlGuarded(&c, urls[jb.idx], &panics, cfg.Monitor)
 				if retryable(lg.Outcome) {
 					if jb.attempt < maxRetries {
 						atomic.AddInt64(&retries, 1)
+						cfg.Monitor.noteRetry()
 						next := job{idx: jb.idx, attempt: jb.attempt + 1}
 						time.AfterFunc(
 							backoffDelay(retryBase, retryMax, next.attempt, cfg.RetrySeed, next.idx),
@@ -347,7 +361,7 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 		Sites:    len(include),
 		Elapsed:  start.Elapsed(),
 		Outcomes: land.outcomes,
-		Stages:   timings.Snapshot(),
+		Stages:   stages.Snapshot(),
 		Retries:  int(atomic.LoadInt64(&retries)),
 		Panics:   int(atomic.LoadInt64(&panics)),
 		Failures: land.failures,
@@ -370,10 +384,11 @@ func retryable(outcome string) bool {
 // crawlGuarded runs one session under the per-worker panic guard: a panic
 // anywhere in the crawl (browser, renderer, models) is recovered into a
 // classified, retryable session log instead of killing the worker.
-func crawlGuarded(c *crawler.Crawler, url string, panics *int64) (lg *crawler.SessionLog) {
+func crawlGuarded(c *crawler.Crawler, url string, panics *int64, mon *Monitor) (lg *crawler.SessionLog) {
 	defer func() {
 		if r := recover(); r != nil {
 			atomic.AddInt64(panics, 1)
+			mon.notePanic()
 			lg = &crawler.SessionLog{
 				SeedURL: url,
 				Outcome: OutcomePanic,

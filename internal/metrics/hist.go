@@ -1,0 +1,102 @@
+package metrics
+
+import "time"
+
+// Fixed-bucket streaming latency histogram. Every StageTimings collector
+// counts each observation into one of NumHistBuckets duration buckets with
+// geometric (power-of-two millisecond) upper bounds; percentiles are read
+// back as the upper bound of the bucket where the cumulative count crosses
+// the requested rank. The representation was chosen for the crawl farm's
+// constraints:
+//
+//   - streaming: one atomic add per observation, no retained samples, so a
+//     weeks-long crawl's memory cost is constant;
+//   - lossless merge: merging two histograms is element-wise bucket
+//     addition, so per-worker collectors, resumed runs, and journal stats
+//     records combine without approximation error — merge order cannot
+//     change a percentile (associative and commutative);
+//   - deterministic: bucket assignment is a pure function of the duration,
+//     so two runs observing the same durations report identical
+//     percentiles byte for byte.
+
+// NumHistBuckets is the fixed bucket count. Bucket i covers durations in
+// (HistBucketBound(i-1), HistBucketBound(i)]; the last bucket additionally
+// absorbs everything beyond its bound.
+const NumHistBuckets = 28
+
+// HistBucketBound returns the inclusive upper bound of bucket i:
+// 1ms << i, so the buckets span 1ms to ~37h (1ms<<27) — wider than any
+// plausible stage duration at either synthetic or production timescale.
+func HistBucketBound(i int) time.Duration {
+	if i < 0 {
+		return 0
+	}
+	if i >= NumHistBuckets {
+		i = NumHistBuckets - 1
+	}
+	return time.Millisecond << i
+}
+
+// histBucket returns the bucket index for duration d.
+func histBucket(d time.Duration) int {
+	for i := 0; i < NumHistBuckets; i++ {
+		if d <= time.Millisecond<<i {
+			return i
+		}
+	}
+	return NumHistBuckets - 1
+}
+
+// histQuantile reads quantile q (in [0,1]) from bucket counts: the upper
+// bound of the bucket where the cumulative count first reaches rank
+// ceil(q*total). An empty histogram reports 0. Short bucket slices (from
+// records written before the histogram existed, or truncated by
+// compaction) are read as-is.
+func histQuantile(buckets []int64, q float64) time.Duration {
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum int64
+	for i, n := range buckets {
+		cum += n
+		if cum >= rank {
+			return HistBucketBound(i)
+		}
+	}
+	return HistBucketBound(len(buckets) - 1)
+}
+
+// mergeHistBuckets adds b into a element-wise, growing a as needed. Either
+// side may be nil or shorter than NumHistBuckets (old journal records
+// carry no buckets); the result is always the lossless sum.
+func mergeHistBuckets(a, b []int64) []int64 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) < len(b) {
+		grown := make([]int64, len(b))
+		copy(grown, a)
+		a = grown
+	}
+	for i, n := range b {
+		a[i] += n
+	}
+	return a
+}

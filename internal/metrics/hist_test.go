@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries pins the bucket assignment at and around every
+// boundary: bucket i covers (1ms<<(i-1), 1ms<<i], sub-millisecond and
+// non-positive durations land in bucket 0, and durations beyond the last
+// bound are absorbed by the final bucket.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Millisecond, 0},
+		{time.Millisecond + time.Nanosecond, 1},
+		{2 * time.Millisecond, 1},
+		{2*time.Millisecond + time.Nanosecond, 2},
+		{3 * time.Millisecond, 2},
+		{4 * time.Millisecond, 2},
+		{5 * time.Millisecond, 3},
+		{1024 * time.Millisecond, 10},
+		{1025 * time.Millisecond, 11},
+		{time.Millisecond << (NumHistBuckets - 1), NumHistBuckets - 1},
+		{time.Millisecond<<(NumHistBuckets-1) + time.Hour, NumHistBuckets - 1},
+		{1 << 62, NumHistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.d); got != c.want {
+			t.Errorf("histBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every boundary exactly: d = bound(i) must land in bucket i, and one
+	// nanosecond more must land in bucket i+1 (except past the last bound).
+	for i := 0; i < NumHistBuckets; i++ {
+		if got := histBucket(HistBucketBound(i)); got != i {
+			t.Errorf("bound %d: histBucket(%v) = %d, want %d", i, HistBucketBound(i), got, i)
+		}
+		want := i + 1
+		if want >= NumHistBuckets {
+			want = NumHistBuckets - 1
+		}
+		if got := histBucket(HistBucketBound(i) + time.Nanosecond); got != want {
+			t.Errorf("bound %d + 1ns: bucket %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestHistQuantile is the table-driven percentile check: ranks are
+// resolved to bucket upper bounds, empty histograms read 0, and short
+// bucket slices (pre-histogram journal records) are tolerated.
+func TestHistQuantile(t *testing.T) {
+	mk := func(obs ...time.Duration) []int64 {
+		b := make([]int64, NumHistBuckets)
+		for _, d := range obs {
+			b[histBucket(d)]++
+		}
+		return b
+	}
+	ms := time.Millisecond
+	cases := []struct {
+		name    string
+		buckets []int64
+		q       float64
+		want    time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"zero-counts", make([]int64, NumHistBuckets), 0.99, 0},
+		{"single", mk(3 * ms), 0.5, 4 * ms},
+		{"single-p99", mk(3 * ms), 0.99, 4 * ms},
+		// 10 observations in bucket 0 (1ms) and 10 in bucket 3 (8ms): the
+		// median rank (10) is the last observation of bucket 0.
+		{"two-buckets-p50", mk(ms, ms, ms, ms, ms, ms, ms, ms, ms, ms,
+			8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms), 0.5, ms},
+		{"two-buckets-p90", mk(ms, ms, ms, ms, ms, ms, ms, ms, ms, ms,
+			8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms, 8*ms), 0.9, 8 * ms},
+		// 99 fast + 1 slow: p99 still resolves to the fast bucket (rank 99),
+		// p100 to the slow one.
+		{"tail-p99", append99(mk(), ms, 300*ms), 0.99, ms},
+		{"tail-p100", append99(mk(), ms, 300*ms), 1.0, 512 * ms},
+		{"clamped-low", mk(2 * ms), -1, 2 * ms},
+		{"clamped-high", mk(2 * ms), 2, 2 * ms},
+		{"short-slice", []int64{0, 5}, 0.5, 2 * ms},
+	}
+	for _, c := range cases {
+		if got := histQuantile(c.buckets, c.q); got != c.want {
+			t.Errorf("%s: histQuantile(q=%v) = %v, want %v", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+// append99 fills buckets with 99 observations of fast plus one of slow.
+func append99(b []int64, fast, slow time.Duration) []int64 {
+	for i := 0; i < 99; i++ {
+		b[histBucket(fast)]++
+	}
+	b[histBucket(slow)]++
+	return b
+}
+
+// TestMergeStageStatsAssociativeCommutative is the merge-order property
+// test: for randomized observation sets split across three snapshots,
+// every merge order must produce identical counts, totals, buckets, and
+// therefore identical percentiles. This is what makes percentiles
+// byte-identical across 1-vs-30-worker runs and across kill/resume — the
+// observations arrive through different merge trees but the histogram sum
+// is the same.
+func TestMergeStageStatsAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		parts := make([]*StageTimings, 3)
+		for i := range parts {
+			parts[i] = &StageTimings{}
+			for n := rng.Intn(40); n > 0; n-- {
+				stage := Stage(rng.Intn(int(numStages)))
+				d := time.Duration(rng.Int63n(int64(5 * time.Second)))
+				parts[i].Observe(stage, d)
+			}
+		}
+		a, b, c := parts[0].Snapshot(), parts[1].Snapshot(), parts[2].Snapshot()
+
+		abc := MergeStageStats(MergeStageStats(a, b), c) // (a+b)+c
+		acb := MergeStageStats(MergeStageStats(a, c), b) // (a+c)+b
+		cab := MergeStageStats(c, MergeStageStats(a, b)) // c+(a+b)
+		bca := MergeStageStats(MergeStageStats(b, c), a) // (b+c)+a
+
+		for _, got := range [][]StageStat{acb, cab, bca} {
+			if !statsEquivalent(abc, got) {
+				t.Fatalf("trial %d: merge order changed the result:\n%+v\nvs\n%+v", trial, abc, got)
+			}
+		}
+		for _, s := range abc {
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				if s.Quantile(q) != findStage(t, bca, s.Stage).Quantile(q) {
+					t.Fatalf("trial %d: stage %s q%v differs across merge orders", trial, s.Stage, q)
+				}
+			}
+		}
+	}
+}
+
+// statsEquivalent compares snapshots by stage name, ignoring row order
+// (commutative merges legitimately reorder rows).
+func statsEquivalent(a, b []StageStat) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	index := map[string]StageStat{}
+	for _, s := range a {
+		index[s.Stage] = s
+	}
+	for _, s := range b {
+		o, ok := index[s.Stage]
+		if !ok || o.Count != s.Count || o.Total != s.Total || !reflect.DeepEqual(o.Buckets, s.Buckets) {
+			return false
+		}
+	}
+	return true
+}
+
+func findStage(t *testing.T, stats []StageStat, name string) StageStat {
+	t.Helper()
+	for _, s := range stats {
+		if s.Stage == name {
+			return s
+		}
+	}
+	t.Fatalf("stage %q missing", name)
+	return StageStat{}
+}
+
+// TestMergeStageStatsBucketAliasing guards the histogram against the
+// aliasing bug: merging must never write into either input's bucket
+// slices.
+func TestMergeStageStatsBucketAliasing(t *testing.T) {
+	a := []StageStat{{Stage: "render", Count: 1, Total: time.Millisecond, Buckets: []int64{1}}}
+	b := []StageStat{{Stage: "render", Count: 1, Total: time.Millisecond, Buckets: []int64{1}}}
+	got := MergeStageStats(a, b)
+	if a[0].Buckets[0] != 1 || b[0].Buckets[0] != 1 {
+		t.Fatalf("merge mutated an input's buckets: a=%v b=%v", a[0].Buckets, b[0].Buckets)
+	}
+	if got[0].Buckets[0] != 2 {
+		t.Fatalf("merged buckets = %v, want [2]", got[0].Buckets)
+	}
+	// Old records without buckets merge losslessly with new ones.
+	old := []StageStat{{Stage: "render", Count: 2, Total: time.Millisecond}}
+	if got := MergeStageStats(old, b); got[0].Buckets[0] != 1 || got[0].Count != 3 {
+		t.Fatalf("nil-bucket merge = %+v", got[0])
+	}
+}
+
+// TestStageTablePercentiles pins the percentile columns of the operator
+// table.
+func TestStageTablePercentiles(t *testing.T) {
+	var st StageTimings
+	for i := 0; i < 9; i++ {
+		st.Observe(StageRender, time.Millisecond)
+	}
+	st.Observe(StageRender, 100*time.Millisecond)
+	out := StageTable(st.Snapshot())
+	for _, col := range []string{"P50", "P90", "P99"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("table missing %s column:\n%s", col, out)
+		}
+	}
+	row := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "render") {
+			row = l
+		}
+	}
+	// p50 and p90 of 9x1ms+1x100ms resolve to the 1ms bucket, p99 to the
+	// 128ms bucket (100ms rounds up to its bucket bound).
+	if !strings.Contains(row, "1ms") || !strings.Contains(row, "128ms") {
+		t.Errorf("render row percentiles wrong: %q", row)
+	}
+}

@@ -30,32 +30,48 @@ func (s Stage) String() string {
 	return stageNames[s]
 }
 
-// StageTimings accumulates per-stage call counts and wall-clock time. It is
-// safe for concurrent use — the farm's workers all record into one shared
-// collector — and the zero value is ready to use. A nil *StageTimings is a
-// valid no-op collector, so instrumented code needs no guards.
+// StageByName maps a stage name (as emitted in trace spans and timing
+// tables) back to its Stage. It reports false for unknown names, so trace
+// consumers can skip span kinds they do not chart.
+func StageByName(name string) (Stage, bool) {
+	for i, n := range stageNames {
+		if n == name {
+			return Stage(i), true
+		}
+	}
+	return 0, false
+}
+
+// StageTimings accumulates per-stage call counts, total time, and a
+// fixed-bucket latency histogram (see hist.go). It is safe for concurrent
+// use — the farm's workers all record into one shared collector — and the
+// zero value is ready to use. A nil *StageTimings is a valid no-op
+// collector, so instrumented code needs no guards.
 type StageTimings struct {
-	counts [numStages]atomic.Int64
-	nanos  [numStages]atomic.Int64
+	counts  [numStages]atomic.Int64
+	nanos   [numStages]atomic.Int64
+	buckets [numStages][NumHistBuckets]atomic.Int64
 }
 
 // Start returns the current time when the collector is active and the zero
 // time otherwise; pair it with ObserveSince so disabled instrumentation
-// skips the clock read entirely.
+// skips the clock read entirely. The read goes through the package clock
+// seam, so tests drive stage timings with SetClockForTest.
 func (t *StageTimings) Start() time.Time {
 	if t == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return Now()
 }
 
 // ObserveSince records one completed stage call begun at start (as returned
-// by Start). A nil collector or zero start is a no-op.
+// by Start). A nil collector or zero start is a no-op. Like Start, the
+// clock read goes through the metrics seam, never time.Now directly.
 func (t *StageTimings) ObserveSince(s Stage, start time.Time) {
 	if t == nil || start.IsZero() {
 		return
 	}
-	t.Observe(s, time.Since(start))
+	t.Observe(s, Now().Sub(start))
 }
 
 // Observe records one completed stage call of duration d.
@@ -65,12 +81,13 @@ func (t *StageTimings) Observe(s Stage, d time.Duration) {
 	}
 	t.counts[s].Add(1)
 	t.nanos[s].Add(int64(d))
+	t.buckets[s][histBucket(d)].Add(1)
 }
 
-// Merge adds o's accumulated counts and durations into t, so per-worker
-// collectors can record contention-free and be combined once at the end of
-// a run. Either side may be nil (no-op). Merging while o is still being
-// written is safe but may miss in-flight observations.
+// Merge adds o's accumulated counts, durations, and histogram buckets into
+// t, so per-worker collectors can record contention-free and be combined
+// once at the end of a run. Either side may be nil (no-op). Merging while
+// o is still being written is safe but may miss in-flight observations.
 func (t *StageTimings) Merge(o *StageTimings) {
 	if t == nil || o == nil {
 		return
@@ -82,6 +99,11 @@ func (t *StageTimings) Merge(o *StageTimings) {
 		if n := o.nanos[i].Load(); n != 0 {
 			t.nanos[i].Add(n)
 		}
+		for b := 0; b < NumHistBuckets; b++ {
+			if n := o.buckets[i][b].Load(); n != 0 {
+				t.buckets[i][b].Add(n)
+			}
+		}
 	}
 }
 
@@ -90,6 +112,10 @@ type StageStat struct {
 	Stage string
 	Count int64
 	Total time.Duration
+	// Buckets is the latency histogram: Buckets[i] counts observations in
+	// (HistBucketBound(i-1), HistBucketBound(i)]. It may be nil on records
+	// written before the histogram existed; percentiles then read as 0.
+	Buckets []int64 `json:",omitempty"`
 }
 
 // Mean returns the average duration per call.
@@ -100,6 +126,19 @@ func (s StageStat) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
+// Quantile reads quantile q (0..1) from the stage's latency histogram,
+// reported as the matching bucket's upper bound.
+func (s StageStat) Quantile(q float64) time.Duration { return histQuantile(s.Buckets, q) }
+
+// P50 is the median stage latency (bucket upper bound).
+func (s StageStat) P50() time.Duration { return s.Quantile(0.50) }
+
+// P90 is the 90th-percentile stage latency (bucket upper bound).
+func (s StageStat) P90() time.Duration { return s.Quantile(0.90) }
+
+// P99 is the 99th-percentile stage latency (bucket upper bound).
+func (s StageStat) P99() time.Duration { return s.Quantile(0.99) }
+
 // Snapshot returns the current statistics for every stage in stage order,
 // including stages never observed (with zero counts). It may be called
 // while other goroutines are still recording.
@@ -109,25 +148,44 @@ func (t *StageTimings) Snapshot() []StageStat {
 	}
 	out := make([]StageStat, numStages)
 	for i := range out {
+		buckets := make([]int64, NumHistBuckets)
+		for b := range buckets {
+			buckets[b] = t.buckets[i][b].Load()
+		}
 		out[i] = StageStat{
-			Stage: stageNames[i],
-			Count: t.counts[i].Load(),
-			Total: time.Duration(t.nanos[i].Load()),
+			Stage:   stageNames[i],
+			Count:   t.counts[i].Load(),
+			Total:   time.Duration(t.nanos[i].Load()),
+			Buckets: buckets,
 		}
 	}
 	return out
 }
 
 // MergeStageStats combines two snapshots stage-by-stage, matching rows by
-// stage name: counts and totals add, a's row order is preserved, and stages
-// present only in b are appended in b's order. It supports merging
-// farm.Stats across resumed runs, where each run contributes its own
-// snapshot.
+// stage name: counts, totals, and histogram buckets add; a's row order is
+// preserved, and stages present only in b are appended in b's order. The
+// bucket merge is lossless, so percentiles never depend on how many runs
+// or workers the observations arrived through, nor on merge order. It
+// supports merging farm.Stats across resumed runs, where each run
+// contributes its own snapshot.
 func MergeStageStats(a, b []StageStat) []StageStat {
 	if len(a) == 0 {
-		return append([]StageStat(nil), b...)
+		out := make([]StageStat, len(b))
+		for i, s := range b {
+			s.Buckets = mergeHistBuckets(nil, s.Buckets)
+			out[i] = s
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
 	}
-	out := append([]StageStat(nil), a...)
+	out := make([]StageStat, len(a))
+	for i, s := range a {
+		s.Buckets = mergeHistBuckets(nil, s.Buckets)
+		out[i] = s
+	}
 	index := make(map[string]int, len(out))
 	for i, s := range out {
 		index[s.Stage] = i
@@ -136,21 +194,26 @@ func MergeStageStats(a, b []StageStat) []StageStat {
 		if i, ok := index[s.Stage]; ok {
 			out[i].Count += s.Count
 			out[i].Total += s.Total
+			out[i].Buckets = mergeHistBuckets(out[i].Buckets, s.Buckets)
 		} else {
 			index[s.Stage] = len(out)
+			s.Buckets = mergeHistBuckets(nil, s.Buckets)
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// StageTable formats a snapshot as an aligned per-stage breakdown.
+// StageTable formats a snapshot as an aligned per-stage breakdown with
+// latency percentiles from the streaming histogram.
 func StageTable(stats []StageStat) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %8s %12s %12s\n", "Stage", "Calls", "Total", "Mean")
+	fmt.Fprintf(&b, "%-8s %8s %12s %12s %10s %10s %10s\n",
+		"Stage", "Calls", "Total", "Mean", "P50", "P90", "P99")
 	for _, s := range stats {
-		fmt.Fprintf(&b, "%-8s %8d %12s %12s\n",
-			s.Stage, s.Count, s.Total.Round(time.Microsecond), s.Mean().Round(time.Microsecond))
+		fmt.Fprintf(&b, "%-8s %8d %12s %12s %10s %10s %10s\n",
+			s.Stage, s.Count, s.Total.Round(time.Microsecond), s.Mean().Round(time.Microsecond),
+			s.P50(), s.P90(), s.P99())
 	}
 	return b.String()
 }

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/trace"
+)
+
+// PickTimelineSession chooses the exemplar session whose trace the report
+// renders: the session with the most visited pages — the richest span tree
+// — breaking ties by feed order. Deterministic for a fixed seed, so the
+// rendered timeline is byte-stable across report runs. Returns nil when no
+// session carries a trace.
+func PickTimelineSession(logs []*crawler.SessionLog) *crawler.SessionLog {
+	var best *crawler.SessionLog
+	for _, lg := range logs {
+		if lg == nil || len(lg.Trace) == 0 {
+			continue
+		}
+		if best == nil || len(lg.Pages) > len(best.Pages) {
+			best = lg
+		}
+	}
+	return best
+}
+
+// SessionTimeline renders one session's span tree (session → page →
+// stage) as an indented timeline with proportional duration bars.
+func SessionTimeline(lg *crawler.SessionLog) string {
+	if lg == nil {
+		return "(no session with a recorded trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — outcome %s, %d pages, %d attempt(s)\n\n",
+		lg.SeedURL, lg.Outcome, len(lg.Pages), lg.Attempts)
+	b.WriteString(trace.Timeline(lg.Trace))
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/trace"
+)
+
+func traceFixture() []trace.Span {
+	return []trace.Span{
+		{Kind: trace.KindSession, Name: "http://a.test/", Parent: -1, Start: 0, End: 20 * time.Millisecond},
+		{Kind: trace.KindPage, Name: "http://a.test/", Parent: 0, Start: time.Millisecond, End: 19 * time.Millisecond},
+		{Kind: trace.KindStage, Name: "render", Parent: 1, Start: 2 * time.Millisecond, End: 12 * time.Millisecond},
+	}
+}
+
+func TestPickTimelineSession(t *testing.T) {
+	deep := &crawler.SessionLog{
+		SeedURL: "http://deep.test/",
+		Pages:   []crawler.PageLog{{}, {}, {}},
+		Trace:   traceFixture(),
+	}
+	logs := []*crawler.SessionLog{
+		nil,
+		{SeedURL: "http://untraced.test/", Pages: []crawler.PageLog{{}, {}, {}, {}}}, // no trace: skipped
+		{SeedURL: "http://shallow.test/", Pages: []crawler.PageLog{{}}, Trace: traceFixture()},
+		deep,
+		{SeedURL: "http://tie.test/", Pages: []crawler.PageLog{{}, {}, {}}, Trace: traceFixture()}, // tie: first wins
+	}
+	if got := PickTimelineSession(logs); got != deep {
+		t.Errorf("picked %+v, want the deepest traced session", got)
+	}
+	if got := PickTimelineSession(nil); got != nil {
+		t.Errorf("empty input picked %+v", got)
+	}
+}
+
+func TestSessionTimeline(t *testing.T) {
+	out := SessionTimeline(&crawler.SessionLog{
+		SeedURL:  "http://a.test/",
+		Outcome:  crawler.OutcomeCompleted,
+		Attempts: 1,
+		Pages:    []crawler.PageLog{{}},
+		Trace:    traceFixture(),
+	})
+	for _, want := range []string{"http://a.test/", string(crawler.OutcomeCompleted), "render", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if got := SessionTimeline(nil); !strings.Contains(got, "no session") {
+		t.Errorf("nil session rendered %q", got)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// timelineWidth is the character width of the ASCII gantt column.
+const timelineWidth = 40
+
+// Timeline renders spans as an indented per-session timeline: one row per
+// span with its logical start/duration and a proportional bar, the view
+// cmd/phishreport prints so an operator can see what the crawler actually
+// did inside any one session. Output is deterministic because the spans
+// are.
+func Timeline(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no trace recorded)\n"
+	}
+	origin, end := spans[0].Start, spans[0].End
+	for _, sp := range spans {
+		if sp.Start < origin {
+			origin = sp.Start
+		}
+		if sp.End > end {
+			end = sp.End
+		}
+	}
+	total := end - origin
+	if total <= 0 {
+		total = time.Millisecond
+	}
+	depth := make([]int, len(spans))
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %10s %10s  %s\n", "Span", "Start", "Dur", "Timeline")
+	for i, sp := range spans {
+		if sp.Parent >= 0 && sp.Parent < i {
+			depth[i] = depth[sp.Parent] + 1
+		}
+		label := strings.Repeat("  ", depth[i]) + string(sp.Kind) + " " + sp.Name
+		if len(label) > 44 {
+			label = label[:41] + "..."
+		}
+		from := int(int64(timelineWidth) * int64(sp.Start-origin) / int64(total))
+		to := int(int64(timelineWidth) * int64(sp.End-origin) / int64(total))
+		if to <= from {
+			to = from + 1
+		}
+		if to > timelineWidth {
+			to = timelineWidth
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("█", to-from)
+		fmt.Fprintf(&b, "%-44s %10s %10s  |%-*s|\n",
+			label, sp.Start-origin, sp.Duration(), timelineWidth, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	s := NewSession()
+	root := s.Begin(KindSession, "http://x.test/")
+	pg := s.Begin(KindPage, "page-0")
+	st := s.Begin(KindStage, "render")
+	s.Advance(10)
+	if d := s.End(st); d != 11*time.Millisecond {
+		t.Errorf("stage duration = %v, want 11ms (10 work + 1 closing tick)", d)
+	}
+	s.End(pg)
+	s.End(root)
+
+	spans := s.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Parent != -1 || spans[1].Parent != 0 || spans[2].Parent != 1 {
+		t.Errorf("parent links wrong: %+v", spans)
+	}
+	if spans[0].Kind != KindSession || spans[1].Kind != KindPage || spans[2].Kind != KindStage {
+		t.Errorf("kinds wrong: %+v", spans)
+	}
+	for i, sp := range spans {
+		if sp.End <= sp.Start {
+			t.Errorf("span %d has non-positive extent: %+v", i, sp)
+		}
+	}
+	// Children are contained in their parents on the logical timeline.
+	if spans[2].Start < spans[1].Start || spans[2].End > spans[1].End ||
+		spans[1].Start < spans[0].Start || spans[1].End > spans[0].End {
+		t.Errorf("child spans escape their parents: %+v", spans)
+	}
+}
+
+// TestDeterministicBytes: the same sequence of operations produces
+// byte-identical JSON — the property the journal's kill/resume guarantee
+// extends to traces.
+func TestDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		s := NewSession()
+		clock := s.Clock()
+		root := s.Begin(KindSession, "u")
+		clock() // a browser log event interleaves
+		pg := s.Begin(KindPage, "p0")
+		st := s.Begin(KindStage, "render")
+		s.Advance(42)
+		s.End(st)
+		clock()
+		s.End(pg)
+		s.End(root)
+		j, err := json.Marshal(s.Spans())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Fatalf("traces diverge:\n%s\n%s", a, b)
+	}
+}
+
+// TestClockShared: the clock handed to the browser and the span
+// boundaries advance one shared timeline.
+func TestClockShared(t *testing.T) {
+	s := NewSession()
+	clock := s.Clock()
+	t0 := clock()
+	if want := time.Unix(0, int64(time.Millisecond)).UTC(); !t0.Equal(want) {
+		t.Fatalf("first tick = %v, want %v", t0, want)
+	}
+	id := s.Begin(KindStage, "x")
+	if s.spans[id].Start != 2*time.Millisecond {
+		t.Fatalf("span start = %v, want 2ms (after one clock tick)", s.spans[id].Start)
+	}
+	t1 := clock()
+	if !t1.After(t0) {
+		t.Fatal("clock did not advance past span begin")
+	}
+}
+
+// TestSpansClosesOpenSpans: an aborted session (error mid-page) still
+// exports a well-formed trace.
+func TestSpansClosesOpenSpans(t *testing.T) {
+	s := NewSession()
+	s.Begin(KindSession, "u")
+	s.Begin(KindPage, "p0")
+	spans := s.Spans()
+	for i, sp := range spans {
+		if sp.End <= sp.Start {
+			t.Errorf("span %d left open: %+v", i, sp)
+		}
+	}
+}
+
+func TestNilSessionIsNoOp(t *testing.T) {
+	var s *Session
+	if s.Clock() != nil {
+		t.Error("nil session Clock() should be nil")
+	}
+	id := s.Begin(KindPage, "p")
+	if id != -1 {
+		t.Errorf("nil Begin = %d, want -1", id)
+	}
+	s.Advance(10)
+	if d := s.End(id); d != 0 {
+		t.Errorf("nil End = %v", d)
+	}
+	if s.Spans() != nil {
+		t.Error("nil Spans() should be nil")
+	}
+	// A live session must also ignore the -1 a nil collector handed out.
+	live := NewSession()
+	live.End(-1)
+	live.End(99)
+}
+
+// TestZeroAllocHotPath: once the slab has grown, Begin/Advance/End
+// allocate nothing.
+func TestZeroAllocHotPath(t *testing.T) {
+	s := NewSession()
+	allocs := testing.AllocsPerRun(100, func() {
+		id := s.Begin(KindStage, "render")
+		s.Advance(3)
+		s.End(id)
+	})
+	// The slab doubles a handful of times across 100+ iterations; amortized
+	// per-span cost must stay below a tenth of an allocation.
+	if allocs > 0.1 {
+		t.Errorf("hot path allocates %.2f allocs/span, want ~0", allocs)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	s := NewSession()
+	root := s.Begin(KindSession, "http://a.test/")
+	pg := s.Begin(KindPage, "http://a.test/")
+	st := s.Begin(KindStage, "render")
+	s.Advance(20)
+	s.End(st)
+	s.End(pg)
+	s.End(root)
+	out := Timeline(s.Spans())
+	for _, want := range []string{"session http://a.test/", "  page", "    stage render", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if got := Timeline(nil); !strings.Contains(got, "no trace") {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
