@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench chaos fuzz status-smoke check
+.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke check
 
 all: build
 
@@ -65,4 +65,16 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench='BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline' -benchmem ./...
 
-check: build lint test race
+# Machine-readable benchmark snapshot: runs the same selection as `bench`
+# and writes BENCH_6.json (sites/sec, ns/op, B/op, allocs/op per
+# benchmark). Commit the refreshed file when perf-relevant code changes.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_6.json
+
+# Allocation gates: the per-session allocs/op budgets and the
+# pooled-vs-unpooled byte-identity pins (testing.AllocsPerRun enforces the
+# budget; a pooling regression fails here before it shows up in bench).
+alloc-gate:
+	$(GO) test -run 'Alloc|Pooled|HasTokens' ./internal/crawler/... ./internal/textclass/...
+
+check: build lint test race alloc-gate

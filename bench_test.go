@@ -21,6 +21,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/fielddata"
 	"repro/internal/fieldspec"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/ocr"
 	"repro/internal/pagegen"
@@ -431,6 +432,50 @@ func BenchmarkCrawlThroughput(b *testing.B) {
 	var stats farm.Stats
 	for i := 0; i < b.N; i++ {
 		_, stats = farm.Run(farm.Config{Workers: 16, Crawler: p.Crawler}, urls)
+	}
+	b.ReportMetric(float64(stats.Sites)/stats.Elapsed.Seconds(), "sites/sec")
+	b.ReportMetric(stats.Elapsed.Seconds()*1e9/float64(stats.Sites), "ns/site")
+}
+
+// BenchmarkCrawlThroughputJournalGroup is the durable counterpart of
+// BenchmarkCrawlThroughput: the same farm run, but every finished session is
+// streamed into an on-disk journal under the group-commit fsync policy, the
+// configuration a long crawl actually ships with. Comparing its sites/sec
+// against the in-memory benchmark measures the full cost of durability; the
+// acceptance bar is >=0.8x of the in-memory figure.
+func BenchmarkCrawlThroughputJournalGroup(b *testing.B) {
+	p, err := core.NewPipeline(core.Options{NumSites: 60, Seed: 7, DetectorTrainPages: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := p.Feed.URLs()
+	if len(urls) > 50 {
+		urls = urls[:50]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var stats farm.Stats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		j, err := journal.Open(b.TempDir(), journal.Options{Sync: journal.SyncGroup})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stats, err = farm.RunStream(farm.Config{
+			Workers:        16,
+			Crawler:        p.Crawler,
+			SinkConcurrent: true,
+			Sink: func(_ int, lg *crawler.SessionLog) error {
+				return j.AppendSession(lg)
+			},
+		}, urls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(stats.Sites)/stats.Elapsed.Seconds(), "sites/sec")
 	b.ReportMetric(stats.Elapsed.Seconds()*1e9/float64(stats.Sites), "ns/site")

@@ -1,0 +1,130 @@
+// Command benchjson runs the repo's benchmark suite and writes the parsed
+// results as a machine-readable JSON snapshot (`make bench-json` commits it
+// as BENCH_6.json), so perf claims in EXPERIMENTS.md are backed by a file a
+// reviewer can diff instead of a number pasted into prose:
+//
+//	benchjson -o BENCH_6.json
+//	benchjson -bench 'BenchmarkCrawlThroughput' -benchtime 6x -o /dev/stdout
+//
+// Each entry carries the benchmark's name, iteration count, and every
+// reported metric (ns/op, B/op, allocs/op, plus custom metrics such as
+// sites/sec) keyed by unit. Entries appear in the order `go test` printed
+// them, so the file is stable run-to-run up to timing noise.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"repro/internal/sessionio"
+)
+
+// defaultBench mirrors the Makefile's `bench` target selection — the
+// throughput, model, and pipeline-construction benchmarks the perf
+// acceptance criteria are stated against — plus the per-session
+// allocation benchmark behind the pooling budget.
+const defaultBench = "BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline|BenchmarkCrawlSession"
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the file layout: the environment lines go test reports plus
+// every benchmark result.
+type Snapshot struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	benchRe := flag.String("bench", defaultBench, "benchmarks to run (go test -bench regex)")
+	benchtime := flag.String("benchtime", "2x", "go test -benchtime value")
+	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
+	out := flag.String("o", "BENCH_6.json", "output path")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("benchjson: go test -bench: %v", err)
+	}
+	snap, err := parse(raw)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(snap.Results) == 0 {
+		log.Fatalf("benchjson: no benchmark lines in go test output:\n%s", raw)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	data = append(data, '\n')
+	if err := sessionio.WriteRaw(*out, data); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("wrote %d benchmark(s) to %s\n", len(snap.Results), *out)
+}
+
+// parse extracts environment headers and benchmark lines from `go test
+// -bench` output. A benchmark line is
+//
+//	BenchmarkName-P   N   v1 unit1   v2 unit2   ...
+//
+// where each metric is a value/unit pair after the iteration count.
+func parse(raw []byte) (*Snapshot, error) {
+	snap := &Snapshot{}
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			snap.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			snap.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("unparseable benchmark line: %q", line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("iteration count in %q: %w", line, err)
+		}
+		r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("metric value in %q: %w", line, err)
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

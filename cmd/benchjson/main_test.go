@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCrawlThroughput             	       3	 408707098 ns/op	   8196201 ns/site	       122.0 sites/sec	51839965 B/op	   81353 allocs/op
+BenchmarkCrawlThroughputJournalGroup 	       3	 513300611 ns/op	  10277767 ns/site	        97.30 sites/sec	53547634 B/op	   83016 allocs/op
+PASS
+ok  	repro	3.983s
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.CPU == "" {
+		t.Errorf("environment = %q/%q/%q", snap.Goos, snap.Goarch, snap.CPU)
+	}
+	if len(snap.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(snap.Results))
+	}
+	r := snap.Results[0]
+	if r.Name != "BenchmarkCrawlThroughput" || r.Iterations != 3 {
+		t.Errorf("first result = %+v", r)
+	}
+	for _, m := range []struct {
+		unit string
+		want float64
+	}{
+		{"ns/op", 408707098}, {"sites/sec", 122.0}, {"B/op", 51839965}, {"allocs/op", 81353},
+	} {
+		if got := r.Metrics[m.unit]; got != m.want {
+			t.Errorf("%s = %v, want %v", m.unit, got, m.want)
+		}
+	}
+	if snap.Results[1].Metrics["sites/sec"] != 97.30 {
+		t.Errorf("second result metrics = %v", snap.Results[1].Metrics)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-4 3 12 ns/op trailing",
+		"BenchmarkX-4 notanumber 12 ns/op",
+		"BenchmarkX-4 3 notafloat ns/op",
+	} {
+		if _, err := parse([]byte(line + "\n")); err == nil {
+			t.Errorf("parse(%q) succeeded, want error", line)
+		}
+	}
+}

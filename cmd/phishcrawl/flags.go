@@ -49,9 +49,9 @@ func validateFlags(f cliFlags) error {
 		return fmt.Errorf("-progress must be >= 0 (got %v; 0 disables the periodic progress line)", f.progress)
 	}
 	switch f.journalSync {
-	case "always", "batch", "none":
+	case "always", "group", "batch", "none":
 	default:
-		return fmt.Errorf("unknown -journal-sync %q (want always, batch, or none)", f.journalSync)
+		return fmt.Errorf("unknown -journal-sync %q (want always, group, batch, or none)", f.journalSync)
 	}
 	if f.resume && f.journalDir == "" {
 		return fmt.Errorf("-resume requires -journal <dir>")

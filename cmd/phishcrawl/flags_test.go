@@ -29,6 +29,7 @@ func TestValidateFlags(t *testing.T) {
 		{"compact with journal", func(f *cliFlags) { f.journalDir = "j"; f.compact = true }, ""},
 		{"status with journal", func(f *cliFlags) { f.journalDir = "j"; f.statusAddr = ":0" }, ""},
 		{"progress interval", func(f *cliFlags) { f.progress = time.Second }, ""},
+		{"sync group", func(f *cliFlags) { f.journalSync = "group" }, ""},
 		{"sync batch", func(f *cliFlags) { f.journalSync = "batch" }, ""},
 		{"sync none", func(f *cliFlags) { f.journalSync = "none" }, ""},
 

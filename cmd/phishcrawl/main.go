@@ -45,7 +45,7 @@ func main() {
 	journalDir := flag.String("journal", "", "stream finished sessions into a crash-safe journal at this directory")
 	resume := flag.Bool("resume", false, "resume the journal at -journal: skip already-completed URLs")
 	compact := flag.Bool("compact", false, "after the crawl, compact superseded records out of the journal")
-	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always | batch | none")
+	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always | group | batch | none")
 
 	def := chaos.DefaultProfile()
 	chaosOn := flag.Bool("chaos", false, "inject operational faults into the feed (dead/stalling/slow/5xx/truncated/takedown/flaky sites)")
@@ -240,12 +240,14 @@ func crawlJournaled(p *core.Pipeline, dir string, sample int, resume, compact bo
 	switch syncPolicy {
 	case "always":
 		policy = journal.SyncAlways
+	case "group":
+		policy = journal.SyncGroup
 	case "batch":
 		policy = journal.SyncBatch
 	case "none":
 		policy = journal.SyncNone
 	default:
-		log.Fatalf("unknown -journal-sync %q (want always, batch, or none)", syncPolicy)
+		log.Fatalf("unknown -journal-sync %q (want always, group, batch, or none)", syncPolicy)
 	}
 	j, err := journal.Open(dir, journal.Options{Sync: policy})
 	if err != nil {

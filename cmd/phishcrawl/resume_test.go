@@ -71,9 +71,14 @@ func TestKillResumeSmoke(t *testing.T) {
 	cleanOut := run("-o", clean)
 
 	// Interrupted run: SIGKILL as soon as the journal holds data, which is
-	// mid-crawl (sessions stream into the journal as they complete).
+	// mid-crawl (sessions stream into the journal as they complete). The
+	// interrupted leg runs under -journal-sync group, so the kill lands on
+	// the group-commit path: the crash may only lose the unacknowledged
+	// batch, and the resume below must still reproduce the clean run
+	// byte-for-byte. (The pipeline pools session graphs by default, so this
+	// pin also covers pooling across a kill/resume boundary.)
 	jdir := filepath.Join(dir, "journal")
-	cmd := exec.Command(bin, append(append([]string{}, args...), "-journal", jdir)...)
+	cmd := exec.Command(bin, append(append([]string{}, args...), "-journal", jdir, "-journal-sync", "group")...)
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}

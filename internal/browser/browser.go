@@ -57,12 +57,24 @@ type Event struct {
 const DefaultFetchTimeout = 10 * time.Second
 
 // Browser is one browsing profile. Create a fresh Browser per crawl session
-// to model the paper's clean-container-per-site setup (Section 4.6).
+// to model the paper's clean-container-per-site setup (Section 4.6) — or,
+// equivalently, Reset a recycled one: a reset browser is observationally
+// identical to a new one.
 type Browser struct {
-	client       *http.Client
+	transport    http.RoundTripper
 	cookies      map[string]string // minimal cookie jar: name -> value
 	ctx          context.Context   // session context; fetch deadlines derive from it
 	fetchTimeout time.Duration
+
+	// recycle marks this browser as part of a pooled session graph: cached
+	// renderings and ink masks are returned to their pools the moment a DOM
+	// mutation invalidates them, because the pool's owner (the crawler)
+	// guarantees nothing else holds them. Browsers outside a pool leave
+	// invalidated buffers to the garbage collector, which is always safe.
+	recycle bool
+
+	// cookieNames is sorted-header scratch reused across requests.
+	cookieNames []string
 
 	// NetLog accumulates every request across the session.
 	NetLog []NetRequest
@@ -111,25 +123,44 @@ type Options struct {
 	Timeout time.Duration
 }
 
-// New returns a fresh browser profile.
+// New returns a fresh browser profile. Requests go straight to the
+// transport — redirects and cookies are the browser's own job (each hop is
+// logged), so the http.Client middle layer would only re-clone headers per
+// request.
 func New(opts Options) *Browser {
 	if opts.Timeout <= 0 {
 		opts.Timeout = DefaultFetchTimeout
 	}
+	transport := opts.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
 	return &Browser{
-		client: &http.Client{
-			Transport: opts.Transport,
-			// Redirects are followed manually so each hop is logged.
-			CheckRedirect: func(req *http.Request, via []*http.Request) error {
-				return http.ErrUseLastResponse
-			},
-		},
+		transport:    transport,
 		cookies:      map[string]string{},
 		ctx:          context.Background(),
 		fetchTimeout: opts.Timeout,
 		now:          sessionClock(),
 	}
 }
+
+// Reset returns the browser to its freshly-created state while keeping
+// allocated capacity (the cookie jar's buckets and the net log's backing
+// array). A reset browser behaves identically to one returned by New with
+// the same Options: empty jar, empty log, background session context, and
+// a fresh session-logical clock starting at zero.
+func (b *Browser) Reset() {
+	clear(b.cookies)
+	b.NetLog = b.NetLog[:0]
+	b.ctx = context.Background()
+	b.now = sessionClock()
+}
+
+// EnableRecycle opts this browser into pooled-session-graph mode: see the
+// recycle field. Only the session pool's owner may enable it, because it
+// asserts that nothing outside the current session holds renderings or
+// masks across DOM mutations.
+func (b *Browser) EnableRecycle() { b.recycle = true }
 
 // SetContext installs ctx as the session context: every subsequent fetch
 // derives its per-request deadline from it, so cancelling ctx aborts the
@@ -158,6 +189,7 @@ type Page struct {
 	browser *Browser
 	page    *render.Page // lazy render cache
 	ocrMask *ocr.Mask    // lazy binarization of the current screenshot
+	domHash string       // lazy structural hash of Doc
 }
 
 // ErrTooManyRedirects limits redirect chains.
@@ -258,16 +290,27 @@ func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, ca
 	}
 	// The Cookie header is part of the request bytes the server (and the
 	// keylogging analysis) observes; emit it in sorted name order so it
-	// never depends on map iteration.
-	names := make([]string, 0, len(b.cookies))
-	for name := range b.cookies {
-		names = append(names, name)
+	// never depends on map iteration. Built as one header value (the wire
+	// format AddCookie produces) with reused name scratch.
+	if len(b.cookies) > 0 {
+		names := b.cookieNames[:0]
+		for name := range b.cookies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var sb strings.Builder
+		for i, name := range names {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(name)
+			sb.WriteByte('=')
+			sb.WriteString(b.cookies[name])
+		}
+		req.Header.Set("Cookie", sb.String())
+		b.cookieNames = names
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		req.AddCookie(&http.Cookie{Name: name, Value: b.cookies[name]})
-	}
-	resp, rerr := b.client.Do(req)
+	resp, rerr := b.transport.RoundTrip(req)
 	if rerr != nil {
 		b.NetLog = append(b.NetLog, NetRequest{Method: method, URL: cur, Status: 0, Kind: kind, Time: b.now()})
 		return "", 0, "", fmt.Errorf("browser: fetch %s: %w", cur, rerr)
@@ -365,10 +408,32 @@ func (p *Page) Render() *render.Page {
 // MarkDirty invalidates the cached rendering (and the OCR mask derived
 // from it) after DOM mutation.
 func (p *Page) MarkDirty() {
+	p.domHash = ""
+	if p.browser != nil && p.browser.recycle {
+		// Pooled session graph: the crawler owns every rendering, so the
+		// invalidated buffers go straight back to their pools.
+		p.ReleaseRender()
+		return
+	}
 	p.page = nil
 	// The old mask is dropped, not Released: a caller that fetched it
 	// before the mutation may still be reading it.
 	p.ocrMask = nil
+}
+
+// ReleaseRender returns the page's cached rendering and ink mask to their
+// pools and clears the caches. The caller asserts nothing else holds the
+// screenshot, layout, or mask (or any view of their storage). The page
+// itself remains usable — the next Render recomputes.
+func (p *Page) ReleaseRender() {
+	if p.page != nil {
+		p.page.Release()
+		p.page = nil
+	}
+	if p.ocrMask != nil {
+		p.ocrMask.Release()
+		p.ocrMask = nil
+	}
 }
 
 // Screenshot returns the current page screenshot.
@@ -386,8 +451,14 @@ func (p *Page) OCRMask() *ocr.Mask {
 }
 
 // DOMHash returns the lightweight structural hash used for page-transition
-// detection.
-func (p *Page) DOMHash() string { return dom.StructureHash(p.Doc) }
+// detection, computed once per rendering generation (MarkDirty invalidates
+// it along with the render caches).
+func (p *Page) DOMHash() string {
+	if p.domHash == "" {
+		p.domHash = dom.StructureHash(p.Doc)
+	}
+	return p.domHash
+}
 
 // Host returns the page URL's host.
 func (p *Page) Host() string {
@@ -402,6 +473,12 @@ func (p *Page) logEvent(typ string, target *dom.Node) {
 	name := target.Tag
 	if id := target.ID(); id != "" {
 		name = name + "#" + id
+	}
+	if p.EventLog == nil {
+		// Sized for a typical fill-and-submit page (per-keystroke keydowns
+		// plus change/click/submit) so the log grows without reslicing;
+		// staying nil until the first event keeps the JSON export null.
+		p.EventLog = make([]Event, 0, 16)
 	}
 	p.EventLog = append(p.EventLog, Event{Type: typ, Target: name, Time: p.browser.now()})
 }

@@ -260,19 +260,31 @@ func synthResponse(req *http.Request, status int, contentType, body string) *htt
 
 // truncateBody replaces resp's body with its first half followed by
 // io.ErrUnexpectedEOF, the client-visible signature of a connection torn
-// down mid-transfer.
+// down mid-transfer. The original body is NOT closed here: the serving
+// transport recycles the response's header and buffers on Close, and the
+// caller is still going to read resp.Header, so the close is chained into
+// the replacement body and happens only when the caller closes it.
 func truncateBody(resp *http.Response) *http.Response {
 	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	if err != nil || len(data) == 0 {
-		resp.Body = io.NopCloser(strings.NewReader(""))
+		resp.Body = &replacedBody{Reader: strings.NewReader(""), inner: resp.Body}
 		return resp
 	}
 	cut := len(data) / 2
-	resp.Body = io.NopCloser(&truncatedReader{data: data[:cut]})
+	resp.Body = &replacedBody{Reader: &truncatedReader{data: data[:cut]}, inner: resp.Body}
 	resp.ContentLength = int64(len(data))
 	return resp
 }
+
+// replacedBody substitutes a response payload while deferring the original
+// body's Close to the caller's Close, keeping the response valid (headers
+// included) until the caller is done with it.
+type replacedBody struct {
+	io.Reader
+	inner io.ReadCloser
+}
+
+func (b *replacedBody) Close() error { return b.inner.Close() }
 
 // truncatedReader yields its data and then fails with io.ErrUnexpectedEOF
 // instead of a clean EOF.

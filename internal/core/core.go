@@ -10,20 +10,16 @@ package core
 import (
 	"fmt"
 	"net/http"
-	"sync"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/brands"
 	"repro/internal/browser"
-	"repro/internal/captcha"
 	"repro/internal/chaos"
 	"repro/internal/crawler"
 	"repro/internal/farm"
 	"repro/internal/feed"
-	"repro/internal/fielddata"
 	"repro/internal/journal"
-	"repro/internal/pagegen"
 	"repro/internal/phash"
 	"repro/internal/phishserver"
 	"repro/internal/sitegen"
@@ -65,6 +61,19 @@ type Options struct {
 	MaxRetries int
 	RetryBase  time.Duration
 	RetryMax   time.Duration
+
+	// Models, when non-nil, injects an already-trained model bundle and
+	// skips training entirely; the caller vouches that it was trained with
+	// this pipeline's Seed and DetectorTrainPages. nil uses the
+	// process-wide shared cache (SharedModels), so repeated pipelines with
+	// equal params train once.
+	Models *Models
+	// DisablePooling turns off per-session object-graph recycling: every
+	// session allocates its browser, trace slab, and render buffers fresh.
+	// Session exports are byte-identical either way (the pooled-vs-unpooled
+	// determinism pin); the switch exists for A/B measurement and as an
+	// escape hatch.
+	DisablePooling bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +98,13 @@ type Pipeline struct {
 	Corpus   *sitegen.Corpus
 	Feed     *feed.Feed
 	Registry *phishserver.Registry
+
+	// Models is the trained bundle this pipeline crawls with — shared
+	// read-only with every other pipeline built from the same params
+	// unless Options.Models injected a private one. The individual model
+	// fields below alias it (kept for source compatibility); none may be
+	// mutated.
+	Models *Models
 
 	FieldClassifier  *textclass.Model
 	Detector         *vision.Detector
@@ -134,47 +150,24 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		p.Registry.AddBenignHost(h)
 	}
 
-	// Models. The four training steps draw from independent seeded RNG
-	// streams (Seed, Seed+2/+3, Seed+4, Seed+5) and share no mutable
-	// state, so they run concurrently; outputs are bit-identical to
-	// training them one after another. Errors are checked in the original
-	// serial order so the reported failure doesn't depend on scheduling.
-	var (
-		wg                        sync.WaitGroup
-		fieldErr, detErr, termErr error
-	)
-	wg.Add(4)
-	go func() {
-		defer wg.Done()
-		p.FieldClassifier, fieldErr = fielddata.TrainMultilingual(opts.Seed)
-	}()
-	go func() {
-		defer wg.Done()
-		p.Detector, detErr = vision.Train(pagegen.GenerateSet(opts.DetectorTrainPages, opts.Seed+2, pagegen.Config{}), opts.Seed+3)
-	}()
-	go func() {
-		defer wg.Done()
-		p.TermClassifier, termErr = termclass.Train(opts.Seed + 4)
-	}()
-	go func() {
-		defer wg.Done()
-		for _, kind := range captcha.VisualKinds() {
-			for _, crop := range pagegen.CaptchaCrops(kind, 10, opts.Seed+5) {
-				p.CaptchaExemplars = append(p.CaptchaExemplars, phash.Compute(crop))
-			}
+	// Models: an injected bundle wins; otherwise the process-wide cache
+	// returns (and on first use trains) the bundle for this pipeline's
+	// params, so repeated NewPipeline calls — bench iterations, resume
+	// runs, worker fleets — stop retraining identical models.
+	m := opts.Models
+	if m == nil {
+		var err error
+		m, err = SharedModels(ModelParams{Seed: opts.Seed, DetectorTrainPages: opts.DetectorTrainPages})
+		if err != nil {
+			return nil, err
 		}
-	}()
-	p.Gallery = analysis.BrandGallery()
-	wg.Wait()
-	if fieldErr != nil {
-		return nil, fmt.Errorf("core: training field classifier: %w", fieldErr)
 	}
-	if detErr != nil {
-		return nil, fmt.Errorf("core: training detector: %w", detErr)
-	}
-	if termErr != nil {
-		return nil, fmt.Errorf("core: training terminal classifier: %w", termErr)
-	}
+	p.Models = m
+	p.FieldClassifier = m.FieldClassifier
+	p.Detector = m.Detector
+	p.TermClassifier = m.TermClassifier
+	p.Gallery = m.Gallery
+	p.CaptchaExemplars = m.CaptchaExemplars
 
 	// Crawler template. The serving transport is optionally wrapped in
 	// the fault injector, scoped to phishing hosts so benign redirect
@@ -206,6 +199,9 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		MaxPages:      opts.MaxPagesPerSite,
 		SessionBudget: opts.SessionBudget,
 		FakerSeed:     opts.Seed + 6,
+	}
+	if !opts.DisablePooling {
+		p.Crawler.Pool = crawler.NewSessionPool()
 	}
 	return p, nil
 }
@@ -272,6 +268,11 @@ func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, er
 		analysis.AttachMetaIndexed(lg, byURL)
 		return j.AppendSession(lg)
 	}
+	// The sink touches only its own session (metadata attach) and the
+	// journal, whose appends are internally serialized — and batched, under
+	// the group-commit sync policy. Concurrent delivery keeps workers from
+	// queueing on the farm's tally lock for every fsync.
+	cfg.SinkConcurrent = true
 	p.Logs = nil
 	p.Stats, err = farm.RunStream(cfg, urls)
 	if err != nil {

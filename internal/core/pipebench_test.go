@@ -2,7 +2,26 @@ package core
 
 import "testing"
 
-func BenchmarkNewPipeline(b *testing.B) {
+// BenchmarkNewPipelineCold measures full construction including model
+// training: the cache is dropped every iteration, so this is what the first
+// pipeline of a process pays.
+func BenchmarkNewPipelineCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ResetModelCache()
+		if _, err := NewPipeline(Options{NumSites: 200, Seed: 42}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNewPipelineWarm measures construction against a populated model
+// cache — every pipeline after the first. The cold/warm ratio is the model
+// sharing win.
+func BenchmarkNewPipelineWarm(b *testing.B) {
+	if _, err := NewPipeline(Options{NumSites: 200, Seed: 42}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewPipeline(Options{NumSites: 200, Seed: 42}); err != nil {
 			b.Fatal(err)

@@ -228,6 +228,11 @@ type Crawler struct {
 	SessionBudget time.Duration
 	// FakerSeed seeds the per-session forged-data generator.
 	FakerSeed int64
+	// Pool, when non-nil, recycles the per-session object graph (browser,
+	// trace slab, render/mask buffers) across sessions instead of
+	// allocating it fresh. Session exports are byte-identical either way;
+	// see SessionPool for the recycling contract.
+	Pool *SessionPool
 	// Timings, when non-nil, accumulates per-stage durations (render, OCR,
 	// detect, submit) across every attempt this crawler runs. Durations
 	// are measured on the session-logical trace clock, not the wall clock,
@@ -270,33 +275,67 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 	}
 	defer cancel()
 
-	b := c.NewBrowser()
+	// Pooled mode recycles the whole session graph; unpooled builds it
+	// fresh. Both paths produce byte-identical exports — pooled mode copies
+	// the net log and trace out of recycled storage before release.
+	pooled := c.Pool != nil
+	var (
+		b  *browser.Browser
+		tr *trace.Session
+		sc *sessionScratch
+	)
+	if pooled {
+		sc = c.Pool.acquire(c.NewBrowser)
+		b, tr = sc.browser, sc.trace
+	} else {
+		b = c.NewBrowser()
+		// The trace session owns the logical clock for the whole session:
+		// the browser's log timestamps and the span boundaries advance one
+		// shared timeline, so the exported trace is byte-stable for a
+		// fixed seed.
+		tr = trace.NewSession()
+	}
 	b.SetContext(ctx)
 	fk := faker.New(c.FakerSeed)
 	log := &SessionLog{SeedURL: seedURL}
 
-	// The trace session owns the logical clock for the whole session: the
-	// browser's log timestamps and the span boundaries advance one shared
-	// timeline, so the exported trace is byte-stable for a fixed seed.
-	tr := trace.NewSession()
+	var page *browser.Page
 	b.SetClock(tr.Clock())
 	root := tr.Begin(trace.KindSession, seedURL)
 	defer func() {
 		tr.End(root)
-		log.Trace = tr.Spans()
+		if !pooled {
+			log.Trace = tr.Spans()
+			return
+		}
+		log.Trace = append([]trace.Span(nil), tr.Spans()...)
+		if page != nil {
+			page.ReleaseRender()
+		}
+		c.Pool.release(sc)
 	}()
+	exportNetLog := func() []browser.NetRequest {
+		if !pooled {
+			return b.NetLog
+		}
+		if len(b.NetLog) == 0 {
+			return nil
+		}
+		return append([]browser.NetRequest(nil), b.NetLog...)
+	}
 
-	page, err := b.Navigate(seedURL)
+	var err error
+	page, err = b.Navigate(seedURL)
 	if err != nil {
 		log.Outcome = ClassifyError(err)
 		log.Error = err.Error()
-		log.NetLog = b.NetLog
+		log.NetLog = exportNetLog()
 		return log
 	}
 	if page.Status >= http.StatusInternalServerError {
 		log.Outcome = OutcomeServerError
 		log.Error = fmt.Sprintf("HTTP %d on landing page", page.Status)
-		log.NetLog = b.NetLog
+		log.NetLog = exportNetLog()
 		return log
 	}
 	log.FirstPageEmbedding = visualphish.EmbedCropped(page.Screenshot())
@@ -352,9 +391,14 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 		// A mid-flow error page is NOT an operational failure: the paper
 		// measures it as the HTTP-error UX-termination pattern (Section
 		// 5.2.3), so the loop continues and logs it like any other page.
+		// In pooled mode the page we are leaving hands its render buffers
+		// back (content swaps return the SAME page — nothing to release).
+		if pooled && next != page {
+			page.ReleaseRender()
+		}
 		page = next
 	}
-	log.NetLog = b.NetLog
+	log.NetLog = exportNetLog()
 	return log
 }
 

@@ -48,7 +48,7 @@ func (c *Crawler) identifyFields(p *browser.Page, eng *ocr.Engine, tr *trace.Ses
 			HTMLType: strings.ToLower(n.AttrOr("type", "")),
 		}
 		desc := domDescription(p.Doc, n)
-		if len(textclass.Tokenize(desc)) == 0 && eng != nil {
+		if !textclass.HasTokens(desc) && eng != nil {
 			// DOM analysis found nothing useful: visual analysis of the
 			// regions to the left and above the box (Figure 3 defence).
 			// The page's cached ink mask is shared across every field's
@@ -71,12 +71,21 @@ func (c *Crawler) identifyFields(p *browser.Page, eng *ocr.Engine, tr *trace.Ses
 // its own properties, the form it belongs to, label elements, and
 // neighbouring text nodes (Section 4.1 steps 1-2).
 func domDescription(doc *dom.Node, n *dom.Node) string {
-	var parts []string
+	// One builder accumulates every part, space-separated — the streaming
+	// equivalent of collecting parts and strings.Join-ing them. Parts are
+	// trimmed but otherwise appended verbatim (matching the historical
+	// join), while node text goes through the Append helpers, which write
+	// the same bytes InnerText/OwnText would contribute.
+	var b strings.Builder
 	add := func(s string) {
 		s = strings.TrimSpace(s)
-		if s != "" {
-			parts = append(parts, s)
+		if s == "" {
+			return
 		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s)
 	}
 	// Node properties.
 	add(splitIdent(n.AttrOr("name", "")))
@@ -89,12 +98,12 @@ func domDescription(doc *dom.Node, n *dom.Node) string {
 	// label element bound via for=.
 	if id := n.ID(); id != "" {
 		if lbl, err := dom.QueryFirst(doc, `label[for="`+id+`"]`); err == nil && lbl != nil {
-			add(lbl.InnerText())
+			lbl.AppendInnerText(&b)
 		}
 	}
 	// Enclosing label.
 	if lbl := n.Closest("label"); lbl != nil {
-		add(lbl.InnerText())
+		lbl.AppendInnerText(&b)
 	}
 	// Select options hint at the data type (state lists, month lists).
 	if n.Tag == "select" {
@@ -103,7 +112,7 @@ func domDescription(doc *dom.Node, n *dom.Node) string {
 			if i >= 2 {
 				break
 			}
-			add(o.InnerText())
+			o.AppendInnerText(&b)
 		}
 	}
 	// Preceding siblings: the label usually sits just before the input.
@@ -113,15 +122,15 @@ func domDescription(doc *dom.Node, n *dom.Node) string {
 			add(sib.Data)
 		case dom.ElementNode:
 			if sib.Tag == "label" || sib.Tag == "span" || sib.Tag == "div" || sib.Tag == "b" || sib.Tag == "p" {
-				add(sib.InnerText())
+				sib.AppendInnerText(&b)
 			}
 		}
 	}
 	// Parent's own text (text nodes directly inside the wrapper).
 	if n.Parent != nil {
-		add(n.Parent.OwnText())
+		n.Parent.AppendOwnText(&b)
 	}
-	return strings.Join(parts, " ")
+	return b.String()
 }
 
 // splitIdent breaks identifier-style strings (card_number, cardNumber,

@@ -1,0 +1,5 @@
+//go:build !race
+
+package crawler
+
+const raceEnabled = false

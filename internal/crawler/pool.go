@@ -1,0 +1,55 @@
+package crawler
+
+import (
+	"sync"
+
+	"repro/internal/browser"
+	"repro/internal/trace"
+)
+
+// SessionPool recycles the per-session object graph across crawl sessions:
+// the browser profile (cookie jar buckets, net-log backing array) and the
+// trace span slab, plus — transitively, through the browser's recycle mode
+// — every render screenshot, layout table, and OCR ink mask a session
+// produces. One pool is shared by all of a farm's workers (sync.Pool is
+// concurrency-safe), so steady-state crawling stops allocating its largest
+// buffers entirely.
+//
+// The recycling contract: every pooled type has a Reset (or Release) that
+// returns it to a state observationally identical to a fresh value, and
+// the crawler copies anything that outlives the session (NetLog, Trace)
+// out of pooled storage before the graph is recycled. Pooled and unpooled
+// runs therefore produce byte-identical SessionLog exports — pinned by
+// TestCrawlPooledMatchesUnpooled.
+type SessionPool struct {
+	pool sync.Pool // holds *sessionScratch
+}
+
+// sessionScratch is one recyclable session graph.
+type sessionScratch struct {
+	browser *browser.Browser
+	trace   *trace.Session
+}
+
+// NewSessionPool returns an empty pool.
+func NewSessionPool() *SessionPool { return &SessionPool{} }
+
+// acquire returns a session graph ready for use: a recycled one reset to
+// its initial state, or a fresh one built with newBrowser. Fresh browsers
+// are switched into recycle mode — the pool's existence is the ownership
+// assertion that mode requires.
+func (sp *SessionPool) acquire(newBrowser func() *browser.Browser) *sessionScratch {
+	if sc, ok := sp.pool.Get().(*sessionScratch); ok {
+		sc.browser.Reset()
+		sc.trace.Reset()
+		return sc
+	}
+	b := newBrowser()
+	b.EnableRecycle()
+	return &sessionScratch{browser: b, trace: trace.NewSession()}
+}
+
+// release returns the graph to the pool for the next session.
+func (sp *SessionPool) release(sc *sessionScratch) {
+	sp.pool.Put(sc)
+}

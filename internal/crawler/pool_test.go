@@ -1,0 +1,83 @@
+package crawler
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCrawlPooledMatchesUnpooled is the tentpole determinism pin for
+// session-graph recycling: for every site shape the suite exercises, a
+// pooled crawl exports byte-for-byte the same SessionLog as an unpooled
+// one — including after the pool has been warmed by prior sessions, which
+// is when stale recycled state would show through.
+func TestCrawlPooledMatchesUnpooled(t *testing.T) {
+	s := loginPaymentSite()
+	unpooled := newCrawler(t, s)
+	pooled := newCrawler(t, s)
+	pooled.Pool = NewSessionPool()
+
+	want, err := json.Marshal(unpooled.Crawl("http://lp.test/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := json.Marshal(pooled.Crawl("http://lp.test/"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("pooled crawl %d diverged from unpooled export:\npooled:   %s\nunpooled: %s", i, got, want)
+		}
+	}
+}
+
+// TestCrawlPooledMatchesUnpooledOnFailure pins the error paths: sessions
+// that never get past the landing page must also export identically, since
+// they take the early-return paths where the net log is copied out.
+func TestCrawlPooledMatchesUnpooledOnFailure(t *testing.T) {
+	unpooled := newCrawler(t)
+	pooled := newCrawler(t)
+	pooled.Pool = NewSessionPool()
+
+	// The registry has no such host: the navigation fails.
+	url := "http://nosuchsite.test/"
+	want, err := json.Marshal(unpooled.Crawl(url))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := json.Marshal(pooled.Crawl(url))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("pooled failure crawl %d diverged:\npooled:   %s\nunpooled: %s", i, got, want)
+		}
+	}
+}
+
+// TestCrawlPooledAllocs gates the per-session hot path: once the pool is
+// warm, a full multi-page session must stay under the allocation budget.
+// The measured steady state is ~456 allocs per session (down from ~940
+// before this optimization round; an unpooled session sits at ~505). The
+// bound leaves headroom for an unluckily-timed GC emptying the pool
+// mid-measurement, while staying below the unpooled count so a regression
+// that silently disables recycling trips it.
+func TestCrawlPooledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the budget only holds in a plain build")
+	}
+	c := newCrawler(t, loginPaymentSite())
+	c.Pool = NewSessionPool()
+	// Warm the pool and the site handler's session state.
+	for i := 0; i < 3; i++ {
+		c.Crawl("http://lp.test/")
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		c.Crawl("http://lp.test/")
+	})
+	const budget = 495
+	if allocs > budget {
+		t.Errorf("pooled session allocations = %.0f, want <= %d", allocs, budget)
+	}
+}

@@ -1,0 +1,13 @@
+package crawler
+
+import "testing"
+
+func BenchmarkCrawlSessionPooled(b *testing.B) {
+	c := newCrawler(b, loginPaymentSite())
+	c.Pool = NewSessionPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Crawl("http://lp.test/")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package crawler
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates on its own and makes
+// testing.AllocsPerRun budgets meaningless.
+const raceEnabled = true

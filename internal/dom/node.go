@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // NodeType discriminates the kinds of nodes in the tree.
@@ -312,6 +314,58 @@ func (n *Node) OwnText() string {
 		}
 	}
 	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// AppendInnerText appends exactly what appending InnerText() would — the
+// node's whitespace-normalized text, space-separated from b's existing
+// content — without materializing the intermediate string. Callers
+// assembling descriptions from many nodes share one builder this way.
+func (n *Node) AppendInnerText(b *strings.Builder) {
+	n.Walk(func(m *Node) bool {
+		if m.Type == ElementNode && (m.Tag == "script" || m.Tag == "style") {
+			return false
+		}
+		if m.Type == TextNode {
+			appendFields(b, m.Data)
+		}
+		return true
+	})
+}
+
+// AppendOwnText is AppendInnerText restricted to direct text-node children,
+// mirroring OwnText.
+func (n *Node) AppendOwnText(b *strings.Builder) {
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == TextNode {
+			appendFields(b, c.Data)
+		}
+	}
+}
+
+// appendFields writes s's whitespace-separated fields to b, one space
+// before each field that doesn't start the builder — the streaming form of
+// appending strings.Join(strings.Fields(s), " ").
+func appendFields(b *strings.Builder, s string) {
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			i += size
+			continue
+		}
+		j := i
+		for j < len(s) {
+			r2, s2 := utf8.DecodeRuneInString(s[j:])
+			if unicode.IsSpace(r2) {
+				break
+			}
+			j += s2
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s[i:j])
+		i = j
+	}
 }
 
 // Ancestors returns the chain of parents from n's parent up to the root.

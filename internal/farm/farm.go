@@ -77,12 +77,21 @@ type Config struct {
 	// reproduces the uninterrupted run's sessions exactly.
 	Skip func(idx int, url string) bool
 	// Sink, when non-nil, receives each finished session as it completes
-	// (calls are serialized — a journal append needs no extra locking) and
-	// switches the farm to streaming mode: logs are not accumulated and
+	// and switches the farm to streaming mode: logs are not accumulated and
 	// Run returns a nil slice. The index is the session's position in the
-	// input URL list. After a sink error the farm keeps crawling but stops
-	// delivering; RunStream surfaces the first error.
+	// input URL list. By default calls are serialized — a journal append
+	// needs no extra locking. After a sink error the farm keeps crawling
+	// but stops delivering; RunStream surfaces the first error.
 	Sink func(idx int, lg *crawler.SessionLog) error
+	// SinkConcurrent declares that Sink is safe for concurrent use, letting
+	// workers deliver sessions without holding the farm's shared tally
+	// lock: the expensive part of a delivery — JSON encoding plus fsync in
+	// the journal sink — then runs in each worker's own goroutine, and the
+	// journal's group commit can batch overlapping deliveries into one
+	// fsync. After a sink error no NEW deliveries start, but deliveries
+	// already in flight run to completion; the first error recorded is the
+	// one surfaced.
+	SinkConcurrent bool
 	// Monitor, when non-nil, receives live progress (completions, retries,
 	// panics, stage latencies) for the status endpoint and progress line.
 	Monitor *Monitor
@@ -287,7 +296,6 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 	land.failures = map[string]int{}
 	finish := func(lg *crawler.SessionLog) {
 		land.Lock()
-		defer land.Unlock()
 		land.count++
 		observeTrace(stages, lg.Trace)
 		cfg.Monitor.noteDone(lg)
@@ -299,10 +307,31 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 		}
 		if cfg.Sink == nil {
 			logs[lg.FeedIndex] = lg
+			land.Unlock()
 			return
 		}
-		if land.sinkErr == nil {
-			land.sinkErr = cfg.Sink(lg.FeedIndex, lg)
+		if !cfg.SinkConcurrent {
+			if land.sinkErr == nil {
+				land.sinkErr = cfg.Sink(lg.FeedIndex, lg)
+			}
+			land.Unlock()
+			return
+		}
+		// Concurrent sink: deliver outside the tally lock, so the encode
+		// and fsync work of one session never stalls every other worker's
+		// completion path (and a group-commit journal can batch the
+		// overlapping appends into one fsync).
+		deliver := land.sinkErr == nil
+		land.Unlock()
+		if !deliver {
+			return
+		}
+		if err := cfg.Sink(lg.FeedIndex, lg); err != nil {
+			land.Lock()
+			if land.sinkErr == nil {
+				land.sinkErr = err
+			}
+			land.Unlock()
 		}
 	}
 	// Buffered to the full job count so neither the producer nor a retry

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -105,6 +106,53 @@ func TestRunCrawlsAll(t *testing.T) {
 	}
 	if render.Count < int64(stats.Sites) || render.Total <= 0 {
 		t.Errorf("render stage = %+v, want >= %d observations", render, stats.Sites)
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCountsPooled tightens the worker-count
+// pin to byte identity under session pooling: with the recycling pool
+// installed (the default in core), 1 worker and 30 workers must produce
+// exports that marshal to the same bytes as each other AND as an unpooled
+// serial run — pool recycling may never leak one session's state into the
+// next, no matter which worker's pool a session graph came from.
+func TestRunDeterministicAcrossWorkerCountsPooled(t *testing.T) {
+	reg := phishserver.NewRegistry()
+	var urls []string
+	for i := 0; i < 30; i++ {
+		s := quickSite(fmtHost(230 + i))
+		reg.AddSite(s)
+		urls = append(urls, s.SeedURL())
+	}
+	pooled := func() *crawler.Crawler {
+		c := testCrawler(reg, nil)
+		c.Pool = crawler.NewSessionPool()
+		return c
+	}
+	unpooled, _ := Run(Config{Workers: 1, Crawler: testCrawler(reg, nil)}, urls)
+	serial, _ := Run(Config{Workers: 1, Crawler: pooled()}, urls)
+	wide, _ := Run(Config{Workers: 30, Crawler: pooled()}, urls)
+	if len(serial) != len(urls) || len(wide) != len(urls) || len(unpooled) != len(urls) {
+		t.Fatalf("log counts: unpooled %d, serial %d, wide %d, want %d", len(unpooled), len(serial), len(wide), len(urls))
+	}
+	for i := range serial {
+		want, err := json.Marshal(unpooled[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := json.Marshal(serial[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(wide[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(want) {
+			t.Errorf("site %d: pooled serial export diverges from unpooled", i)
+		}
+		if string(b) != string(want) {
+			t.Errorf("site %d: pooled 30-worker export diverges from unpooled", i)
+		}
 	}
 }
 

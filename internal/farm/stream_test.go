@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -56,6 +57,79 @@ func TestRunStreamDeliversEverySessionOnce(t *testing.T) {
 	}
 	if stats.Sites != len(urls) {
 		t.Errorf("Sites = %d, want %d", stats.Sites, len(urls))
+	}
+}
+
+// TestRunStreamConcurrentSink pins the SinkConcurrent contract: deliveries
+// may overlap (the sink must lock for itself), but every session still
+// arrives exactly once with its own index, and a sink error still stops
+// new deliveries and surfaces from RunStream.
+func TestRunStreamConcurrentSink(t *testing.T) {
+	reg, urls := streamFixture(t, 640, 30)
+	var mu sync.Mutex
+	got := map[int]*crawler.SessionLog{}
+	stats, err := RunStream(Config{
+		Workers:        6,
+		Crawler:        testCrawler(reg, nil),
+		SinkConcurrent: true,
+		Sink: func(idx int, lg *crawler.SessionLog) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[idx]; dup {
+				t.Errorf("index %d delivered twice", idx)
+			}
+			got[idx] = lg
+			return nil
+		},
+	}, urls)
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if len(got) != len(urls) {
+		t.Fatalf("sink saw %d sessions, want %d", len(got), len(urls))
+	}
+	for idx, lg := range got {
+		if lg.SeedURL != urls[idx] || lg.FeedIndex != idx {
+			t.Errorf("index %d carries URL %s FeedIndex %d, want %s/%d", idx, lg.SeedURL, lg.FeedIndex, urls[idx], idx)
+		}
+	}
+	if stats.Sites != len(urls) {
+		t.Errorf("Sites = %d, want %d", stats.Sites, len(urls))
+	}
+}
+
+// TestRunStreamConcurrentSinkError: the first error a concurrent sink
+// returns is surfaced, and once it is recorded no new delivery starts
+// (in-flight ones may finish — the count stays well below the site count).
+func TestRunStreamConcurrentSinkError(t *testing.T) {
+	reg, urls := streamFixture(t, 680, 16)
+	boom := errors.New("disk full")
+	var mu sync.Mutex
+	calls := 0
+	_, err := RunStream(Config{
+		Workers:        4,
+		Crawler:        testCrawler(reg, nil),
+		SinkConcurrent: true,
+		Sink: func(int, *crawler.SessionLog) error {
+			mu.Lock()
+			calls++
+			n := calls
+			mu.Unlock()
+			if n == 3 {
+				return boom
+			}
+			return nil
+		},
+	}, urls)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// At most Workers deliveries could already be in flight when the error
+	// landed; everything after must have been suppressed.
+	if calls >= len(urls) {
+		t.Errorf("sink called %d times, error did not stop deliveries", calls)
 	}
 }
 

@@ -75,7 +75,7 @@ func (j *Journal) Compact() (dropped int, err error) {
 			_ = out.Close() // aborting: the segment is being deleted anyway
 		}
 		for _, s := range newSegments {
-			os.Remove(filepath.Join(j.dir, s.Name))
+			_ = os.Remove(filepath.Join(j.dir, s.Name)) // best-effort: aborted temporaries
 		}
 	}
 
@@ -139,7 +139,9 @@ func (j *Journal) Compact() (dropped int, err error) {
 	j.unsynced = 0
 	_ = oldActive.Close() // superseded handle; its segment file is deleted below
 	for _, s := range oldSegments {
-		os.Remove(filepath.Join(j.dir, s.Name))
+		// Best-effort: the manifest no longer references these, so a
+		// leftover file is dead weight, not a correctness problem.
+		_ = os.Remove(filepath.Join(j.dir, s.Name))
 	}
 	return dropped, nil
 }

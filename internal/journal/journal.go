@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -43,6 +44,15 @@ const (
 	// SyncNone leaves durability to the OS page cache (tests, throwaway
 	// runs). Close still syncs.
 	SyncNone
+	// SyncGroup batches concurrent appends behind a background commit
+	// loop: everything queued while the previous fsync was in flight is
+	// written together and made durable with one fsync, then every waiter
+	// is released. Per caller this is as strong as SyncAlways — an append
+	// that returned nil is durable — but a farm of workers shares each
+	// fsync instead of paying one apiece. A crash loses only appends that
+	// had not yet returned (at most one per concurrent appender); a
+	// resumed run re-crawls exactly those URLs.
+	SyncGroup
 )
 
 // Options tunes a journal; the zero value is production-safe.
@@ -114,9 +124,19 @@ type Journal struct {
 	activeSize int64
 	nextSeq    uint64
 	completed  map[string]uint64
-	unsynced   int // appends since the last fsync (SyncBatch)
+	unsynced   int // appends since the last fsync (SyncBatch, SyncGroup)
 	dirtyCkpt  int // session appends since the last checkpoint write
 	closed     bool
+
+	// Group-commit state (SyncGroup only). pending is the queue the commit
+	// loop drains; groupCond (sharing mu) wakes it; stopping tells it to
+	// exit once drained, and loopDone reports that it has. groupBuf is the
+	// loop's frame-packing scratch.
+	groupCond *sync.Cond
+	pending   []*groupReq
+	stopping  bool
+	loopDone  chan struct{}
+	groupBuf  []byte
 }
 
 // Open opens (or creates) the journal in dir, recovering from any crash
@@ -161,6 +181,11 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j.active = f
+	if j.opts.Sync == SyncGroup {
+		j.groupCond = sync.NewCond(&j.mu)
+		j.loopDone = make(chan struct{})
+		go j.commitLoop()
+	}
 	return j, nil
 }
 
@@ -369,6 +394,9 @@ func (j *Journal) AppendSession(lg *crawler.SessionLog) error {
 	if err != nil {
 		return fmt.Errorf("journal: encoding session: %w", err)
 	}
+	if j.opts.Sync == SyncGroup {
+		return j.appendGroup(KindSession, payload, lg.SeedURL)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	seq, err := j.appendLocked(KindSession, payload)
@@ -391,6 +419,9 @@ func (j *Journal) AppendStats(st farm.Stats) error {
 	payload, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("journal: encoding stats: %w", err)
+	}
+	if j.opts.Sync == SyncGroup {
+		return j.appendGroup(KindStats, payload, "")
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -499,23 +530,43 @@ func (j *Journal) writeManifest() error {
 	return atomicWriteFile(filepath.Join(j.dir, manifestName), data)
 }
 
-// Sync forces everything appended so far to stable storage.
+// Sync forces everything appended so far — including appends still queued
+// for group commit — to stable storage.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return nil
 	}
+	if err := j.flushPendingLocked(); err != nil {
+		return err
+	}
 	return j.syncActiveLocked()
 }
 
-// Close syncs, writes a final checkpoint, and releases the journal.
+// Close syncs, writes a final checkpoint, and releases the journal. Under
+// SyncGroup it first stops the commit loop, which drains and commits every
+// append accepted before Close.
 func (j *Journal) Close() error {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed {
+		j.mu.Unlock()
 		return nil
 	}
+	if j.groupCond != nil {
+		if !j.stopping {
+			j.stopping = true
+			j.groupCond.Signal()
+		}
+		j.mu.Unlock()
+		<-j.loopDone
+		j.mu.Lock()
+		if j.closed { // a concurrent Close finished while we waited
+			j.mu.Unlock()
+			return nil
+		}
+	}
+	defer j.mu.Unlock()
 	err := j.writeCheckpointLocked()
 	if cerr := j.active.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("journal: close: %w", cerr)
@@ -666,8 +717,10 @@ func segmentName(n int) string {
 }
 
 func segmentNumber(name string) int {
-	var n int
-	fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix), "%d", &n)
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix))
+	if err != nil {
+		return 0 // not a segment name we wrote; callers treat 0 as "before the first"
+	}
 	return n
 }
 
@@ -712,7 +765,7 @@ func atomicWriteFile(path string, data []byte) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	tmpName := tmp.Name()
-	cleanup := func() { os.Remove(tmpName) }
+	cleanup := func() { _ = os.Remove(tmpName) } // best-effort temp removal
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close() // the Write failure is the error worth reporting
 		cleanup()

@@ -9,6 +9,7 @@ package layout
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/dom"
 	"repro/internal/raster"
@@ -101,17 +102,27 @@ func ParseStyle(n *dom.Node) Style {
 		s.Background = raster.LightGray
 		s.HasBackground = true
 	}
-	if w, err := strconv.Atoi(n.AttrOr("width", "")); err == nil {
-		s.Width = w
+	// Most elements carry no width/height attribute; skip the failed-parse
+	// error allocation strconv.Atoi makes on empty input.
+	if attr := n.AttrOr("width", ""); attr != "" {
+		if w, err := strconv.Atoi(attr); err == nil {
+			s.Width = w
+		}
 	}
-	if h, err := strconv.Atoi(n.AttrOr("height", "")); err == nil {
-		s.Height = h
+	if attr := n.AttrOr("height", ""); attr != "" {
+		if h, err := strconv.Atoi(attr); err == nil {
+			s.Height = h
+		}
 	}
 	if t, _ := n.Attr("type"); n.Tag == "input" && strings.EqualFold(t, "hidden") {
 		s.Display = "none"
 	}
+	// Iterate declarations with Cut instead of Split: no slice per element,
+	// and style-less elements (the majority) skip the loop entirely.
 	style, _ := n.Attr("style")
-	for _, decl := range strings.Split(style, ";") {
+	for style != "" {
+		var decl string
+		decl, style, _ = strings.Cut(style, ";")
 		k, v, ok := strings.Cut(decl, ":")
 		if !ok {
 			continue
@@ -167,17 +178,24 @@ func extractURL(v string) string {
 	return u
 }
 
+// resultPool recycles Result map storage between Compute and Release: a
+// crawl session recomputes layout after every DOM mutation, and reusing the
+// grown map buckets removes the per-recompute allocation churn.
+var resultPool = sync.Pool{New: func() any {
+	return &Result{
+		boxes:  make(map[*dom.Node]raster.Rect),
+		styles: make(map[*dom.Node]Style),
+	}
+}}
+
 // Compute lays out the document within the given viewport width and returns
 // the boxes for every visible node.
 func Compute(doc *dom.Node, viewportW int) *Result {
 	if viewportW < 64 {
 		viewportW = 64
 	}
-	res := &Result{
-		boxes:  make(map[*dom.Node]raster.Rect),
-		styles: make(map[*dom.Node]Style),
-		Width:  viewportW,
-	}
+	res := resultPool.Get().(*Result)
+	res.Width = viewportW
 	body := dom.Body(doc)
 	h := layoutBlock(res, body, padding, padding, viewportW-2*padding)
 	res.Height = h + 2*padding
@@ -185,6 +203,19 @@ func Compute(doc *dom.Node, viewportW int) *Result {
 		res.Height = 1
 	}
 	return res
+}
+
+// Release clears the Result and returns its map storage to the pool. The
+// Result must not be used afterwards. Calling Release is optional — an
+// unreleased Result is garbage-collected like any other value.
+func (r *Result) Release() {
+	if r == nil {
+		return
+	}
+	clear(r.boxes)
+	clear(r.styles)
+	r.Height, r.Width = 0, 0
+	resultPool.Put(r)
 }
 
 // layoutBlock lays out the children of n in a column starting at (x, y) with
@@ -277,18 +308,15 @@ func layoutInlineRun(res *Result, nodes []*dom.Node, x, y, w int) int {
 		switch {
 		case n.Type == dom.TextNode:
 			res.styles[n] = defaultStyle()
-			text := strings.Join(strings.Fields(n.Data), " ")
+			text := raster.CollapseSpace(n.Data)
 			if text == "" {
 				continue
 			}
 			tw := raster.StringWidth(text)
+			nh := raster.WrapCount(text, w) * raster.LineH
 			if tw <= w-(cx-x) || tw <= w {
-				lines := raster.WrapString(text, w)
-				nh := len(lines) * raster.LineH
 				place(n, minInt(tw, w), nh)
 			} else {
-				lines := raster.WrapString(text, w)
-				nh := len(lines) * raster.LineH
 				place(n, w, nh)
 			}
 		case n.Type == dom.ElementNode:
@@ -358,8 +386,7 @@ func intrinsicSize(n *dom.Node, s Style, maxW int) (int, int) {
 		text := n.InnerText()
 		tw := raster.StringWidth(text)
 		if tw > maxW {
-			lines := raster.WrapString(text, maxW)
-			return maxW, len(lines) * raster.LineH
+			return maxW, raster.WrapCount(text, maxW) * raster.LineH
 		}
 		w = tw
 		if w == 0 {

@@ -8,6 +8,7 @@
 package phishserver
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"net/http"
@@ -271,13 +272,87 @@ type Transport struct {
 	Registry *Registry
 }
 
+// recorded is a pooled in-process response recorder: the ResponseWriter a
+// handler writes into, the http.Response handed back to the caller, and the
+// body reader are one recycled allocation. The graph returns to the pool
+// when the caller closes the response body (which net/http clients must do
+// anyway); a caller that never closes merely forfeits the recycle. Strings
+// handed out of the header map survive recycling because strings are
+// immutable; the map and buffers themselves are reset on reuse.
+//
+// The recycling tightens the stdlib response contract: the response AND
+// everything reachable from it — Header included — is valid only until
+// Body.Close returns. Callers (and wrapping transports, like the chaos
+// injector) must finish reading headers before closing, and must not close
+// an inner body early while passing the response on.
+type recorded struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+
+	resp  http.Response
+	rbody recordedBody
+}
+
+type recordedBody struct {
+	bytes.Reader
+	rec *recorded
+}
+
+// Close implements io.Closer and returns the recorder to the pool.
+// Double-close is a no-op.
+func (b *recordedBody) Close() error {
+	if rec := b.rec; rec != nil {
+		b.rec = nil
+		recordedPool.Put(rec)
+	}
+	return nil
+}
+
+var recordedPool = sync.Pool{New: func() any {
+	return &recorded{header: make(http.Header, 4)}
+}}
+
+func (r *recorded) Header() http.Header         { return r.header }
+func (r *recorded) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// WriteHeader records the first status code, like net/http's real writer.
+func (r *recorded) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+// response assembles the http.Response for the recorded exchange.
+func (r *recorded) response(req *http.Request) *http.Response {
+	code := r.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	r.rbody.Reader.Reset(r.body.Bytes())
+	r.rbody.rec = r
+	r.resp = http.Response{
+		Status:        http.StatusText(code),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        r.header,
+		Body:          &r.rbody,
+		ContentLength: int64(r.body.Len()),
+		Request:       req,
+	}
+	return &r.resp
+}
+
 // RoundTrip implements http.RoundTripper.
 func (t Transport) RoundTrip(req *http.Request) (*http.Response, error) {
-	rec := httptest.NewRecorder()
+	rec := recordedPool.Get().(*recorded)
+	clear(rec.header)
+	rec.body.Reset()
+	rec.code = 0
 	t.Registry.ServeHTTP(rec, req)
-	resp := rec.Result()
-	resp.Request = req
-	return resp, nil
+	return rec.response(req), nil
 }
 
 // Listen binds a single site to a real TCP listener for end-to-end runs,

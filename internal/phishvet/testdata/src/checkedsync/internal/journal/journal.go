@@ -3,7 +3,10 @@
 // acknowledgment.
 package journal
 
-import "os"
+import (
+	"fmt"
+	"os"
+)
 
 func flagged(path string, data []byte) error {
 	f, err := os.Create(path)
@@ -16,6 +19,24 @@ func flagged(path string, data []byte) error {
 	os.Rename(path, path+".bak") // want "Rename error discarded on the durability path"
 	return nil
 }
+
+// anyCall: the rule is not an allowlist of file-API names — ANY discarded
+// error return in this package is on the commit path (manifest parsing,
+// temp cleanup, the group-commit loop's helpers).
+func anyCall(name string) int {
+	var n int
+	fmt.Sscanf(name, "segment-%d", &n) // want "Sscanf error discarded on the durability path"
+	os.Remove(name)                    // want "Remove error discarded on the durability path"
+	parse(name)                        // want "parse error discarded on the durability path"
+	_, _ = fmt.Sscanf(name, "segment-%d", &n)
+	_ = os.Remove(name) // acknowledged: best-effort cleanup
+	noError(name)       // returns nothing; not flagged
+	return n
+}
+
+func parse(string) (int, error) { return 0, nil }
+
+func noError(string) {}
 
 func ok(path string, data []byte) error {
 	f, err := os.Create(path)

@@ -3,6 +3,8 @@ package raster
 import (
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // The bitmap font: each glyph is 5 pixels wide and 7 tall, described by 7
@@ -157,44 +159,136 @@ func StringWidth(s string) int {
 // WrapString splits s into lines no wider than maxW pixels, breaking at
 // spaces where possible.
 func WrapString(s string, maxW int) []string {
+	var lines []string
+	WrapEach(s, maxW, func(line string) { lines = append(lines, line) })
+	return lines
+}
+
+// WrapCount returns len(WrapString(s, maxW)) without building the lines —
+// the layout engine only needs the line count to size text boxes.
+func WrapCount(s string, maxW int) int {
+	n := 0
+	WrapEach(s, maxW, func(string) { n++ })
+	return n
+}
+
+// WrapEach wraps s at maxW pixels and calls emit once per line, in order.
+// Single-word lines are substrings of s; only lines joined from several
+// words are built fresh. WrapString and WrapCount are thin wrappers.
+func WrapEach(s string, maxW int, emit func(line string)) {
 	if maxW < AdvanceX {
 		maxW = AdvanceX
 	}
 	perLine := maxW / AdvanceX
-	var lines []string
-	for _, paragraph := range strings.Split(s, "\n") {
-		words := strings.Fields(paragraph)
-		if len(words) == 0 {
-			lines = append(lines, "")
-			continue
+	for start := 0; ; {
+		var paragraph string
+		if nl := strings.IndexByte(s[start:], '\n'); nl >= 0 {
+			paragraph = s[start : start+nl]
+			start += nl + 1
+		} else {
+			paragraph = s[start:]
+			start = -1
 		}
-		cur := ""
-		for _, w := range words {
-			switch {
-			case cur == "" && len(w) <= perLine:
-				cur = w
-			case cur == "":
-				// A single over-long word: hard-split.
-				for len(w) > perLine {
-					lines = append(lines, w[:perLine])
-					w = w[perLine:]
-				}
-				cur = w
-			case len(cur)+1+len(w) <= perLine:
-				cur += " " + w
-			default:
-				lines = append(lines, cur)
-				cur = ""
-				for len(w) > perLine {
-					lines = append(lines, w[:perLine])
-					w = w[perLine:]
-				}
-				cur = w
-			}
-		}
-		if cur != "" {
-			lines = append(lines, cur)
+		wrapParagraph(paragraph, perLine, emit)
+		if start < 0 {
+			return
 		}
 	}
-	return lines
+}
+
+// wrapParagraph wraps one newline-free paragraph, iterating its fields in
+// place (same boundaries as strings.Fields). The current line is tracked as
+// the substring p[cs:ce) whenever possible — every single word, and runs of
+// words whose gaps are exactly one space, which is all of them once the
+// caller has applied CollapseSpace (the render hot path) — so wrapping then
+// allocates nothing; only joins across wider gaps build a fresh string.
+func wrapParagraph(p string, perLine int, emit func(string)) {
+	cs, ce := 0, 0
+	built := ""
+	curLen := func() int {
+		if built != "" {
+			return len(built)
+		}
+		return ce - cs
+	}
+	any := false
+	for i := 0; i < len(p); {
+		r, size := utf8.DecodeRuneInString(p[i:])
+		if unicode.IsSpace(r) {
+			i += size
+			continue
+		}
+		j := i
+		for j < len(p) {
+			r2, s2 := utf8.DecodeRuneInString(p[j:])
+			if unicode.IsSpace(r2) {
+				break
+			}
+			j += s2
+		}
+		any = true
+		if n := curLen(); n > 0 && n+1+(j-i) <= perLine {
+			// The word joins the current line.
+			if built == "" && ce+1 == i && p[ce] == ' ' {
+				ce = j
+			} else {
+				if built == "" {
+					built = p[cs:ce]
+				}
+				built += " " + p[i:j]
+			}
+			i = j
+			continue
+		}
+		// The word starts a new line (emitting any current one), hard-split
+		// if over-long; the tail becomes the new current line.
+		if built != "" {
+			emit(built)
+			built = ""
+		} else if ce > cs {
+			emit(p[cs:ce])
+		}
+		for j-i > perLine {
+			emit(p[i : i+perLine])
+			i += perLine
+		}
+		cs, ce = i, j
+		i = j
+	}
+	if !any {
+		emit("")
+		return
+	}
+	if built != "" {
+		emit(built)
+	} else if ce > cs {
+		emit(p[cs:ce])
+	}
+}
+
+// CollapseSpace is strings.Join(strings.Fields(s), " ") with an
+// allocation-free fast path for strings that are already collapsed — the
+// common case for generated page text, which the renderer and layout engine
+// normalize on every paint.
+func CollapseSpace(s string) string {
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c == ' ' {
+				if i == 0 || i+1 == len(s) || s[i+1] == ' ' {
+					return strings.Join(strings.Fields(s), " ")
+				}
+			} else if c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' {
+				return strings.Join(strings.Fields(s), " ")
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			return strings.Join(strings.Fields(s), " ")
+		}
+		i += size
+	}
+	return s
 }

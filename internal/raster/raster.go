@@ -10,6 +10,7 @@ package raster
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Color is a palette index. The palette is small on purpose: visual analysis
@@ -79,6 +80,45 @@ func New(w, h int, bg Color) *Image {
 		}
 	}
 	return img
+}
+
+// imagePool recycles pixel buffers between Get and Release. Screenshots are
+// by far the largest per-session allocation (a full-page rendering is up to
+// W x 4000 pixels, re-allocated on every DOM mutation), so the renderer
+// draws into pooled images and the browser releases them when a rendering
+// is invalidated.
+var imagePool = sync.Pool{New: func() any { return new(Image) }}
+
+// Get returns a W x H image filled with bg, drawing its pixel buffer from
+// the pool when one of sufficient capacity is available. The caller owns
+// the image until Release; an image that is never released is simply
+// garbage-collected. Contents are identical to New's.
+func Get(w, h int, bg Color) *Image {
+	im := imagePool.Get().(*Image)
+	if cap(im.Pix) < w*h {
+		im.Pix = make([]Color, w*h)
+	}
+	im.W, im.H = w, h
+	im.Pix = im.Pix[:w*h]
+	if bg == 0 {
+		clear(im.Pix)
+	} else {
+		for i := range im.Pix {
+			im.Pix[i] = bg
+		}
+	}
+	return im
+}
+
+// Release returns the image's buffer to the pool. The image must not be
+// read or written afterwards, and no live reference to it (or a view of its
+// pixels) may remain. Calling Release is optional and safe only for images
+// obtained from Get or New that the caller fully owns.
+func (im *Image) Release() {
+	if im == nil || im.Pix == nil {
+		return
+	}
+	imagePool.Put(im)
 }
 
 // In reports whether (x, y) lies inside the image.

@@ -26,7 +26,10 @@ type Page struct {
 }
 
 // Render lays out and paints doc at the given viewport width. resolve may be
-// nil when the document references no images.
+// nil when the document references no images. The screenshot and layout draw
+// their storage from pools; callers that fully own the Page may hand the
+// storage back with Release, and callers that don't simply let the GC have
+// it — contents are identical either way.
 func Render(doc *dom.Node, viewportW int, resolve ImageResolver) *Page {
 	lay := layout.Compute(doc, viewportW)
 	h := lay.Height
@@ -36,10 +39,24 @@ func Render(doc *dom.Node, viewportW int, resolve ImageResolver) *Page {
 	if h > 4000 {
 		h = 4000
 	}
-	img := raster.New(viewportW, h, raster.White)
+	img := raster.Get(viewportW, h, raster.White)
 	body := dom.Body(doc)
 	paint(img, lay, body, resolve)
 	return &Page{Screenshot: img, Layout: lay}
+}
+
+// Release returns the Page's screenshot buffer and layout maps to their
+// pools. The Page, its Screenshot, and its Layout must not be used
+// afterwards, and no live view of the screenshot's pixels may remain — the
+// caller asserts sole ownership. Optional: an unreleased Page is collected
+// normally.
+func (p *Page) Release() {
+	if p == nil {
+		return
+	}
+	p.Screenshot.Release()
+	p.Layout.Release()
+	p.Screenshot, p.Layout = nil, nil
 }
 
 func paint(img *raster.Image, lay *layout.Result, n *dom.Node, resolve ImageResolver) {
@@ -156,19 +173,19 @@ func paintElement(img *raster.Image, lay *layout.Result, n *dom.Node, box raster
 }
 
 func paintText(img *raster.Image, text string, box raster.Rect, fg raster.Color) {
-	text = strings.Join(strings.Fields(text), " ")
+	text = raster.CollapseSpace(text)
 	if text == "" {
 		return
 	}
-	lines := raster.WrapString(text, box.W)
 	y := box.Y
-	for _, line := range lines {
-		if y+raster.GlyphH > box.Y+box.H+raster.LineH {
-			break
+	maxY := box.Y + box.H + raster.LineH
+	raster.WrapEach(text, box.W, func(line string) {
+		if y+raster.GlyphH > maxY {
+			return
 		}
 		img.DrawString(line, box.X, y, fg)
 		y += raster.LineH
-	}
+	})
 }
 
 func drawCentered(img *raster.Image, label string, box raster.Rect, fg raster.Color) {

@@ -93,8 +93,8 @@ func atomicReplace(path string, write func(*os.File) error) error {
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
-		_ = tmp.Close() // already failing; the close error would mask err
-		os.Remove(tmpName)
+		_ = tmp.Close()        // already failing; the close error would mask err
+		_ = os.Remove(tmpName) // best-effort temp removal
 		return err
 	}
 	if err := write(tmp); err != nil {
@@ -104,11 +104,11 @@ func atomicReplace(path string, write func(*os.File) error) error {
 		return fail(fmt.Errorf("sessionio: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName) // best-effort temp removal
 		return fmt.Errorf("sessionio: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+		_ = os.Remove(tmpName) // best-effort temp removal
 		return fmt.Errorf("sessionio: %w", err)
 	}
 	// Make the rename itself durable.

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // stopwords filtered during featurization (Section 4.2 step 1).
@@ -85,6 +86,62 @@ func Tokenize(text string) []string {
 	}
 	flush()
 	return tokens
+}
+
+// HasTokens reports whether Tokenize would emit at least one token, without
+// allocating — the crawler's hot-path "is this description informative?"
+// test. It mirrors Tokenize's filtering byte-wise: ASCII case folding (the
+// corpus is ASCII; a non-ASCII letter never forms a token in either
+// implementation), stopword and acronym lookups via allocation-free map
+// probes, and the alpha-run rule for everything else.
+func HasTokens(text string) bool {
+	var buf [64]byte
+	n, long, alpha := 0, false, true
+	for i := 0; i <= len(text); i++ {
+		var c byte
+		if i < len(text) {
+			c = text[i]
+		}
+		if lc := c | 0x20; lc >= 'a' && lc <= 'z' {
+			if n < len(buf) {
+				buf[n] = lc
+				n++
+			} else {
+				long = true
+			}
+			continue
+		}
+		if c >= '0' && c <= '9' {
+			alpha = false
+			if n < len(buf) {
+				buf[n] = c
+				n++
+			} else {
+				long = true
+			}
+			continue
+		}
+		if n == 0 {
+			continue
+		}
+		// Token boundary: apply Tokenize's keep rules. A token that
+		// overflowed the scratch cannot be a stopword or acronym (both
+		// tables hold short words), so only the alpha rule applies.
+		if long {
+			if alpha {
+				return true
+			}
+		} else if tok := buf[:n]; !stopwords[string(tok)] {
+			if acronyms[string(tok)] {
+				return true
+			}
+			if alpha && n >= 2 {
+				return true
+			}
+		}
+		n, long, alpha = 0, false, true
+	}
+	return false
 }
 
 // Sample is one labelled training example.
@@ -241,6 +298,63 @@ func (m *Model) featurize(text string) []int {
 	return out
 }
 
+// predictScratch is the reusable working set of one Predict call, pooled so
+// the crawler's per-field classification stops allocating: the token build
+// buffer, the feature-index list, and the class-score vector.
+type predictScratch struct {
+	buf   []byte
+	feats []int
+	probs []float64
+}
+
+var predictPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+// featurizeInto is featurize without allocations: tokens are assembled in
+// buf and looked up through the compiler's free map[string(bytes)] pattern.
+// Tokenization is byte-wise — ASCII letters are lowercased in place and
+// everything outside [a-z0-9] delimits, which matches Tokenize (whose token
+// alphabet is [a-z0-9] after lowercasing) for all inputs the corpus
+// produces. Appends indices to dst; returns the grown buffers.
+func (m *Model) featurizeInto(text string, buf []byte, dst []int) ([]byte, []int) {
+	for i := 0; i <= len(text); i++ {
+		var c byte
+		if i < len(text) {
+			c = text[i]
+		}
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			buf = append(buf, c)
+		case c >= 'A' && c <= 'Z':
+			buf = append(buf, c|0x20)
+		default:
+			if len(buf) == 0 {
+				continue
+			}
+			tok := buf
+			buf = buf[:0]
+			if stopwords[string(tok)] {
+				continue
+			}
+			if !acronyms[string(tok)] {
+				alpha := true
+				for _, b := range tok {
+					if b < 'a' || b > 'z' {
+						alpha = false
+						break
+					}
+				}
+				if !alpha || len(tok) < 2 {
+					continue
+				}
+			}
+			if idx, ok := m.Vocab[string(tok)]; ok {
+				dst = append(dst, idx)
+			}
+		}
+	}
+	return buf, dst
+}
+
 // scores fills dst with the raw linear scores for each class.
 func (m *Model) scores(x []int, dst []float64) {
 	d := len(m.Vocab) + 1
@@ -274,13 +388,20 @@ func softmaxInPlace(v []float64) {
 
 // Predict returns the most probable class and its confidence in [0, 1].
 // Text with no in-vocabulary tokens carries no evidence and yields the
-// uniform distribution, so thresholded callers reject it.
+// uniform distribution, so thresholded callers reject it. The working set
+// is pooled: steady-state prediction does not allocate.
 func (m *Model) Predict(text string) (string, float64) {
-	x := m.featurize(text)
-	probs := make([]float64, len(m.Classes))
+	s := predictPool.Get().(*predictScratch)
+	defer predictPool.Put(s)
+	s.buf, s.feats = m.featurizeInto(text, s.buf[:0], s.feats[:0])
+	x := s.feats
 	if len(x) == 0 {
 		return m.Classes[0], 1 / float64(len(m.Classes))
 	}
+	if cap(s.probs) < len(m.Classes) {
+		s.probs = make([]float64, len(m.Classes))
+	}
+	probs := s.probs[:len(m.Classes)]
 	m.scores(x, probs)
 	softmaxInPlace(probs)
 	best, bestP := 0, probs[0]

@@ -27,6 +27,29 @@ func TestTokenize(t *testing.T) {
 	}
 }
 
+// TestHasTokensAgreesWithTokenize pins the zero-alloc emptiness test to the
+// reference tokenizer on every shape the suite knows about, plus the edge
+// cases its scratch-buffer handling introduces (overflow-length tokens).
+func TestHasTokensAgreesWithTokenize(t *testing.T) {
+	long := strings.Repeat("a", 100)
+	cases := []string{
+		"Enter your Email Address", "SSN (last 4)", "the a an and",
+		"2FA code: OTP!", "密码 password", "card-number_field", "12345",
+		"x", "id", "", "   ", "!!!", "the", "THE", "a1b2",
+		long, long + "9", "12345 " + long, "the 12345 ok",
+		strings.Repeat("1", 100), "x y z", "Ab",
+	}
+	for _, in := range cases {
+		want := len(Tokenize(in)) > 0
+		if got := HasTokens(in); got != want {
+			t.Errorf("HasTokens(%q) = %v, Tokenize found %v", in, got, Tokenize(in))
+		}
+	}
+	if allocs := testing.AllocsPerRun(20, func() { HasTokens("Enter your Email Address 12345") }); allocs != 0 {
+		t.Errorf("HasTokens allocates %.0f times, want 0", allocs)
+	}
+}
+
 func toySamples() []Sample {
 	var out []Sample
 	add := func(label string, texts ...string) {

@@ -72,6 +72,20 @@ func NewSession() *Session {
 	}
 }
 
+// Reset rewinds the collector for a new session, keeping the grown span
+// slab. A reset session is indistinguishable from a new one: empty span
+// list, empty stack, clock back at the origin. Callers recycling a session
+// must have copied the previous Spans() result out first — Reset reuses
+// that storage.
+func (s *Session) Reset() {
+	if s == nil {
+		return
+	}
+	s.spans = s.spans[:0]
+	s.stack = s.stack[:0]
+	s.now = 0
+}
+
 // Clock returns the session-logical timestamp source, for sharing with the
 // browser: every call advances the clock one logical millisecond and
 // returns the epoch-based time, so browser log timestamps and span
