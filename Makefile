@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke check
+.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke fleet-smoke check
 
 all: build
 
@@ -16,13 +16,13 @@ build:
 # new retry paths fails `make test`.
 test: lint
 	$(GO) test ./...
-	$(GO) test -race ./internal/farm/... ./internal/chaos/... ./internal/browser/...
+	$(GO) test -race ./internal/farm/... ./internal/chaos/... ./internal/browser/... ./internal/fleet/...
 
 # The farm and crawler are the concurrent hot paths (shared stage-timing
-# collector, worker pool over one crawler template, retry re-enqueues); keep
-# them race-clean.
+# collector, worker pool over one crawler template, retry re-enqueues), and
+# the fleet coordinator serves concurrent workers; keep them race-clean.
 race:
-	$(GO) test -race ./internal/farm/... ./internal/crawler/... ./internal/chaos/... ./internal/browser/...
+	$(GO) test -race ./internal/farm/... ./internal/crawler/... ./internal/chaos/... ./internal/browser/... ./internal/fleet/...
 
 vet:
 	$(GO) vet ./...
@@ -42,10 +42,12 @@ lint:
 # corruption handling, and the kill-and-resume smoke run (SIGKILL a
 # journaled crawl mid-run, tear the tail, resume, require output identical
 # to an uninterrupted run). This is the resilience acceptance gate — it
-# includes the 1-vs-30-worker determinism pin for fault-injected crawls.
-chaos: status-smoke
-	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume' \
-		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/... ./internal/journal/...
+# includes the 1-vs-30-worker determinism pin for fault-injected crawls and
+# the fleet smoke run (SIGKILL a fleet worker mid-lease; the re-issued
+# lease and merged output must still match a single process exactly).
+chaos: status-smoke fleet-smoke
+	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume|Lease|Worker' \
+		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/... ./internal/journal/... ./internal/fleet/...
 	$(GO) test -run 'KillResumeSmoke' ./cmd/phishcrawl/...
 
 # Live-telemetry smoke: start a short crawl with -status-addr, hit the
@@ -54,6 +56,14 @@ chaos: status-smoke
 # `curl http://ADDR/status?format=json`.
 status-smoke:
 	$(GO) test -run 'StatusSmoke' ./cmd/phishcrawl/...
+
+# Distributed-determinism smoke: a coordinator and two loopback workers
+# crawl the feed as a fleet, one worker is SIGKILLed mid-lease (forcing a
+# lease expiry and re-issue) and a replacement joins mid-run, and the
+# coordinator's merged export must match a single-process run
+# byte-for-byte. See docs/DISTRIBUTED.md.
+fleet-smoke:
+	$(GO) test -run 'FleetSmoke' ./cmd/phishcrawl/...
 
 # Coverage-guided fuzzing of the journal's record framing: encode/decode
 # round-trips, CRC mismatch detection, and hostile length prefixes.
@@ -66,10 +76,10 @@ bench:
 	$(GO) test -run='^$$' -bench='BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline' -benchmem ./...
 
 # Machine-readable benchmark snapshot: runs the same selection as `bench`
-# and writes BENCH_6.json (sites/sec, ns/op, B/op, allocs/op per
+# and writes BENCH_7.json (sites/sec, ns/op, B/op, allocs/op per
 # benchmark). Commit the refreshed file when perf-relevant code changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_6.json
+	$(GO) run ./cmd/benchjson -o BENCH_7.json
 
 # Allocation gates: the per-session allocs/op budgets and the
 # pooled-vs-unpooled byte-identity pins (testing.AllocsPerRun enforces the

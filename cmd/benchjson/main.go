@@ -1,9 +1,9 @@
 // Command benchjson runs the repo's benchmark suite and writes the parsed
 // results as a machine-readable JSON snapshot (`make bench-json` commits it
-// as BENCH_6.json), so perf claims in EXPERIMENTS.md are backed by a file a
+// as BENCH_7.json), so perf claims in EXPERIMENTS.md are backed by a file a
 // reviewer can diff instead of a number pasted into prose:
 //
-//	benchjson -o BENCH_6.json
+//	benchjson -o BENCH_7.json
 //	benchjson -bench 'BenchmarkCrawlThroughput' -benchtime 6x -o /dev/stdout
 //
 // Each entry carries the benchmark's name, iteration count, and every
@@ -53,7 +53,7 @@ func main() {
 	benchRe := flag.String("bench", defaultBench, "benchmarks to run (go test -bench regex)")
 	benchtime := flag.String("benchtime", "2x", "go test -benchtime value")
 	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
-	out := flag.String("o", "BENCH_6.json", "output path")
+	out := flag.String("o", "BENCH_7.json", "output path")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)

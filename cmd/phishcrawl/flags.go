@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/fleet"
 )
 
 // cliFlags collects the parsed command-line values whose combinations can
@@ -22,6 +24,12 @@ type cliFlags struct {
 	resume        bool
 	compact       bool
 	statusAddr    string
+	out           string
+	coordinator   bool
+	worker        bool
+	fleetAddr     string
+	leaseSites    int
+	leaseTTL      time.Duration
 }
 
 // validateFlags returns the first configuration error, or nil. Kept free
@@ -61,6 +69,39 @@ func validateFlags(f cliFlags) error {
 	}
 	if f.statusAddr != "" && f.compact {
 		return fmt.Errorf("-status-addr cannot be combined with -compact: compaction rewrites the journal after the crawl ends, when the status server no longer reports live progress; run the compaction pass separately")
+	}
+	if f.coordinator && f.worker {
+		return fmt.Errorf("-coordinator and -worker are mutually exclusive: run each fleet process as exactly one role (the coordinator shards and merges, workers crawl)")
+	}
+	if f.worker && f.fleetAddr == "" {
+		return fmt.Errorf("-worker requires -fleet-addr with the coordinator's address (e.g. -fleet-addr 127.0.0.1:8870)")
+	}
+	if f.coordinator && f.fleetAddr == "" {
+		return fmt.Errorf("-coordinator requires -fleet-addr with an address to listen on (e.g. -fleet-addr 127.0.0.1:8870)")
+	}
+	if f.fleetAddr != "" && !f.coordinator && !f.worker {
+		return fmt.Errorf("-fleet-addr does nothing without -coordinator or -worker: pick the role this process plays in the fleet")
+	}
+	if (f.coordinator || f.worker) && f.journalDir == "" {
+		return fmt.Errorf("fleet mode requires -journal <dir>: every lease journals into a shard directory under it, and the coordinator merges from there")
+	}
+	if f.worker && f.resume {
+		return fmt.Errorf("-resume is coordinator-side in fleet mode: restart the coordinator with -resume and it will hand workers leases that skip already-journaled URLs")
+	}
+	if (f.coordinator || f.worker) && f.compact {
+		return fmt.Errorf("-compact cannot run in fleet mode: shard journals are merged, not compacted in place; compact them offline after the run if needed")
+	}
+	if f.worker && f.out != "" {
+		return fmt.Errorf("-o in worker mode would export a single shard, not the run: pass -o to the coordinator, whose export is the merged fleet view")
+	}
+	if f.worker && f.statusAddr != "" {
+		return fmt.Errorf("-status-addr in worker mode is not served: the coordinator's -status-addr shows fleet-wide progress including this worker's lease and stage percentiles")
+	}
+	if f.leaseSites < 0 {
+		return fmt.Errorf("-lease-sites must be >= 0 (got %d; 0 uses the default %d)", f.leaseSites, fleet.DefaultLeaseSites)
+	}
+	if f.leaseTTL < 0 {
+		return fmt.Errorf("-lease-ttl must be >= 0 (got %v; 0 uses the default %v)", f.leaseTTL, fleet.DefaultLeaseTTL)
 	}
 	return nil
 }

@@ -49,6 +49,93 @@ func TestValidateFlags(t *testing.T) {
 			f.compact = true
 			f.statusAddr = ":0"
 		}, "-status-addr cannot be combined with -compact"},
+
+		{"coordinator role", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+		}, ""},
+		{"worker role", func(f *cliFlags) {
+			f.worker = true
+			f.fleetAddr = "127.0.0.1:8870"
+			f.journalDir = "j"
+		}, ""},
+		{"coordinator with resume and export", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+			f.resume = true
+			f.out = "o.jsonl"
+			f.statusAddr = ":0"
+		}, ""},
+		{"lease tuning", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+			f.leaseSites = 60
+			f.leaseTTL = 2 * time.Second
+		}, ""},
+		{"both roles at once", func(f *cliFlags) {
+			f.coordinator = true
+			f.worker = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+		}, "mutually exclusive"},
+		{"worker without coordinator addr", func(f *cliFlags) {
+			f.worker = true
+			f.journalDir = "j"
+		}, "-worker requires -fleet-addr"},
+		{"coordinator without listen addr", func(f *cliFlags) {
+			f.coordinator = true
+			f.journalDir = "j"
+		}, "-coordinator requires -fleet-addr"},
+		{"fleet addr without role", func(f *cliFlags) {
+			f.fleetAddr = ":0"
+		}, "-fleet-addr does nothing without"},
+		{"coordinator without journal", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+		}, "fleet mode requires -journal"},
+		{"worker without journal", func(f *cliFlags) {
+			f.worker = true
+			f.fleetAddr = "127.0.0.1:8870"
+		}, "fleet mode requires -journal"},
+		{"resume in worker mode", func(f *cliFlags) {
+			f.worker = true
+			f.fleetAddr = "127.0.0.1:8870"
+			f.journalDir = "j"
+			f.resume = true
+		}, "-resume is coordinator-side"},
+		{"compact in fleet mode", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+			f.compact = true
+		}, "-compact cannot run in fleet mode"},
+		{"export in worker mode", func(f *cliFlags) {
+			f.worker = true
+			f.fleetAddr = "127.0.0.1:8870"
+			f.journalDir = "j"
+			f.out = "o.jsonl"
+		}, "-o in worker mode"},
+		{"status addr in worker mode", func(f *cliFlags) {
+			f.worker = true
+			f.fleetAddr = "127.0.0.1:8870"
+			f.journalDir = "j"
+			f.statusAddr = ":0"
+		}, "-status-addr in worker mode"},
+		{"negative lease sites", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+			f.leaseSites = -1
+		}, "-lease-sites"},
+		{"negative lease ttl", func(f *cliFlags) {
+			f.coordinator = true
+			f.fleetAddr = ":0"
+			f.journalDir = "j"
+			f.leaseTTL = -time.Second
+		}, "-lease-ttl"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farm"
+	"repro/internal/fleet"
+	"repro/internal/journal"
+)
+
+// fleetCLI collects the flag values the fleet modes run from.
+type fleetCLI struct {
+	addr        string
+	leaseSites  int
+	leaseTTL    time.Duration
+	journalDir  string
+	journalSync string
+	resume      bool
+	sample      int
+	out         string
+	statusAddr  string
+	progress    time.Duration
+	workerName  string
+}
+
+// fleetParams pins the deterministic universe both fleet roles must share.
+// The chaos profile is fingerprinted so a coordinator running a
+// fault-injected crawl refuses workers serving a healthy feed (and vice
+// versa) — a mismatch would merge sessions from two different universes.
+func fleetParams(opts core.Options, feedURLs int) fleet.Params {
+	p := fleet.Params{
+		Sites:     opts.NumSites,
+		Seed:      opts.Seed,
+		ChaosSeed: opts.ChaosSeed,
+		FeedURLs:  feedURLs,
+	}
+	if opts.Chaos != nil {
+		p.Chaos = fmt.Sprintf("%+v", *opts.Chaos)
+	}
+	return p
+}
+
+// runCoordinator is phishcrawl's -coordinator mode: derive the feed (no
+// model training — the coordinator never crawls), shard it into leases,
+// serve the wire protocol on -fleet-addr until every lease has an accepted
+// result, then merge the shard journals and print the same report a
+// single-process run prints. The merged output is pinned byte-identical to
+// a 1-process, 1-worker run over the same flags.
+func runCoordinator(opts core.Options, fl fleetCLI) {
+	corpus, feed := core.NewFeed(opts)
+	urls := feed.URLs()
+	params := fleetParams(opts, len(urls))
+	if fl.sample > 0 && fl.sample < len(urls) {
+		urls = urls[:fl.sample]
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		URLs:       urls,
+		Params:     params,
+		Root:       fl.journalDir,
+		LeaseSites: fl.leaseSites,
+		TTL:        fl.leaseTTL,
+		Resume:     fl.resume,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", fl.addr)
+	if err != nil {
+		log.Fatalf("-fleet-addr %s: %v", fl.addr, err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("Corpus: %d sites in %d campaigns. Fleet: coordinating %d URLs on http://%s\n",
+		len(corpus.Sites), corpus.Campaigns, len(urls), ln.Addr())
+	if fl.statusAddr != "" {
+		statusSrv, addr, err := startFleetStatus(fl.statusAddr, coord)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer statusSrv.Close()
+		fmt.Printf("Status: serving fleet-wide progress on http://%s/status\n", addr)
+	}
+	if fl.progress > 0 {
+		defer startFleetProgressLog(coord, fl.progress)()
+	}
+	<-coord.Done()
+	// Merge with the server still up: late workers polling for a lease get
+	// the Done response and exit cleanly while the journals are read.
+	logs, stats, err := coord.Merge()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fleet: all leases complete; merged %d sessions from shard journals under %s\n",
+		len(logs), fl.journalDir)
+	printRunReport(logs, stats)
+	exportLogs(fl.out, logs)
+}
+
+// runWorkerMode is phishcrawl's -worker mode: build the full pipeline
+// (identical corpus, feed, and trained models — the process-wide model
+// cache makes repeat builds cheap), then crawl leases from the coordinator
+// until the feed is done, journaling each lease into its own shard
+// directory under -journal.
+func runWorkerMode(opts core.Options, fl fleetCLI) {
+	name := fl.workerName
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	fmt.Printf("Building pipeline (%d sites, seed %d)...\n", opts.NumSites, opts.Seed)
+	p, err := core.NewPipeline(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := fleetParams(opts, len(p.Feed.URLs()))
+	policy, err := parseSyncPolicy(fl.journalSync)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each lease gets a fresh monitor so heartbeat progress reports the
+	// shard being crawled, not the worker's lifetime totals.
+	var leaseMon atomic.Pointer[farm.Monitor]
+	err = fleet.RunWorker(fleet.WorkerConfig{
+		Coordinator: fl.addr,
+		Name:        name,
+		Params:      params,
+		Root:        fl.journalDir,
+		Logf:        log.Printf,
+		Crawl: func(l fleet.Lease, dir string) (farm.Stats, error) {
+			mon := farm.NewMonitor()
+			mon.SetTotal(l.End - l.Start)
+			mon.AddPreCompleted(len(l.Completed))
+			leaseMon.Store(mon)
+			p.Monitor = mon
+			j, err := journal.Open(dir, journal.Options{Sync: policy})
+			if err != nil {
+				return farm.Stats{}, err
+			}
+			done := make(map[string]bool, len(l.Completed))
+			for _, u := range l.Completed {
+				done[u] = true
+			}
+			err = p.CrawlJournalShard(j, l.Start, l.End, done)
+			if cerr := j.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+			return p.Stats, err
+		},
+		Snapshot: func() fleet.Progress {
+			mon := leaseMon.Load()
+			if mon == nil {
+				return fleet.Progress{}
+			}
+			pr := mon.Snapshot()
+			return fleet.Progress{
+				Done:     pr.Done - pr.PreCompleted,
+				Retried:  pr.Retried,
+				Degraded: pr.Degraded,
+				Failed:   pr.Failed,
+				Panics:   pr.Panics,
+				Stages:   pr.Stages,
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// startFleetStatus serves the coordinator's fleet-wide progress view at
+// addr — the fleet-mode counterpart of startStatus: per-worker leases,
+// URL/lease totals, ETA, and the merged per-stage latency percentiles.
+func startFleetStatus(addr string, coord *fleet.Coordinator) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("-status-addr %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// startFleetProgressLog prints the fleet status block to stderr every
+// interval, plus one final snapshot on stop.
+func startFleetProgressLog(coord *fleet.Coordinator, every time.Duration) (stop func()) {
+	tick := time.NewTicker(every)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintln(os.Stderr, coord.Status().String())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(done)
+		<-finished
+		fmt.Fprintln(os.Stderr, coord.Status().String())
+	}
+}
+
+// parseSyncPolicy maps the -journal-sync flag to the journal's policy.
+func parseSyncPolicy(s string) (journal.SyncPolicy, error) {
+	switch s {
+	case "always":
+		return journal.SyncAlways, nil
+	case "group":
+		return journal.SyncGroup, nil
+	case "batch":
+		return journal.SyncBatch, nil
+	case "none":
+		return journal.SyncNone, nil
+	}
+	return 0, fmt.Errorf("unknown -journal-sync %q (want always, group, batch, or none)", s)
+}

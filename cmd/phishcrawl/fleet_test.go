@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// pollFleetStatus fetches the coordinator's /status?format=json view.
+func pollFleetStatus(addr string) (fleet.Status, error) {
+	var st fleet.Status
+	resp, err := http.Get("http://" + addr + fleet.PathStatus + "?format=json")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// TestFleetSmoke is the distributed-determinism smoke run wired into
+// `make fleet-smoke` (and `make chaos`): a coordinator and two workers
+// crawl the feed as a fleet, one worker is SIGKILLed mid-lease (its range
+// must expire and be re-issued) and a replacement joins mid-run, and the
+// coordinator's merged export and per-stage timing table must match a
+// single-process run byte-for-byte — N processes × M workers ≡ 1 × 1.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs a multi-process fleet")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "phishcrawl")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building phishcrawl: %v\n%s", err, out)
+	}
+
+	args := []string{"-sites", "300", "-workers", "8", "-detector-train", "150", "-seed", "42"}
+
+	// Reference: one uninterrupted single-process run.
+	clean := filepath.Join(dir, "clean.jsonl")
+	cleanCmd := exec.Command(bin, append(append([]string{}, args...), "-o", clean)...)
+	cleanOutB, err := cleanCmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("single-process run: %v\n%s", err, cleanOutB)
+	}
+	cleanOut := string(cleanOutB)
+
+	// Fleet run: coordinator on a kernel-assigned loopback port, output
+	// teed to a file so the test can learn the resolved address.
+	jdir := filepath.Join(dir, "journal")
+	merged := filepath.Join(dir, "fleet.jsonl")
+	coordLog, err := os.Create(filepath.Join(dir, "coordinator.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coordLog.Close()
+	coordArgs := append(append([]string{}, args...),
+		"-coordinator", "-fleet-addr", "127.0.0.1:0",
+		"-journal", jdir, "-lease-sites", "60", "-lease-ttl", "2s", "-o", merged)
+	coord := exec.Command(bin, coordArgs...)
+	coord.Stdout = coordLog
+	coord.Stderr = coordLog
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if coord.ProcessState == nil {
+			coord.Process.Kill()
+			coord.Wait()
+		}
+	}()
+	readCoordLog := func() string {
+		b, _ := os.ReadFile(coordLog.Name())
+		return string(b)
+	}
+
+	// Learn the coordinator's address from its startup banner.
+	addrRe := regexp.MustCompile(`coordinating \d+ URLs on http://([0-9.]+:\d+)`)
+	var addr string
+	deadline := time.Now().Add(30 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(readCoordLog()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its address:\n%s", readCoordLog())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.Command(bin, append(append([]string{}, args...),
+			"-worker", "-fleet-addr", addr, "-journal", jdir, "-worker-name", name)...)
+		out, err := os.Create(filepath.Join(dir, name+".log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { out.Close() })
+		w.Stdout = out
+		w.Stderr = out
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	victim := startWorker("w1")
+	survivor := startWorker("w2")
+
+	// SIGKILL w1 once the coordinator confirms it holds a lease and has
+	// crawled into it — a mid-lease kill, so the range MUST be re-issued.
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		st, err := pollFleetStatus(addr)
+		if err == nil {
+			killed := false
+			for _, w := range st.Workers {
+				if w.Name == "w1" && w.Lease != "" && w.Done > 0 {
+					t.Logf("killing w1 mid-lease %s (%d sessions in)", w.Lease, w.Done)
+					if err := victim.Process.Kill(); err != nil {
+						t.Fatal(err)
+					}
+					victim.Wait()
+					killed = true
+				}
+			}
+			if killed {
+				break
+			}
+			if st.LeasesDone == st.Leases {
+				t.Fatal("fleet finished before w1 could be killed mid-lease; lower -lease-sites or slow the crawl")
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("w1 never held a lease with progress; coordinator log:\n%s", readCoordLog())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A replacement joins mid-run, like an operator restarting the dead
+	// process.
+	replacement := startWorker("w3")
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, readCoordLog())
+	}
+	coordOut := readCoordLog()
+	if !strings.Contains(coordOut, "re-issuing") {
+		t.Errorf("killed worker's lease was never re-issued; coordinator log:\n%s", coordOut)
+	}
+	if !strings.Contains(coordOut, "Fleet: all leases complete") {
+		t.Errorf("merge banner missing from coordinator output:\n%s", coordOut)
+	}
+	// Surviving workers observe the completed run and exit cleanly.
+	for name, w := range map[string]*exec.Cmd{"w2": survivor, "w3": replacement} {
+		if err := w.Wait(); err != nil {
+			b, _ := os.ReadFile(filepath.Join(dir, name+".log"))
+			t.Errorf("worker %s exited with %v:\n%s", name, err, b)
+		}
+	}
+
+	// The merged fleet view must equal the single-process run exactly:
+	// stage percentiles (session-logical clocks) and the full export bytes.
+	cleanStages := stageTable(t, cleanOut)
+	fleetStages := stageTable(t, coordOut)
+	if cleanStages != fleetStages {
+		t.Errorf("per-stage timing diverges between single-process and fleet runs:\nsingle:\n%s\nfleet:\n%s",
+			cleanStages, fleetStages)
+	}
+	cleanBytes := readExport(t, clean)
+	fleetBytes := readExport(t, merged)
+	if cleanBytes != fleetBytes {
+		cl := strings.Split(cleanBytes, "\n")
+		fl := strings.Split(fleetBytes, "\n")
+		n := 0
+		for n < len(cl) && n < len(fl) && cl[n] == fl[n] {
+			n++
+		}
+		t.Fatalf("fleet export diverges from single-process run at line %d (single %d lines, fleet %d)",
+			n+1, len(cl), len(fl))
+	}
+}

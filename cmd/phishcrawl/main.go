@@ -62,8 +62,14 @@ func main() {
 	retryMax := flag.Duration("retry-max", 0, "cap on the exponential backoff (0 = farm default)")
 	sessionBudget := flag.Duration("session-budget", 0, "per-session wall-clock budget (0 = crawler default, the paper's 20-minute timeout scaled)")
 	fetchTimeout := flag.Duration("fetch-timeout", 0, "per-fetch deadline (0 = browser default)")
-	statusAddr := flag.String("status-addr", "", "serve live run progress over HTTP at this address (e.g. 127.0.0.1:8844; /status, ?format=json)")
+	statusAddr := flag.String("status-addr", "", "serve live run progress over HTTP at this address (e.g. 127.0.0.1:8844; /status, ?format=json; fleet-wide view in coordinator mode)")
 	progressEvery := flag.Duration("progress", 0, "print a one-line progress summary to stderr at this interval (0 = off)")
+	coordinator := flag.Bool("coordinator", false, "fleet mode: shard the feed into leases for -worker processes and merge their results (requires -fleet-addr and -journal)")
+	workerMode := flag.Bool("worker", false, "fleet mode: crawl leases from the coordinator at -fleet-addr, journaling each shard under -journal")
+	fleetAddr := flag.String("fleet-addr", "", "coordinator listen address (with -coordinator) or coordinator address to join (with -worker), e.g. 127.0.0.1:8870")
+	leaseSites := flag.Int("lease-sites", 0, "feed URLs per fleet lease (0 = default 100)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease heartbeat expiry: a worker silent this long forfeits its lease for re-issue (0 = default 10s)")
+	workerName := flag.String("worker-name", "", "fleet worker identity in leases and status (default worker-<pid>)")
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
@@ -79,6 +85,12 @@ func main() {
 		resume:        *resume,
 		compact:       *compact,
 		statusAddr:    *statusAddr,
+		out:           *out,
+		coordinator:   *coordinator,
+		worker:        *workerMode,
+		fleetAddr:     *fleetAddr,
+		leaseSites:    *leaseSites,
+		leaseTTL:      *leaseTTL,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -123,6 +135,31 @@ func main() {
 		if opts.FetchTimeout == 0 {
 			opts.FetchTimeout = 250 * time.Millisecond
 		}
+	}
+
+	// Fleet modes: the coordinator and worker loops own their whole run
+	// (serving or joining the lease protocol, reporting, export) and the
+	// batch machinery below never starts.
+	if *coordinator || *workerMode {
+		fl := fleetCLI{
+			addr:        *fleetAddr,
+			leaseSites:  *leaseSites,
+			leaseTTL:    *leaseTTL,
+			journalDir:  *journalDir,
+			journalSync: *journalSync,
+			resume:      *resume,
+			sample:      *sample,
+			out:         *out,
+			statusAddr:  *statusAddr,
+			progress:    *progressEvery,
+			workerName:  *workerName,
+		}
+		if *coordinator {
+			runCoordinator(opts, fl)
+		} else {
+			runWorkerMode(opts, fl)
+		}
+		return
 	}
 
 	// Progress plumbing starts before the (slow) pipeline build so the
@@ -177,6 +214,29 @@ func main() {
 		logs, stats = p.Logs, p.Stats
 	}
 
+	printRunReport(logs, stats)
+	exportLogs(*out, logs)
+
+	if *memProfile != "" {
+		//phishvet:ignore atomicwrite: pprof needs an open stream; a torn profile from a crash is discarded, not analyzed
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printRunReport prints the crawl summary every mode shares — batch,
+// journaled, and fleet-coordinator runs all end in exactly this report, so
+// the fleet determinism pin can compare their output blocks directly:
+// outcome counts, page/field totals, the failure taxonomy, and the
+// per-stage latency table.
+func printRunReport(logs []*crawler.SessionLog, stats farm.Stats) {
 	fmt.Printf("\nCrawled %d sites in %s (%.0f sites/day extrapolated; paper: >1,000/day)\n",
 		stats.Sites, stats.Elapsed.Round(1e6), stats.SitesPerDay())
 	var outcomes []string
@@ -205,26 +265,18 @@ func main() {
 	if len(stats.Stages) > 0 {
 		fmt.Printf("\nPer-stage timing (aggregated across workers):\n%s", metrics.StageTable(stats.Stages))
 	}
+}
 
-	if *out != "" {
-		if err := sessionio.WriteFile(*out, logs); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("session logs written to %s\n", *out)
+// exportLogs writes the session logs to path as JSON Lines ("" = no
+// export).
+func exportLogs(path string, logs []*crawler.SessionLog) {
+	if path == "" {
+		return
 	}
-
-	if *memProfile != "" {
-		//phishvet:ignore atomicwrite: pprof needs an open stream; a torn profile from a crash is discarded, not analyzed
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Fatal(err)
-		}
+	if err := sessionio.WriteFile(path, logs); err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("session logs written to %s\n", path)
 }
 
 // crawlJournaled runs the crash-safe crawl path: sessions stream into the
@@ -236,18 +288,9 @@ func main() {
 // its trace); only elapsed time and panic counts, which no session log can
 // carry, merge from the per-run stats records.
 func crawlJournaled(p *core.Pipeline, dir string, sample int, resume, compact bool, syncPolicy string) ([]*crawler.SessionLog, farm.Stats) {
-	var policy journal.SyncPolicy
-	switch syncPolicy {
-	case "always":
-		policy = journal.SyncAlways
-	case "group":
-		policy = journal.SyncGroup
-	case "batch":
-		policy = journal.SyncBatch
-	case "none":
-		policy = journal.SyncNone
-	default:
-		log.Fatalf("unknown -journal-sync %q (want always, group, batch, or none)", syncPolicy)
+	policy, err := parseSyncPolicy(syncPolicy)
+	if err != nil {
+		log.Fatal(err)
 	}
 	j, err := journal.Open(dir, journal.Options{Sync: policy})
 	if err != nil {

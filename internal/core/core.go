@@ -127,6 +127,17 @@ type Pipeline struct {
 	Stats farm.Stats
 }
 
+// NewFeed builds only the deterministic URL universe for opts — the
+// corpus and feed, no model training, no crawler. It is what a fleet
+// coordinator derives its lease ranges from: every process that shares
+// (-sites, -seed) derives exactly this feed, so the coordinator can shard
+// by index and never ship a URL over the wire.
+func NewFeed(opts Options) (*sitegen.Corpus, *feed.Feed) {
+	opts = opts.withDefaults()
+	c := sitegen.Generate(sitegen.ScaledParams(opts.NumSites, opts.Seed))
+	return c, feed.FromCorpus(c, opts.Seed+1)
+}
+
 // NewPipeline generates the corpus, trains every model, and assembles the
 // crawler; call Crawl to run the measurement.
 func NewPipeline(opts Options) (*Pipeline, error) {
@@ -134,8 +145,7 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	p := &Pipeline{Opts: opts}
 
 	// Corpus and feed.
-	p.Corpus = sitegen.Generate(sitegen.ScaledParams(opts.NumSites, opts.Seed))
-	p.Feed = feed.FromCorpus(p.Corpus, opts.Seed+1)
+	p.Corpus, p.Feed = NewFeed(opts)
 
 	// Serving registry: every phishing site plus the benign hosts terminal
 	// redirects land on.
@@ -282,6 +292,43 @@ func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, er
 		return skipped, fmt.Errorf("core: journaling run stats: %w", err)
 	}
 	return skipped, nil
+}
+
+// CrawlJournalShard is the fleet-worker crawl: it crawls only the feed
+// indices in [start, end), skipping URLs in done (the coordinator's
+// already-journaled set) and URLs this shard journal itself holds (a
+// resumed shard directory), streaming every finished session into j. The
+// skip filter composes over the full feed exactly as CrawlJournal's does,
+// so per-session seeds still derive from global feed indices and a shard's
+// sessions are byte-identical to the same sessions in a single-process
+// run. p.Stats reports this shard's crawl; a stats record is appended on
+// completion so the coordinator's merge can account elapsed time and
+// panics per shard.
+func (p *Pipeline) CrawlJournalShard(j *journal.Journal, start, end int, done map[string]bool) error {
+	urls := p.Feed.URLs()
+	if start < 0 || end > len(urls) || start > end {
+		return fmt.Errorf("core: shard range [%d,%d) outside feed of %d URLs", start, end, len(urls))
+	}
+	byURL := analysis.MetaIndex(p.Feed.Filter())
+	cfg := p.farmConfig()
+	cfg.Skip = func(idx int, u string) bool {
+		return idx < start || idx >= end || done[u] || j.Completed(u)
+	}
+	cfg.Sink = func(_ int, lg *crawler.SessionLog) error {
+		analysis.AttachMetaIndexed(lg, byURL)
+		return j.AppendSession(lg)
+	}
+	cfg.SinkConcurrent = true
+	p.Logs = nil
+	var err error
+	p.Stats, err = farm.RunStream(cfg, urls)
+	if err != nil {
+		return fmt.Errorf("core: journaling shard crawl: %w", err)
+	}
+	if err := j.AppendStats(p.Stats); err != nil {
+		return fmt.Errorf("core: journaling shard stats: %w", err)
+	}
+	return nil
 }
 
 // CrawlSample crawls only the first n feed entries (for quick looks and

@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/farm"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+)
+
+// testURLs builds a small deterministic feed.
+func testURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site-%03d.test/login", i)
+	}
+	return urls
+}
+
+var testParams = Params{Sites: 10, Seed: 42, FeedURLs: 10}
+
+func newTestCoordinator(t *testing.T, urls []string, leaseSites int, ttl time.Duration, resume bool) *Coordinator {
+	t.Helper()
+	c, err := NewCoordinator(CoordinatorConfig{
+		URLs:       urls,
+		Params:     testParams,
+		Root:       t.TempDir(),
+		LeaseSites: leaseSites,
+		TTL:        ttl,
+		Resume:     resume,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fakeClock installs a settable clock behind the metrics seam.
+func fakeClock(t *testing.T) func(advance time.Duration) {
+	t.Helper()
+	base := time.Unix(1_700_000_000, 0)
+	cur := base
+	restore := metrics.SetClockForTest(func() time.Time { return cur })
+	t.Cleanup(restore)
+	return func(d time.Duration) { cur = cur.Add(d) }
+}
+
+// mkLog fabricates a finished session for url at feed index idx.
+func mkLog(idx int, url, outcome string) *crawler.SessionLog {
+	return &crawler.SessionLog{SeedURL: url, FeedIndex: idx, Outcome: outcome, Attempts: 1}
+}
+
+// journalLease writes sessions for the given indices into the lease's
+// shard directory, plus a stats record, exactly as a worker would.
+func journalLease(t *testing.T, root string, l Lease, urls []string, idxs []int, outcome string) {
+	t.Helper()
+	j, err := journal.Open(ShardDir(root, l), journal.Options{Sync: journal.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range idxs {
+		if err := j.AppendSession(mkLog(i, urls[i], outcome)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.AppendStats(farm.Stats{Sites: len(idxs), Elapsed: time.Second, Panics: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeaseShardingPartitionsFeed(t *testing.T) {
+	urls := testURLs(10)
+	c := newTestCoordinator(t, urls, 4, time.Minute, false)
+	var got []Lease
+	for {
+		resp, err := c.grant(LeaseRequest{Worker: "w1", Params: testParams})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Wait {
+			break // everything leased out
+		}
+		if resp.Done {
+			t.Fatal("run done before any results")
+		}
+		got = append(got, *resp.Lease)
+	}
+	want := []struct{ start, end int }{{0, 4}, {4, 8}, {8, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("granted %d leases, want %d", len(got), len(want))
+	}
+	for i, l := range got {
+		if l.Start != want[i].start || l.End != want[i].end || l.Attempt != 1 {
+			t.Errorf("lease %d = %s attempt %d, want [%d,%d) attempt 1", i, l.Range(), l.Attempt, want[i].start, want[i].end)
+		}
+		if len(l.Completed) != 0 {
+			t.Errorf("fresh lease %d carries completed URLs: %v", i, l.Completed)
+		}
+	}
+}
+
+func TestParamsMismatchRefused(t *testing.T) {
+	c := newTestCoordinator(t, testURLs(4), 4, time.Minute, false)
+	bad := testParams
+	bad.Seed = 99
+	if _, err := c.grant(LeaseRequest{Worker: "w1", Params: bad}); err == nil {
+		t.Fatal("mismatched params were granted a lease")
+	} else if !strings.Contains(err.Error(), "params") {
+		t.Fatalf("unhelpful mismatch error: %v", err)
+	}
+}
+
+func TestLeaseExpiryReissueAndDuplicateSuppression(t *testing.T) {
+	advance := fakeClock(t)
+	urls := testURLs(4)
+	c := newTestCoordinator(t, urls, 4, 10*time.Second, false)
+
+	resp, err := c.grant(LeaseRequest{Worker: "w1", Params: testParams})
+	if err != nil || resp.Lease == nil {
+		t.Fatalf("grant to w1: %+v, %v", resp, err)
+	}
+	l1 := *resp.Lease
+
+	// Heartbeats keep the lease alive past a TTL of silence measured from
+	// grant time.
+	advance(8 * time.Second)
+	if hb := c.beat(HeartbeatRequest{Worker: "w1", LeaseID: l1.ID, Attempt: l1.Attempt}); !hb.Valid {
+		t.Fatal("heartbeat on live lease rejected")
+	}
+	advance(8 * time.Second)
+	if resp, err := c.grant(LeaseRequest{Worker: "w2", Params: testParams}); err != nil || !resp.Wait {
+		t.Fatalf("lease with recent heartbeat was reclaimed: %+v, %v", resp, err)
+	}
+
+	// Silence past the TTL: the range is re-issued to w2 at attempt 2.
+	advance(11 * time.Second)
+	resp, err = c.grant(LeaseRequest{Worker: "w2", Params: testParams})
+	if err != nil || resp.Lease == nil {
+		t.Fatalf("expired lease not re-issued: %+v, %v", resp, err)
+	}
+	l2 := *resp.Lease
+	if l2.ID != l1.ID || l2.Attempt != 2 {
+		t.Fatalf("re-issue got lease %d attempt %d, want lease %d attempt 2", l2.ID, l2.Attempt, l1.ID)
+	}
+	if ShardDir("r", l1) == ShardDir("r", l2) {
+		t.Fatal("re-issued attempt shares the stale worker's shard directory")
+	}
+
+	// The stale worker's heartbeat and result are both rejected.
+	if hb := c.beat(HeartbeatRequest{Worker: "w1", LeaseID: l1.ID, Attempt: l1.Attempt}); hb.Valid {
+		t.Fatal("stale heartbeat accepted")
+	}
+	if res := c.result(ResultRequest{Worker: "w1", LeaseID: l1.ID, Attempt: l1.Attempt, Stats: farm.Stats{Sites: 4}}); res.Accepted {
+		t.Fatal("stale result accepted: duplicate work double-counted")
+	}
+
+	// The live attempt completes; re-submitting is idempotent; the stale
+	// worker still cannot claim it.
+	if res := c.result(ResultRequest{Worker: "w2", LeaseID: l2.ID, Attempt: l2.Attempt, Stats: farm.Stats{Sites: 4}}); !res.Accepted {
+		t.Fatalf("live result rejected: %s", res.Reason)
+	}
+	if res := c.result(ResultRequest{Worker: "w2", LeaseID: l2.ID, Attempt: l2.Attempt, Stats: farm.Stats{Sites: 4}}); !res.Accepted {
+		t.Fatal("idempotent re-submit rejected")
+	}
+	if res := c.result(ResultRequest{Worker: "w1", LeaseID: l1.ID, Attempt: l1.Attempt, Stats: farm.Stats{Sites: 4}}); res.Accepted {
+		t.Fatal("stale result accepted after completion")
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("all leases complete but Done not closed")
+	}
+}
+
+func TestMergeExcludesAbandonedAttempt(t *testing.T) {
+	advance := fakeClock(t)
+	urls := testURLs(4)
+	root := t.TempDir()
+	c, err := NewCoordinator(CoordinatorConfig{URLs: urls, Params: testParams, Root: root, LeaseSites: 4, TTL: 10 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := c.grant(LeaseRequest{Worker: "w1", Params: testParams})
+	l1 := *resp.Lease
+	// w1 journals half the range, then dies silently.
+	journalLease(t, root, l1, urls, []int{0, 1}, "from-abandoned")
+	advance(11 * time.Second)
+	resp, _ = c.grant(LeaseRequest{Worker: "w2", Params: testParams})
+	l2 := *resp.Lease
+	journalLease(t, root, l2, urls, []int{0, 1, 2, 3}, "from-accepted")
+	if res := c.result(ResultRequest{Worker: "w2", LeaseID: l2.ID, Attempt: l2.Attempt, Stats: farm.Stats{Sites: 4}}); !res.Accepted {
+		t.Fatalf("result rejected: %s", res.Reason)
+	}
+	logs, stats, err := c.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 4 {
+		t.Fatalf("merged %d sessions, want 4", len(logs))
+	}
+	for _, lg := range logs {
+		if lg.Outcome != "from-accepted" {
+			t.Fatalf("merge read the abandoned attempt's journal: %s has outcome %q", lg.SeedURL, lg.Outcome)
+		}
+	}
+	if stats.Outcomes["from-accepted"] != 4 {
+		t.Fatalf("stats outcomes = %v, want 4 from-accepted", stats.Outcomes)
+	}
+}
+
+// TestCoordinatorRestartResume is the coordinator-crash story: shard
+// journals (and their manifests) on disk are the only state, and a new
+// coordinator over the same root recovers completed work, marks fully
+// journaled ranges done, and hands out leases whose Completed sets cover
+// partially crawled ranges.
+func TestCoordinatorRestartResume(t *testing.T) {
+	urls := testURLs(10)
+	root := t.TempDir()
+	mk := func(resume bool) *Coordinator {
+		c, err := NewCoordinator(CoordinatorConfig{URLs: urls, Params: testParams, Root: root, LeaseSites: 4, TTL: time.Minute, Resume: resume, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// First incarnation: lease 0 fully journaled and accepted, lease 1
+	// only half journaled (no result), lease 2 untouched. Then the
+	// coordinator "crashes" (is dropped).
+	c1 := mk(false)
+	r0, _ := c1.grant(LeaseRequest{Worker: "w1", Params: testParams})
+	journalLease(t, root, *r0.Lease, urls, []int{0, 1, 2, 3}, "done")
+	if res := c1.result(ResultRequest{Worker: "w1", LeaseID: r0.Lease.ID, Attempt: r0.Lease.Attempt, Stats: farm.Stats{Sites: 4, Elapsed: time.Second}}); !res.Accepted {
+		t.Fatalf("result rejected: %s", res.Reason)
+	}
+	r1, _ := c1.grant(LeaseRequest{Worker: "w1", Params: testParams})
+	journalLease(t, root, *r1.Lease, urls, []int{4, 5}, "done")
+
+	// Second incarnation must refuse the root without -resume.
+	if _, err := NewCoordinator(CoordinatorConfig{URLs: urls, Params: testParams, Root: root, LeaseSites: 4, TTL: time.Minute}); err == nil {
+		t.Fatal("restart over a non-empty root without Resume was allowed")
+	}
+
+	c2 := mk(true)
+	// Range [0,4) was fully recovered: never leased again.
+	g1, err := c2.grant(LeaseRequest{Worker: "w2", Params: testParams})
+	if err != nil || g1.Lease == nil {
+		t.Fatalf("grant after restart: %+v, %v", g1, err)
+	}
+	if g1.Lease.Start != 4 || g1.Lease.End != 8 {
+		t.Fatalf("first lease after restart is %s, want [4,8)", g1.Lease.Range())
+	}
+	wantDone := []string{urls[4], urls[5]}
+	if !reflect.DeepEqual(g1.Lease.Completed, wantDone) {
+		t.Fatalf("resumed lease completed set = %v, want %v", g1.Lease.Completed, wantDone)
+	}
+	journalLease(t, root, *g1.Lease, urls, []int{6, 7}, "done")
+	if res := c2.result(ResultRequest{Worker: "w2", LeaseID: g1.Lease.ID, Attempt: g1.Lease.Attempt, Stats: farm.Stats{Sites: 2, Elapsed: time.Second}}); !res.Accepted {
+		t.Fatalf("result rejected: %s", res.Reason)
+	}
+	g2, _ := c2.grant(LeaseRequest{Worker: "w2", Params: testParams})
+	if g2.Lease == nil || g2.Lease.Start != 8 {
+		t.Fatalf("second lease after restart = %+v, want [8,10)", g2)
+	}
+	journalLease(t, root, *g2.Lease, urls, []int{8, 9}, "done")
+	if res := c2.result(ResultRequest{Worker: "w2", LeaseID: g2.Lease.ID, Attempt: g2.Lease.Attempt, Stats: farm.Stats{Sites: 2, Elapsed: time.Second}}); !res.Accepted {
+		t.Fatalf("result rejected: %s", res.Reason)
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatal("resumed run complete but Done not closed")
+	}
+
+	// The merged view covers the whole feed exactly once, in feed order,
+	// and matches what farm.Tally reports for the same sessions.
+	logs, stats, err := c2.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != len(urls) {
+		t.Fatalf("merged %d sessions, want %d", len(logs), len(urls))
+	}
+	for i, lg := range logs {
+		if lg.FeedIndex != i || lg.SeedURL != urls[i] {
+			t.Fatalf("merged log %d = {idx %d, %s}, want {idx %d, %s}", i, lg.FeedIndex, lg.SeedURL, i, urls[i])
+		}
+	}
+	want := farm.Tally(logs)
+	if !reflect.DeepEqual(stats.Outcomes, want.Outcomes) || stats.Sites != want.Sites {
+		t.Fatalf("merged stats %+v diverge from Tally %+v", stats, want)
+	}
+	// Elapsed folds from the per-shard stats records (3 accepted shards at
+	// 1s each across both incarnations, plus the half-shard's record).
+	if stats.Elapsed != 4*time.Second {
+		t.Fatalf("merged elapsed = %v, want 4s", stats.Elapsed)
+	}
+}
+
+func TestResumeRefusesForeignJournal(t *testing.T) {
+	urls := testURLs(4)
+	root := t.TempDir()
+	journalLease(t, root, Lease{Start: 0, End: 4, Attempt: 1}, []string{"http://other.test/a", "x", "x", "x"}, []int{0}, "done")
+	_, err := NewCoordinator(CoordinatorConfig{URLs: urls, Params: testParams, Root: root, LeaseSites: 4, TTL: time.Minute, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different -sites/-seed") {
+		t.Fatalf("foreign journal accepted (err = %v)", err)
+	}
+}
+
+func TestStatusView(t *testing.T) {
+	urls := testURLs(10)
+	c := newTestCoordinator(t, urls, 4, time.Minute, false)
+	resp, _ := c.grant(LeaseRequest{Worker: "w1", Params: testParams})
+	l := *resp.Lease
+	c.beat(HeartbeatRequest{Worker: "w1", LeaseID: l.ID, Attempt: l.Attempt, Progress: Progress{Done: 2}})
+	st := c.Status()
+	if st.TotalURLs != 10 || st.Leases != 3 || st.LeasesActive != 1 || st.LeasesPending != 2 {
+		t.Fatalf("status totals wrong: %+v", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Name != "w1" || st.Workers[0].Lease != "[0,4)" || st.Workers[0].Done != 2 {
+		t.Fatalf("worker view wrong: %+v", st.Workers)
+	}
+	if st.DoneURLs != 2 {
+		t.Fatalf("DoneURLs = %d, want 2 (live heartbeat progress)", st.DoneURLs)
+	}
+	if !strings.Contains(st.String(), "worker w1") || !strings.Contains(st.String(), "lease [0,4)") {
+		t.Fatalf("status text missing worker row:\n%s", st.String())
+	}
+}
