@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke fleet-smoke check
+.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke fleet-smoke triage-smoke check
 
 all: build
 
@@ -45,7 +45,7 @@ lint:
 # includes the 1-vs-30-worker determinism pin for fault-injected crawls and
 # the fleet smoke run (SIGKILL a fleet worker mid-lease; the re-issued
 # lease and merged output must still match a single process exactly).
-chaos: status-smoke fleet-smoke
+chaos: status-smoke fleet-smoke triage-smoke
 	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume|Lease|Worker' \
 		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/... ./internal/journal/... ./internal/fleet/...
 	$(GO) test -run 'KillResumeSmoke' ./cmd/phishcrawl/...
@@ -65,6 +65,14 @@ status-smoke:
 fleet-smoke:
 	$(GO) test -run 'FleetSmoke' ./cmd/phishcrawl/...
 
+# Triage acceptance smoke: crawl a clone-heavy synthetic feed (~90%
+# near-duplicates) with -triage and require >= 5x fewer full browser
+# sessions, zero recall loss against a full crawl, and byte-identical
+# exports across 1-vs-30 workers and a SIGKILL + torn-tail + resume of a
+# journaled triage run. See docs/OPERATIONS.md ("Clone-heavy feeds").
+triage-smoke:
+	$(GO) test -run 'TriageSmoke' ./cmd/phishcrawl/...
+
 # Coverage-guided fuzzing of the journal's record framing: encode/decode
 # round-trips, CRC mismatch detection, and hostile length prefixes.
 fuzz:
@@ -76,10 +84,11 @@ bench:
 	$(GO) test -run='^$$' -bench='BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline' -benchmem ./...
 
 # Machine-readable benchmark snapshot: runs the same selection as `bench`
-# and writes BENCH_7.json (sites/sec, ns/op, B/op, allocs/op per
+# plus the triage funnel benchmark, and writes BENCH_8.json (sites/sec,
+# ns/op, B/op, allocs/op, triage hit-rate and fast-path latency per
 # benchmark). Commit the refreshed file when perf-relevant code changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_7.json
+	$(GO) run ./cmd/benchjson -o BENCH_8.json
 
 # Allocation gates: the per-session allocs/op budgets and the
 # pooled-vs-unpooled byte-identity pins (testing.AllocsPerRun enforces the

@@ -27,6 +27,7 @@ import (
 	"repro/internal/pagegen"
 	"repro/internal/raster"
 	"repro/internal/textclass"
+	"repro/internal/triage"
 	"repro/internal/vision"
 )
 
@@ -479,6 +480,40 @@ func BenchmarkCrawlThroughputJournalGroup(b *testing.B) {
 	}
 	b.ReportMetric(float64(stats.Sites)/stats.Elapsed.Seconds(), "sites/sec")
 	b.ReportMetric(stats.Elapsed.Seconds()*1e9/float64(stats.Sites), "ns/site")
+}
+
+// BenchmarkTriage measures the triage funnel on a clone-heavy feed (240
+// sites clamped into campaigns of >= 12 members): the attribution hit-rate
+// — the fraction of feed URLs resolved without a full browser session —
+// and the per-URL fast-path latency, the cost of synthesizing an
+// attributed session log from the probe fingerprint instead of crawling.
+func BenchmarkTriage(b *testing.B) {
+	p, err := core.NewPipeline(core.Options{
+		NumSites:           240,
+		Seed:               42,
+		DetectorTrainPages: 150,
+		MinCampaignSize:    12,
+		Triage:             &triage.Options{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	urls := p.Feed.URLs()
+	fn := p.Triage.Funnel()
+	if fn.Attributed == 0 {
+		b.Fatal("clone-heavy feed produced no attributions")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for idx, u := range urls {
+			p.Triage.FastPath(idx, u)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(urls)), "ns/fast-path")
+	b.ReportMetric(100*float64(fn.Attributed)/float64(fn.Total), "hit-rate-pct")
+	b.ReportMetric(float64(fn.Full), "full-sessions")
+	b.ReportMetric(float64(p.Triage.Campaigns), "campaigns")
 }
 
 // --- Ablations (DESIGN.md Section 5) ---

@@ -1,9 +1,9 @@
 // Command benchjson runs the repo's benchmark suite and writes the parsed
 // results as a machine-readable JSON snapshot (`make bench-json` commits it
-// as BENCH_7.json), so perf claims in EXPERIMENTS.md are backed by a file a
+// as BENCH_8.json), so perf claims in EXPERIMENTS.md are backed by a file a
 // reviewer can diff instead of a number pasted into prose:
 //
-//	benchjson -o BENCH_7.json
+//	benchjson -o BENCH_8.json
 //	benchjson -bench 'BenchmarkCrawlThroughput' -benchtime 6x -o /dev/stdout
 //
 // Each entry carries the benchmark's name, iteration count, and every
@@ -30,8 +30,9 @@ import (
 // defaultBench mirrors the Makefile's `bench` target selection — the
 // throughput, model, and pipeline-construction benchmarks the perf
 // acceptance criteria are stated against — plus the per-session
-// allocation benchmark behind the pooling budget.
-const defaultBench = "BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline|BenchmarkCrawlSession"
+// allocation benchmark behind the pooling budget and the triage funnel
+// benchmark (attribution hit-rate, fast-path latency).
+const defaultBench = "BenchmarkDetect|BenchmarkOCRPage|BenchmarkCrawlThroughput|BenchmarkNewPipeline|BenchmarkCrawlSession|BenchmarkTriage"
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -53,7 +54,7 @@ func main() {
 	benchRe := flag.String("bench", defaultBench, "benchmarks to run (go test -bench regex)")
 	benchtime := flag.String("benchtime", "2x", "go test -benchtime value")
 	pkg := flag.String("pkg", "./...", "package pattern to benchmark")
-	out := flag.String("o", "BENCH_7.json", "output path")
+	out := flag.String("o", "BENCH_8.json", "output path")
 	flag.Parse()
 
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-benchtime", *benchtime, *pkg)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/triage"
 )
 
 // cliFlags collects the parsed command-line values whose combinations can
@@ -30,6 +31,11 @@ type cliFlags struct {
 	fleetAddr     string
 	leaseSites    int
 	leaseTTL      time.Duration
+
+	triage            bool
+	campaignThreshold float64
+	triageTopK        int
+	campaignMin       int
 }
 
 // validateFlags returns the first configuration error, or nil. Kept free
@@ -102,6 +108,24 @@ func validateFlags(f cliFlags) error {
 	}
 	if f.leaseTTL < 0 {
 		return fmt.Errorf("-lease-ttl must be >= 0 (got %v; 0 uses the default %v)", f.leaseTTL, fleet.DefaultLeaseTTL)
+	}
+	if f.campaignThreshold < 0 || f.campaignThreshold > 1 {
+		return fmt.Errorf("-campaign-threshold must be in [0,1] (got %g; it is a similarity, default %g)", f.campaignThreshold, triage.DefaultCampaignThreshold)
+	}
+	if f.triageTopK < 0 {
+		return fmt.Errorf("-triage-topk must be >= 0 (got %d; 0 disables the lexical cut)", f.triageTopK)
+	}
+	if f.campaignMin < 0 {
+		return fmt.Errorf("-campaign-min must be >= 0 (got %d; 0 keeps the paper's campaign-size distribution)", f.campaignMin)
+	}
+	if f.triage && f.compact {
+		return fmt.Errorf("-triage cannot be combined with -compact: compaction drops superseded session records, but the triage plan record must stay paired with every session that was crawled under it; compact the journal offline after the run")
+	}
+	if !f.triage && f.triageTopK > 0 {
+		return fmt.Errorf("-triage-topk does nothing without -triage: the lexical cut is the first stage of the triage funnel")
+	}
+	if !f.triage && f.campaignThreshold != triage.DefaultCampaignThreshold && f.campaignThreshold != 0 {
+		return fmt.Errorf("-campaign-threshold does nothing without -triage: attribution runs only inside the triage funnel")
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/triage"
 )
 
 // validFlags returns a baseline configuration every field of which passes
@@ -136,6 +138,53 @@ func TestValidateFlags(t *testing.T) {
 			f.journalDir = "j"
 			f.leaseTTL = -time.Second
 		}, "-lease-ttl"},
+
+		{"triage alone", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = triage.DefaultCampaignThreshold
+		}, ""},
+		{"triage with topk and threshold", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = 0.8
+			f.triageTopK = 50
+		}, ""},
+		{"campaign-min alone reshapes the corpus", func(f *cliFlags) {
+			f.campaignMin = 12
+		}, ""},
+		{"triage with journal and resume", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = triage.DefaultCampaignThreshold
+			f.journalDir = "j"
+			f.resume = true
+		}, ""},
+		{"threshold above one", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = 1.5
+		}, "-campaign-threshold must be in [0,1]"},
+		{"threshold below zero", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = -0.1
+		}, "-campaign-threshold must be in [0,1]"},
+		{"negative topk", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = triage.DefaultCampaignThreshold
+			f.triageTopK = -1
+		}, "-triage-topk"},
+		{"negative campaign-min", func(f *cliFlags) {
+			f.campaignMin = -1
+		}, "-campaign-min"},
+		{"triage with compact", func(f *cliFlags) {
+			f.triage = true
+			f.campaignThreshold = triage.DefaultCampaignThreshold
+			f.journalDir = "j"
+			f.compact = true
+		}, "-triage cannot be combined with -compact"},
+		{"topk without triage", func(f *cliFlags) {
+			f.triageTopK = 10
+		}, "-triage-topk does nothing without -triage"},
+		{"threshold without triage", func(f *cliFlags) {
+			f.campaignThreshold = 0.7
+		}, "-campaign-threshold does nothing without -triage"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -36,13 +36,17 @@ type fleetCLI struct {
 // versa) — a mismatch would merge sessions from two different universes.
 func fleetParams(opts core.Options, feedURLs int) fleet.Params {
 	p := fleet.Params{
-		Sites:     opts.NumSites,
-		Seed:      opts.Seed,
-		ChaosSeed: opts.ChaosSeed,
-		FeedURLs:  feedURLs,
+		Sites:       opts.NumSites,
+		Seed:        opts.Seed,
+		ChaosSeed:   opts.ChaosSeed,
+		FeedURLs:    feedURLs,
+		MinCampaign: opts.MinCampaignSize,
 	}
 	if opts.Chaos != nil {
 		p.Chaos = fmt.Sprintf("%+v", *opts.Chaos)
+	}
+	if opts.Triage != nil {
+		p.Triage = fmt.Sprintf("threshold=%g,topk=%d", opts.Triage.CampaignThreshold, opts.Triage.TopK)
 	}
 	return p
 }
@@ -161,12 +165,13 @@ func runWorkerMode(opts core.Options, fl fleetCLI) {
 			}
 			pr := mon.Snapshot()
 			return fleet.Progress{
-				Done:     pr.Done - pr.PreCompleted,
-				Retried:  pr.Retried,
-				Degraded: pr.Degraded,
-				Failed:   pr.Failed,
-				Panics:   pr.Panics,
-				Stages:   pr.Stages,
+				Done:       pr.Done - pr.PreCompleted,
+				Retried:    pr.Retried,
+				Degraded:   pr.Degraded,
+				Failed:     pr.Failed,
+				Panics:     pr.Panics,
+				FastPathed: pr.FastPathed,
+				Stages:     pr.Stages,
 			}
 		},
 	})

@@ -31,6 +31,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/sessionio"
+	"repro/internal/triage"
 )
 
 func main() {
@@ -70,27 +71,35 @@ func main() {
 	leaseSites := flag.Int("lease-sites", 0, "feed URLs per fleet lease (0 = default 100)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "fleet lease heartbeat expiry: a worker silent this long forfeits its lease for re-issue (0 = default 10s)")
 	workerName := flag.String("worker-name", "", "fleet worker identity in leases and status (default worker-<pid>)")
+	triageOn := flag.Bool("triage", false, "enable the pre-session triage funnel: lexical URL scoring plus campaign near-duplicate attribution; clone URLs take a fast-path session instead of a full crawl")
+	campaignThreshold := flag.Float64("campaign-threshold", triage.DefaultCampaignThreshold, "triage attribution similarity cut in [0,1]: probes at least this similar to an indexed campaign fast-path")
+	triageTopK := flag.Int("triage-topk", 0, "keep only the K lexically highest-scored feed URLs; the rest are cut before any fetch (0 = no cut)")
+	campaignMin := flag.Int("campaign-min", 0, "clamp generated campaign sizes from below — the clone-heavy-feed knob for triage experiments (0 = paper distribution)")
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
-		sites:         *numSites,
-		sample:        *sample,
-		workers:       *workers,
-		retries:       *retries,
-		sessionBudget: *sessionBudget,
-		fetchTimeout:  *fetchTimeout,
-		progress:      *progressEvery,
-		journalDir:    *journalDir,
-		journalSync:   *journalSync,
-		resume:        *resume,
-		compact:       *compact,
-		statusAddr:    *statusAddr,
-		out:           *out,
-		coordinator:   *coordinator,
-		worker:        *workerMode,
-		fleetAddr:     *fleetAddr,
-		leaseSites:    *leaseSites,
-		leaseTTL:      *leaseTTL,
+		sites:             *numSites,
+		sample:            *sample,
+		workers:           *workers,
+		retries:           *retries,
+		sessionBudget:     *sessionBudget,
+		fetchTimeout:      *fetchTimeout,
+		progress:          *progressEvery,
+		journalDir:        *journalDir,
+		journalSync:       *journalSync,
+		resume:            *resume,
+		compact:           *compact,
+		statusAddr:        *statusAddr,
+		out:               *out,
+		coordinator:       *coordinator,
+		worker:            *workerMode,
+		fleetAddr:         *fleetAddr,
+		leaseSites:        *leaseSites,
+		leaseTTL:          *leaseTTL,
+		triage:            *triageOn,
+		campaignThreshold: *campaignThreshold,
+		triageTopK:        *triageTopK,
+		campaignMin:       *campaignMin,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -119,6 +128,13 @@ func main() {
 		MaxRetries:         *retries,
 		RetryBase:          *retryBase,
 		RetryMax:           *retryMax,
+		MinCampaignSize:    *campaignMin,
+	}
+	if *triageOn {
+		opts.Triage = &triage.Options{
+			CampaignThreshold: *campaignThreshold,
+			TopK:              *triageTopK,
+		}
 	}
 	if *chaosOn {
 		opts.Chaos = &chaos.Profile{
@@ -198,6 +214,11 @@ func main() {
 	}
 	fmt.Printf("Corpus: %d sites in %d campaigns. Crawling with %d workers...\n",
 		len(p.Corpus.Sites), p.Corpus.Campaigns, *workers)
+	if p.Triage != nil {
+		f := p.Triage.Funnel()
+		fmt.Printf("Triage: %d URLs -> %d cut, %d attributed to %d campaigns, %d full sessions\n",
+			f.Total, f.Cut, f.Attributed, p.Triage.Campaigns, f.Full)
+	}
 
 	var (
 		logs  []*crawler.SessionLog
@@ -261,6 +282,10 @@ func printRunReport(logs []*crawler.SessionLog, stats farm.Stats) {
 	fmt.Printf("Pages visited: %d; input fields identified and filled: %d\n", pages, fields)
 
 	fmt.Printf("\n%s", report.FailureTable(analysis.FailureTaxonomy(logs), stats))
+
+	if t := report.TriageTable(logs); t != "" {
+		fmt.Printf("\n%s", t)
+	}
 
 	if len(stats.Stages) > 0 {
 		fmt.Printf("\nPer-stage timing (aggregated across workers):\n%s", metrics.StageTable(stats.Stages))

@@ -23,6 +23,7 @@ type statusView struct {
 	Degraded     int         `json:"degraded"`
 	Failed       int         `json:"failed"`
 	Panics       int         `json:"panics"`
+	FastPathed   int         `json:"fastPathed"`
 	ElapsedMs    int64       `json:"elapsedMs"`
 	EtaMs        int64       `json:"etaMs"`
 	SitesPerDay  float64     `json:"sitesPerDay"`
@@ -49,6 +50,7 @@ func makeStatusView(p farm.Progress) statusView {
 		Degraded:     p.Degraded,
 		Failed:       p.Failed,
 		Panics:       p.Panics,
+		FastPathed:   p.FastPathed,
 		ElapsedMs:    p.Elapsed.Milliseconds(),
 		EtaMs:        p.ETA.Milliseconds(),
 		SitesPerDay:  p.SitesPerDay,

@@ -21,6 +21,7 @@ import (
 	"repro/internal/sessionio"
 	"repro/internal/termclass"
 	"repro/internal/textclass"
+	"repro/internal/triage"
 	"repro/internal/vision"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", 30, "parallel crawl sessions")
 	out := flag.String("o", "", "output file (default stdout)")
 	detScale := flag.Int("detector-scale", 2000, "detector training pages (paper protocol: 10,000)")
+	triageOn := flag.Bool("triage", false, "crawl through the triage funnel and report the campaign-attribution table")
 	flag.Parse()
 
 	var b strings.Builder
@@ -73,7 +75,11 @@ func main() {
 	fmt.Fprintf(&b, "Accuracy: %.1f%% (paper: 97%%)\n", tcl.Evaluate(*seed+6, termclass.TestSize)*100)
 
 	// Full crawl.
-	p, err := core.NewPipeline(core.Options{NumSites: *numSites, Seed: *seed, Workers: *workers, DetectorTrainPages: 600})
+	copts := core.Options{NumSites: *numSites, Seed: *seed, Workers: *workers, DetectorTrainPages: 600}
+	if *triageOn {
+		copts.Triage = &triage.Options{}
+	}
+	p, err := core.NewPipeline(copts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,6 +124,11 @@ func main() {
 		tc, *numSites))
 	fmt.Fprintf(&b, "\nCampaign clusters: %d measured | %d generated | 8,472 paper.\n",
 		analysis.ClusterCampaigns(logs), p.Corpus.Campaigns)
+
+	if t := report.TriageTable(logs); t != "" {
+		section("Triage funnel and campaign attribution")
+		code(t)
+	}
 
 	if *out == "" {
 		fmt.Print(b.String())

@@ -10,6 +10,8 @@ package core
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/analysis"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/sitegen"
 	"repro/internal/termclass"
 	"repro/internal/textclass"
+	"repro/internal/triage"
 	"repro/internal/vision"
 	"repro/internal/visualphish"
 )
@@ -61,6 +64,20 @@ type Options struct {
 	MaxRetries int
 	RetryBase  time.Duration
 	RetryMax   time.Duration
+
+	// Triage, when non-nil, enables the pre-session triage funnel
+	// (internal/triage): feed URLs are lexically scored, probed once, and
+	// clustered into a campaign near-duplicate index before the crawl, and
+	// URLs attributed to an indexed campaign (or cut by top-K) take a
+	// fast-path session instead of a full browser crawl. The plan is a
+	// pure function of (feed, Triage options), so it is identical across
+	// worker counts, resumes, and fleet members. nil disables triage.
+	Triage *triage.Options
+	// MinCampaignSize clamps generated campaign sizes from below — the
+	// clone-heavy-feed knob for triage experiments (0 = the paper's
+	// distribution). It changes the corpus, so every process in a fleet
+	// must agree on it.
+	MinCampaignSize int
 
 	// Models, when non-nil, injects an already-trained model bundle and
 	// skips training entirely; the caller vouches that it was trained with
@@ -117,6 +134,11 @@ type Pipeline struct {
 	// nil); its FaultFor/Summary expose the injected ground truth.
 	Injector *chaos.Injector
 
+	// Triage is the precomputed triage plan (nil when Options.Triage is
+	// nil): the per-URL fast-path/full verdicts and the campaign
+	// near-duplicate index, derived before any crawl session runs.
+	Triage *triage.Plan
+
 	// Monitor, when set before crawling, receives live run progress
 	// (completions, retries, stage latencies) for cmd/phishcrawl's status
 	// endpoint and progress line. nil disables progress tracking.
@@ -134,7 +156,9 @@ type Pipeline struct {
 // by index and never ship a URL over the wire.
 func NewFeed(opts Options) (*sitegen.Corpus, *feed.Feed) {
 	opts = opts.withDefaults()
-	c := sitegen.Generate(sitegen.ScaledParams(opts.NumSites, opts.Seed))
+	params := sitegen.ScaledParams(opts.NumSites, opts.Seed)
+	params.MinCampaignSize = opts.MinCampaignSize
+	c := sitegen.Generate(params)
 	return c, feed.FromCorpus(c, opts.Seed+1)
 }
 
@@ -213,12 +237,54 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	if !opts.DisablePooling {
 		p.Crawler.Pool = crawler.NewSessionPool()
 	}
+
+	// Triage plan: built before any crawl, over the same browser factory
+	// (and therefore the same chaos-wrapped transport) the crawler uses.
+	// Probing consumes each URL's first connection exactly once per
+	// process, which keeps even the injector's stateful flaky-connection
+	// budget identical across runs, resumes, and fleet members.
+	if opts.Triage != nil {
+		p.Triage = triage.BuildPlan(p.Feed.URLs(), triage.Config{
+			Options:     *opts.Triage,
+			Workers:     opts.Workers,
+			NewBrowser:  p.Crawler.NewBrowser,
+			BrandTokens: brandTokens(),
+		})
+	}
 	return p, nil
+}
+
+// brandTokens derives the lowercase brand vocabulary for the lexical
+// brand-in-host feature from the brand catalogue: the leading word of each
+// brand name plus the registrable label of its legitimate domain, deduped
+// and sorted so the scorer's input is deterministic.
+func brandTokens() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(tok string) {
+		tok = strings.ToLower(tok)
+		tok = strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return -1
+		}, tok)
+		if len(tok) >= 3 && !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	for _, b := range brands.All() {
+		add(strings.Fields(b.Name)[0])
+		add(strings.SplitN(b.LegitDomain, ".", 2)[0])
+	}
+	sort.Strings(out)
+	return out
 }
 
 // farmConfig assembles the farm configuration from the pipeline options.
 func (p *Pipeline) farmConfig() farm.Config {
-	return farm.Config{
+	cfg := farm.Config{
 		Workers:    p.Opts.Workers,
 		Crawler:    p.Crawler,
 		MaxRetries: p.Opts.MaxRetries,
@@ -227,6 +293,10 @@ func (p *Pipeline) farmConfig() farm.Config {
 		RetrySeed:  p.Opts.Seed + 8,
 		Monitor:    p.Monitor,
 	}
+	if p.Triage != nil {
+		cfg.FastPath = p.Triage.FastPath
+	}
+	return cfg
 }
 
 // Crawl runs the farm over the filtered feed and attaches feed metadata to
@@ -235,6 +305,58 @@ func (p *Pipeline) Crawl() {
 	urls := p.Feed.URLs()
 	p.Logs, p.Stats = farm.Run(p.farmConfig(), urls)
 	analysis.AttachMeta(p.Logs, p.Feed.Filter())
+	p.stampTriage(p.Logs)
+}
+
+// stampTriage attaches the triage verdicts to finished logs (no-op when
+// triage is off).
+func (p *Pipeline) stampTriage(logs []*crawler.SessionLog) {
+	if p.Triage == nil {
+		return
+	}
+	for _, lg := range logs {
+		p.Triage.Stamp(lg)
+	}
+}
+
+// ensureTriageJournaled reconciles this pipeline's triage plan with the
+// journal's plan record. A fresh triage-enabled journal gets the encoded
+// plan appended before any session; a resumed one must hold a record that
+// byte-matches the locally rebuilt plan (the plan is a pure function of the
+// feed and the triage flags, so any mismatch means the journal belongs to a
+// different triage universe). A journal with sessions but no plan record
+// was recorded without -triage and cannot be resumed with it — and vice
+// versa — because the two runs disagree on which URLs get full sessions.
+func (p *Pipeline) ensureTriageJournaled(j *journal.Journal) error {
+	stored, err := j.TriagePlans()
+	if err != nil {
+		return fmt.Errorf("core: reading journaled triage plans: %w", err)
+	}
+	if p.Triage == nil {
+		if len(stored) > 0 {
+			return fmt.Errorf("core: journal holds a triage plan record but this run has -triage off; resume with the original triage flags")
+		}
+		return nil
+	}
+	if len(stored) == 0 {
+		if len(j.CompletedURLs()) > 0 {
+			return fmt.Errorf("core: journal holds sessions but no triage plan record; it was recorded without -triage and cannot be resumed with it")
+		}
+		enc, err := p.Triage.Encode()
+		if err != nil {
+			return fmt.Errorf("core: encoding triage plan: %w", err)
+		}
+		if err := j.AppendTriage(enc); err != nil {
+			return fmt.Errorf("core: journaling triage plan: %w", err)
+		}
+		return nil
+	}
+	for _, rec := range stored {
+		if err := p.Triage.Verify(rec); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
 }
 
 // CrawlJournal crawls up to sample feed URLs (0 = all), streaming every
@@ -271,11 +393,15 @@ func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, er
 		}
 	}
 	p.Monitor.AddPreCompleted(skipped)
+	if err := p.ensureTriageJournaled(j); err != nil {
+		return skipped, err
+	}
 	byURL := analysis.MetaIndex(p.Feed.Filter())
 	cfg := p.farmConfig()
 	cfg.Skip = func(_ int, u string) bool { return j.Completed(u) }
 	cfg.Sink = func(_ int, lg *crawler.SessionLog) error {
 		analysis.AttachMetaIndexed(lg, byURL)
+		p.Triage.Stamp(lg)
 		return j.AppendSession(lg)
 	}
 	// The sink touches only its own session (metadata attach) and the
@@ -309,6 +435,9 @@ func (p *Pipeline) CrawlJournalShard(j *journal.Journal, start, end int, done ma
 	if start < 0 || end > len(urls) || start > end {
 		return fmt.Errorf("core: shard range [%d,%d) outside feed of %d URLs", start, end, len(urls))
 	}
+	if err := p.ensureTriageJournaled(j); err != nil {
+		return err
+	}
 	byURL := analysis.MetaIndex(p.Feed.Filter())
 	cfg := p.farmConfig()
 	cfg.Skip = func(idx int, u string) bool {
@@ -316,6 +445,7 @@ func (p *Pipeline) CrawlJournalShard(j *journal.Journal, start, end int, done ma
 	}
 	cfg.Sink = func(_ int, lg *crawler.SessionLog) error {
 		analysis.AttachMetaIndexed(lg, byURL)
+		p.Triage.Stamp(lg)
 		return j.AppendSession(lg)
 	}
 	cfg.SinkConcurrent = true
@@ -340,6 +470,7 @@ func (p *Pipeline) CrawlSample(n int) {
 	}
 	p.Logs, p.Stats = farm.Run(p.farmConfig(), urls)
 	analysis.AttachMeta(p.Logs, p.Feed.Filter())
+	p.stampTriage(p.Logs)
 }
 
 // CaptchaAnalysisOptions returns the configured verification options for

@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/triage"
+)
+
+// TestCrawlJournalTriageProtocol pins the journaled-plan handshake: a
+// triage-enabled journaled crawl records its plan before any session, a
+// resume under the same flags verifies the stored plan against the one it
+// re-derives from the feed, and flag drift in either direction — triage
+// turned off over a planned journal, triage turned on over a plan-less
+// journal, or different triage knobs — is refused instead of silently
+// mixing two triage universes in one journal.
+func TestCrawlJournalTriageProtocol(t *testing.T) {
+	opts := core.Options{
+		NumSites:           40,
+		Seed:               9,
+		Workers:            8,
+		DetectorTrainPages: 80,
+		MinCampaignSize:    8,
+		Triage:             &triage.Options{},
+	}
+	pipe := func(o core.Options) *core.Pipeline {
+		t.Helper()
+		p, err := core.NewPipeline(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	crawl := func(p *core.Pipeline, dir string) (int, error) {
+		t.Helper()
+		j, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j.Close()
+		return p.CrawlJournal(j, 0)
+	}
+
+	dir := t.TempDir()
+	if _, err := crawl(pipe(opts), dir); err != nil {
+		t.Fatalf("fresh triage crawl: %v", err)
+	}
+
+	// Resume under identical flags: the rebuilt plan verifies against the
+	// journaled record and every URL is already complete.
+	p := pipe(opts)
+	skipped, err := crawl(p, dir)
+	if err != nil {
+		t.Fatalf("triage resume: %v", err)
+	}
+	if skipped != len(p.Feed.URLs()) {
+		t.Fatalf("resume skipped %d of %d URLs", skipped, len(p.Feed.URLs()))
+	}
+
+	// Triage off over a journal that holds a plan: refused.
+	noTriage := opts
+	noTriage.Triage = nil
+	if _, err := crawl(pipe(noTriage), dir); err == nil || !strings.Contains(err.Error(), "-triage off") {
+		t.Fatalf("triage-off resume over planned journal: err = %v, want refusal", err)
+	}
+
+	// Different triage knobs: the re-derived plan no longer matches the
+	// journaled bytes.
+	drift := opts
+	drift.Triage = &triage.Options{CampaignThreshold: 0.5}
+	if _, err := crawl(pipe(drift), dir); err == nil || !strings.Contains(err.Error(), "journaled plan") {
+		t.Fatalf("drifted-flags resume: err = %v, want plan mismatch", err)
+	}
+
+	// The reverse direction: a journal crawled without triage cannot be
+	// resumed with it.
+	plainDir := t.TempDir()
+	if _, err := crawl(pipe(noTriage), plainDir); err != nil {
+		t.Fatalf("plain journaled crawl: %v", err)
+	}
+	if _, err := crawl(pipe(opts), plainDir); err == nil || !strings.Contains(err.Error(), "without -triage") {
+		t.Fatalf("triage resume over plan-less journal: err = %v, want refusal", err)
+	}
+}

@@ -76,6 +76,11 @@ const (
 	OutcomeServerError = "server-error" // the landing page answered with a 5xx
 	OutcomeTruncated   = "truncated"    // response body cut off mid-transfer
 	OutcomeTakedown    = "takedown"     // a hosting-provider suspension page
+
+	// Triage fast-path outcomes (internal/triage): sessions that never
+	// spawned a browser because the pre-session funnel resolved them.
+	OutcomeAttributed = "attributed"  // near-duplicate of an indexed campaign
+	OutcomeTriagedOut = "triaged-out" // cut by the lexical top-K stage
 )
 
 // Retryable reports whether outcome names a transient failure worth
@@ -114,15 +119,23 @@ var takedownPhrases = []string{
 	"domain has been seized", "this domain is parked",
 }
 
-// isTakedownPage reports whether the observed page is a takedown notice.
-func isTakedownPage(pl *PageLog) bool {
-	text := strings.ToLower(pl.Title + " " + pl.Text)
+// IsTakedownText reports whether a page's title and body text read as a
+// hosting-provider takedown notice. Exported for the triage probe, which
+// must classify a suspension page without building a PageLog (a shared
+// suspension page must never found a triage "campaign").
+func IsTakedownText(title, text string) bool {
+	joined := strings.ToLower(title + " " + text)
 	for _, phrase := range takedownPhrases {
-		if strings.Contains(text, phrase) {
+		if strings.Contains(joined, phrase) {
 			return true
 		}
 	}
 	return false
+}
+
+// isTakedownPage reports whether the observed page is a takedown notice.
+func isTakedownPage(pl *PageLog) bool {
+	return IsTakedownText(pl.Title, pl.Text)
 }
 
 // FieldLog records one identified, classified, and filled input field.
@@ -205,6 +218,15 @@ type SessionLog struct {
 	// FirstPageEmbedding supports campaign clustering and the cloning
 	// analysis without retaining full screenshots.
 	FirstPageEmbedding visualphish.Embedding
+	// Triage verdicts (internal/triage; zero/empty when triage is off, and
+	// omitted from exports so non-triage session bytes are unchanged).
+	// TriageScore is the URL-lexical phishiness score; TriageCampaign is
+	// the triage campaign this session founded or was attributed to;
+	// TriageSimilarity is the attribution similarity for fast-path
+	// sessions.
+	TriageScore      float64 `json:",omitempty"`
+	TriageCampaign   string  `json:",omitempty"`
+	TriageSimilarity float64 `json:",omitempty"`
 }
 
 // Crawler drives sessions. It is stateless across sessions except for the

@@ -1,0 +1,36 @@
+package crawler
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFirstPageEmbeddingPooledStability is the triage-facing slice of the
+// pooled-vs-unpooled determinism pin: campaign attribution compares
+// FirstPageEmbedding values across sessions, so the embedding specifically
+// — thumbnail, histogram, and hash — must be byte-identical whether the
+// session's render buffers came fresh or recycled, including after the pool
+// has been warmed by prior sessions of a different site shape.
+func TestFirstPageEmbeddingPooledStability(t *testing.T) {
+	s := loginPaymentSite()
+	unpooled := newCrawler(t, s)
+	pooled := newCrawler(t, s)
+	pooled.Pool = NewSessionPool()
+
+	want, err := json.Marshal(unpooled.Crawl("http://lp.test/").FirstPageEmbedding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) == "" {
+		t.Fatal("unpooled session produced no embedding")
+	}
+	for i := 0; i < 3; i++ {
+		got, err := json.Marshal(pooled.Crawl("http://lp.test/").FirstPageEmbedding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("pooled embedding %d diverged:\npooled:   %s\nunpooled: %s", i, got, want)
+		}
+	}
+}

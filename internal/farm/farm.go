@@ -69,6 +69,13 @@ type Config struct {
 	// RetrySeed drives the deterministic backoff jitter, so a run's retry
 	// schedule is reproducible from its seeds.
 	RetrySeed int64
+	// FastPath, when non-nil, is consulted before a browser session is
+	// spawned for a URL: a non-nil session log (e.g. the triage plan's
+	// "attributed to campaign X" synthesis) is landed directly — no
+	// browser, no retries — through the same completion path as a crawled
+	// session, so sinks, stats, and the monitor see it uniformly. The hook
+	// must return a fresh log per call and be safe for concurrent use.
+	FastPath func(idx int, url string) *crawler.SessionLog
 	// Skip, when non-nil, reports whether the URL at index idx should be
 	// skipped entirely — typically because a resumed run's journal already
 	// holds its session. Skipped URLs get no session, no log slot, and no
@@ -108,6 +115,9 @@ type Stats struct {
 	// attempts only, on the session-logical clock — so it is byte-identical
 	// across worker counts and across journal kill/resume.
 	Stages []metrics.StageStat
+	// FastPathed counts sessions resolved by the FastPath hook (triage
+	// attribution or lexical cut) — sessions that cost no browser.
+	FastPathed int
 	// Retries counts re-queued attempts beyond each session's first.
 	Retries int
 	// Degraded counts sessions that reached a non-failure outcome only
@@ -138,6 +148,7 @@ func (s Stats) SitesPerDay() float64 {
 func (s *Stats) Merge(o Stats) {
 	s.Sites += o.Sites
 	s.Elapsed += o.Elapsed
+	s.FastPathed += o.FastPathed
 	s.Retries += o.Retries
 	s.Degraded += o.Degraded
 	s.Panics += o.Panics
@@ -182,10 +193,15 @@ func Tally(logs []*crawler.SessionLog) Stats {
 		observeTrace(stages, l.Trace)
 		s.Outcomes[l.Outcome]++
 		s.Retries += l.Attempts - 1
-		if l.Outcome == OutcomeGaveUp {
+		switch l.Outcome {
+		case OutcomeGaveUp:
 			s.Failures[l.Error]++
-		} else if l.Attempts > 1 {
-			s.Degraded++
+		case crawler.OutcomeAttributed, crawler.OutcomeTriagedOut:
+			s.FastPathed++
+		default:
+			if l.Attempts > 1 {
+				s.Degraded++
+			}
 		}
 	}
 	s.Stages = stages.Snapshot()
@@ -349,6 +365,19 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 			// Stats.Stages does not read it.
 			c := *cfg.Crawler
 			for jb := range jobs {
+				// Pre-session fast path: a triage-attributed (or cut) URL
+				// lands its synthesized log through the normal completion
+				// path without ever opening a browser. Fast-path outcomes
+				// are never retryable, so this only triggers on attempt 0.
+				if cfg.FastPath != nil && jb.attempt == 0 {
+					if lg := cfg.FastPath(jb.idx, urls[jb.idx]); lg != nil {
+						lg.Attempts = 1
+						lg.FeedIndex = jb.idx
+						finish(lg)
+						pending.Done()
+						continue
+					}
+				}
 				// The faker seed derives from the job index (not the worker
 				// or the attempt), which keeps runs reproducible across
 				// worker counts and makes retries exact re-executions.
@@ -387,14 +416,15 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 	wg.Wait()
 
 	stats := Stats{
-		Sites:    len(include),
-		Elapsed:  start.Elapsed(),
-		Outcomes: land.outcomes,
-		Stages:   stages.Snapshot(),
-		Retries:  int(atomic.LoadInt64(&retries)),
-		Panics:   int(atomic.LoadInt64(&panics)),
-		Failures: land.failures,
-		Degraded: land.degraded,
+		Sites:      len(include),
+		Elapsed:    start.Elapsed(),
+		FastPathed: land.outcomes[crawler.OutcomeAttributed] + land.outcomes[crawler.OutcomeTriagedOut],
+		Outcomes:   land.outcomes,
+		Stages:     stages.Snapshot(),
+		Retries:    int(atomic.LoadInt64(&retries)),
+		Panics:     int(atomic.LoadInt64(&panics)),
+		Failures:   land.failures,
+		Degraded:   land.degraded,
 	}
 	// Sessions that never landed (a worker died without recording — the
 	// panic guard should make this impossible) stay visible as lost.

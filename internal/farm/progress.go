@@ -37,6 +37,7 @@ type Monitor struct {
 	total        atomic.Int64
 	preCompleted atomic.Int64
 	done         atomic.Int64
+	fastPathed   atomic.Int64
 	retried      atomic.Int64
 	degraded     atomic.Int64
 	failed       atomic.Int64
@@ -77,6 +78,8 @@ func (m *Monitor) noteDone(lg *crawler.SessionLog) {
 	switch lg.Outcome {
 	case OutcomeGaveUp, OutcomeLost:
 		m.failed.Add(1)
+	case crawler.OutcomeAttributed, crawler.OutcomeTriagedOut:
+		m.fastPathed.Add(1)
 	default:
 		if lg.Attempts > 1 {
 			m.degraded.Add(1)
@@ -105,10 +108,13 @@ type Progress struct {
 	Total        int
 	Done         int
 	PreCompleted int
-	Retried      int
-	Degraded     int
-	Failed       int
-	Panics       int
+	// FastPathed counts sessions the triage fast path resolved without a
+	// browser (included in Done).
+	FastPathed int
+	Retried    int
+	Degraded   int
+	Failed     int
+	Panics     int
 	// Elapsed is wall time since the monitor started (metrics seam).
 	Elapsed time.Duration
 	// ETA extrapolates the remaining time from this run's crawl rate; 0
@@ -129,6 +135,7 @@ func (m *Monitor) Snapshot() Progress {
 	p := Progress{
 		Total:        int(m.total.Load()),
 		PreCompleted: int(m.preCompleted.Load()),
+		FastPathed:   int(m.fastPathed.Load()),
 		Retried:      int(m.retried.Load()),
 		Degraded:     int(m.degraded.Load()),
 		Failed:       int(m.failed.Load()),
@@ -159,6 +166,9 @@ func (p Progress) String() string {
 	fmt.Fprintf(&b, "progress: %d/%d (%.1f%%) done", p.Done, p.Total, pct)
 	if p.PreCompleted > 0 {
 		fmt.Fprintf(&b, " (%d resumed)", p.PreCompleted)
+	}
+	if p.FastPathed > 0 {
+		fmt.Fprintf(&b, " | %d fast-path", p.FastPathed)
 	}
 	fmt.Fprintf(&b, " | %d retried | %d degraded | %d failed", p.Retried, p.Degraded, p.Failed)
 	if p.Panics > 0 {

@@ -46,11 +46,19 @@ type Params struct {
 	ChaosSeed int64  `json:"chaosSeed"`
 	Chaos     string `json:"chaos,omitempty"` // fingerprint of the chaos profile ("" = healthy feed)
 	FeedURLs  int    `json:"feedUrls"`        // full feed length, pre -sample
+	// Triage fingerprints the triage configuration ("" = triage off;
+	// otherwise "threshold=…,topk=…"). Triage decides which URLs get full
+	// sessions, so a worker disagreeing on it would merge a different
+	// session universe.
+	Triage string `json:"triage,omitempty"`
+	// MinCampaign is the corpus clone-heaviness knob; it changes the
+	// generated sites, so it is part of the universe fingerprint.
+	MinCampaign int `json:"minCampaign,omitempty"`
 }
 
 func (p Params) String() string {
-	return fmt.Sprintf("sites=%d seed=%d chaosSeed=%d chaos=%q feed=%d",
-		p.Sites, p.Seed, p.ChaosSeed, p.Chaos, p.FeedURLs)
+	return fmt.Sprintf("sites=%d seed=%d chaosSeed=%d chaos=%q feed=%d triage=%q minCampaign=%d",
+		p.Sites, p.Seed, p.ChaosSeed, p.Chaos, p.FeedURLs, p.Triage, p.MinCampaign)
 }
 
 // Lease is one unit of fleet work: crawl the feed-index range
@@ -94,12 +102,16 @@ type LeaseResponse struct {
 // plus its stage-latency snapshot, feeding the coordinator's fleet-wide
 // /status view.
 type Progress struct {
-	Done     int                 `json:"done"`
-	Retried  int                 `json:"retried"`
-	Degraded int                 `json:"degraded"`
-	Failed   int                 `json:"failed"`
-	Panics   int                 `json:"panics"`
-	Stages   []metrics.StageStat `json:"stages,omitempty"`
+	Done     int `json:"done"`
+	Retried  int `json:"retried"`
+	Degraded int `json:"degraded"`
+	Failed   int `json:"failed"`
+	Panics   int `json:"panics"`
+	// FastPathed counts sessions resolved by the triage fast path
+	// (attributed to a campaign or cut at the lexical stage) — included in
+	// Done.
+	FastPathed int                 `json:"fastPathed,omitempty"`
+	Stages     []metrics.StageStat `json:"stages,omitempty"`
 }
 
 // HeartbeatRequest renews a lease and reports progress.

@@ -33,7 +33,11 @@ type Status struct {
 	// accepted shards, and reported live by in-flight leases.
 	DoneURLs int `json:"doneUrls"`
 	// Recovered is the startup-scan share of DoneURLs (the resume case).
-	Recovered     int            `json:"recovered"`
+	Recovered int `json:"recovered"`
+	// FastPathed counts sessions the triage funnel resolved without a full
+	// browser crawl (accepted shards plus live leases); included in
+	// DoneURLs.
+	FastPathed    int            `json:"fastPathed,omitempty"`
 	Leases        int            `json:"leases"`
 	LeasesDone    int            `json:"leasesDone"`
 	LeasesActive  int            `json:"leasesActive"`
@@ -88,10 +92,12 @@ func (c *Coordinator) Status() Status {
 			ws.Lease = Lease{Start: ls.start, End: ls.end}.Range()
 			ws.Attempt = w.attempt
 			live += w.progress.Done
+			st.FastPathed += w.progress.FastPathed
 			stages = metrics.MergeStageStats(stages, w.progress.Stages)
 		}
 		st.Workers = append(st.Workers, ws)
 	}
+	st.FastPathed += c.acceptedSt.FastPathed
 	st.Stages = stages
 	st.DoneURLs = len(c.completed) + c.crawled + live
 	crawledNow := c.crawled + live
@@ -117,6 +123,9 @@ func (s Status) String() string {
 	fmt.Fprintf(&b, "fleet: %d/%d (%.1f%%) urls done", s.DoneURLs, s.TotalURLs, pct)
 	if s.Recovered > 0 {
 		fmt.Fprintf(&b, " (%d recovered)", s.Recovered)
+	}
+	if s.FastPathed > 0 {
+		fmt.Fprintf(&b, " | %d fast-path", s.FastPathed)
 	}
 	fmt.Fprintf(&b, " | leases %d/%d done, %d active, %d pending | %d workers | elapsed %s",
 		s.LeasesDone, s.Leases, s.LeasesActive, s.LeasesPending, len(s.Workers),

@@ -693,6 +693,36 @@ func (j *Journal) Sessions() ([]*crawler.SessionLog, error) {
 	return out, nil
 }
 
+// AppendTriage appends one triage plan record (an opaque, already-encoded
+// payload — the journal stays a byte store and never decodes triage
+// structures). Appended once, before a triage-enabled crawl's first
+// session, so a resumed run can verify its rebuilt plan matches.
+func (j *Journal) AppendTriage(payload []byte) error {
+	if j.opts.Sync == SyncGroup {
+		return j.appendGroup(KindTriage, append([]byte(nil), payload...), "")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.appendLocked(KindTriage, payload)
+	return err
+}
+
+// TriagePlans returns the payload of every triage plan record, oldest
+// first. A journal written by one uninterrupted or correctly-resumed
+// triage run holds exactly one; more than one with differing bytes means
+// runs with different triage configs wrote into the same directory.
+func (j *Journal) TriagePlans() ([][]byte, error) {
+	var out [][]byte
+	err := j.Scan(func(r Record) error {
+		if r.Kind != KindTriage {
+			return nil
+		}
+		out = append(out, append([]byte(nil), r.Payload...))
+		return nil
+	})
+	return out, err
+}
+
 // StatsRuns decodes the stats record of every completed run, oldest first.
 func (j *Journal) StatsRuns() ([]farm.Stats, error) {
 	var out []farm.Stats

@@ -29,6 +29,12 @@ const (
 	// KindStats frames a JSON-encoded farm.Stats — one run's aggregate
 	// statistics, appended when the run completes.
 	KindStats Kind = 2
+	// KindTriage frames a JSON-encoded triage plan record (the per-URL
+	// verdicts and campaign index assignments of internal/triage), appended
+	// once before a triage-enabled crawl starts. A resumed run rebuilds the
+	// plan from the feed and verifies it against this record, so a journal
+	// can never mix sessions from two different triage universes.
+	KindTriage Kind = 3
 )
 
 const (

@@ -1,0 +1,63 @@
+package phash
+
+import (
+	"testing"
+
+	"repro/internal/raster"
+)
+
+// TestUniformRenders pins the degenerate-image behavior triage probes can
+// hit (a blank page, a solid interstitial): a uniform image has no
+// gradients and every cell equals the mean, so the hash is all zeros —
+// which also means an all-black and an all-white render hash identically.
+// Campaign attribution therefore never keys on the raw hash alone for such
+// pages; the content hash and embedding (which do see color) discriminate.
+func TestUniformRenders(t *testing.T) {
+	black := Compute(raster.New(64, 64, raster.Black))
+	white := Compute(raster.New(64, 64, raster.White))
+	if black != (Hash{}) {
+		t.Errorf("all-black hash = %s, want all zeros", black)
+	}
+	if white != (Hash{}) {
+		t.Errorf("all-white hash = %s, want all zeros", white)
+	}
+	if d := Distance(black, white); d != 0 {
+		t.Errorf("Distance(black, white) = %d, want 0 (both degenerate)", d)
+	}
+}
+
+// TestDistanceIdentity: Distance(a, a) == 0 for a non-trivial render.
+func TestDistanceIdentity(t *testing.T) {
+	img := raster.New(100, 80, raster.White)
+	for y := 20; y < 40; y++ {
+		for x := 10; x < 60; x++ {
+			img.Pix[y*img.W+x] = raster.Navy
+		}
+	}
+	h := Compute(img)
+	if h == (Hash{}) {
+		t.Fatal("structured image hashed to zero; test image too plain")
+	}
+	if d := Distance(h, h); d != 0 {
+		t.Errorf("Distance(h, h) = %d, want 0", d)
+	}
+}
+
+// TestDistanceSingleBitFlips walks one-bit flips across the hash, pinning
+// the positions triage's 16-bit LSH bands cut on: the first and last bit of
+// a band, the word boundaries at 63/64 and 127/128 (where the gradient half
+// hands over to the brightness half), and the final bit. Each flip must
+// cost exactly 1 — the popcount loop has no edge seams.
+func TestDistanceSingleBitFlips(t *testing.T) {
+	base := Hash{0x0123456789ABCDEF, 0xFEDCBA9876543210, 0xAAAA5555AAAA5555, 0x00FF00FF00FF00FF}
+	for _, bit := range []int{0, 15, 16, 31, 32, 47, 48, 63, 64, 79, 127, 128, 143, 191, 192, 239, 240, 255} {
+		flipped := base
+		flipped[bit/64] ^= 1 << uint(bit%64)
+		if d := Distance(base, flipped); d != 1 {
+			t.Errorf("bit %d: Distance = %d, want 1", bit, d)
+		}
+		if d := Distance(flipped, base); d != 1 {
+			t.Errorf("bit %d (reversed): Distance = %d, want 1", bit, d)
+		}
+	}
+}

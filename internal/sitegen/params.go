@@ -119,6 +119,13 @@ type Params struct {
 	NumSites int
 	// Seed drives all randomness.
 	Seed int64
+	// MinCampaignSize clamps the sampled campaign (kit deployment) size
+	// from below, producing the clone-heavy feeds the triage funnel is
+	// built for (e.g. 12 on a 240-site corpus gives ~20 campaigns of ~12
+	// identical deployments each). 0 keeps the paper's heavy-tailed
+	// distribution untouched. The final campaign may still be smaller: it
+	// absorbs whatever remainder NumSites leaves.
+	MinCampaignSize int
 }
 
 // DefaultParams returns paper-scale parameters.

@@ -267,8 +267,17 @@ func Generate(p Params) *Corpus {
 	// dominate a small corpus's statistics; at paper scale the cap is far
 	// above the distribution's maximum.
 	maxSize := p.NumSites/25 + 3
+	// A clone-heavy corpus (MinCampaignSize > 0) lifts the floor — and the
+	// cap, when the floor exceeds it — while drawing from the same size
+	// distribution, so the campaign mix stays seeded identically.
+	if p.MinCampaignSize > maxSize {
+		maxSize = p.MinCampaignSize
+	}
 	for i := 0; total < p.NumSites; i++ {
 		size := campaignSize(g.rng)
+		if size < p.MinCampaignSize {
+			size = p.MinCampaignSize
+		}
 		if size > maxSize {
 			size = maxSize
 		}

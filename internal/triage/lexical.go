@@ -1,0 +1,232 @@
+// Package triage is the pre-session work-avoidance funnel of ROADMAP item
+// 1: real phishing feeds are ~90% clones of a few hundred kits, so crawling
+// every URL with a full interactive browser session wastes most of the
+// fleet's budget re-measuring pages it has already seen. The funnel has two
+// stages, both deterministic:
+//
+//  1. A URL-lexical scorer (per *Know Your Phish*: length, host entropy,
+//     digit/hyphen density, subdomain depth, brand-in-host, suspicious
+//     tokens) ranks feed entries before any browser session is spawned;
+//     -triage-topk optionally cuts the tail of the ranking outright.
+//  2. A campaign near-duplicate index (per *PhishSnap*): every eligible URL
+//     is probed once (one fetch, no interaction budget) and fingerprinted
+//     by DOM hash + pHash + the visualphish embedding; fingerprints land in
+//     a banded LSH index, and a URL matching an already-indexed campaign
+//     takes a fast-path "attributed to campaign X" session instead of a
+//     full crawl.
+//
+// The whole plan — scores, cuts, probes, campaign assignments — is computed
+// up front as a pure function of (feed, config): every process derives the
+// same feed locally (the property the fleet already leans on), probes each
+// URL exactly once, and clusters sequentially in feed order. A live index
+// updated as sessions complete would depend on completion order and break
+// the 1-vs-30-worker byte-determinism pin; the plan-ahead form cannot.
+package triage
+
+import (
+	"math"
+	"net/url"
+	"strings"
+)
+
+// Features are the URL-lexical signals, each normalized to [0, 1]. They are
+// exported so tests and reports can show per-feature attributions.
+type Features struct {
+	Length      float64 // overall URL length
+	HostEntropy float64 // Shannon entropy of the hostname characters
+	DigitRatio  float64 // digits in the hostname
+	Hyphens     float64 // hyphen density in the hostname
+	Subdomains  float64 // subdomain depth beyond the registrable domain
+	PathDepth   float64 // path segment count
+	BrandInHost float64 // a known brand token inside a non-brand hostname
+	Tokens      float64 // credential-phishing vocabulary in the URL
+	IPHost      float64 // raw-IP hostname
+}
+
+// Feature weights; they sum to 1 so Score stays in [0, 1].
+const (
+	wLength      = 0.10
+	wHostEntropy = 0.15
+	wDigitRatio  = 0.10
+	wHyphens     = 0.10
+	wSubdomains  = 0.10
+	wPathDepth   = 0.05
+	wBrandInHost = 0.20
+	wTokens      = 0.15
+	wIPHost      = 0.05
+)
+
+// suspiciousTokens is the credential-phishing vocabulary of *Know Your
+// Phish*-style lexical classifiers: terms that appear in phishing URLs far
+// more often than in benign ones.
+var suspiciousTokens = []string{
+	"login", "log-in", "signin", "sign-in", "verify", "secure", "account",
+	"update", "confirm", "webscr", "banking", "wallet", "password",
+	"support", "recover", "unlock", "auth",
+}
+
+// Score folds the features into one phishiness score in [0, 1]. Pure
+// float arithmetic over the weights above — no randomness, no clock — so
+// every process ranks a feed identically.
+func (f Features) Score() float64 {
+	s := wLength*f.Length + wHostEntropy*f.HostEntropy + wDigitRatio*f.DigitRatio +
+		wHyphens*f.Hyphens + wSubdomains*f.Subdomains + wPathDepth*f.PathDepth +
+		wBrandInHost*f.BrandInHost + wTokens*f.Tokens + wIPHost*f.IPHost
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Extract computes the lexical features of one URL. brandTokens is the
+// lowercase brand vocabulary (e.g. "paypal", "chase"); a token occurring
+// inside the hostname is the classic deceptive-domain signal.
+func Extract(rawURL string, brandTokens []string) Features {
+	var f Features
+	f.Length = clamp01(float64(len(rawURL)) / 80)
+	u, err := url.Parse(rawURL)
+	if err != nil || u.Host == "" {
+		// An unparseable feed entry scores on length alone; the crawl will
+		// classify it properly.
+		return f
+	}
+	host := strings.ToLower(u.Hostname())
+	f.HostEntropy = clamp01(shannonEntropy(host) / 4.5)
+	digits, hyphens := 0, 0
+	for _, r := range host {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '-':
+			hyphens++
+		}
+	}
+	if len(host) > 0 {
+		f.DigitRatio = clamp01(3 * float64(digits) / float64(len(host)))
+		f.Hyphens = clamp01(float64(hyphens) / 3)
+	}
+	if dots := strings.Count(host, "."); dots > 1 {
+		f.Subdomains = clamp01(float64(dots-1) / 3)
+	}
+	if segs := pathSegments(u.Path); segs > 0 {
+		f.PathDepth = clamp01(float64(segs) / 4)
+	}
+	if isIPHost(host) {
+		f.IPHost = 1
+	}
+	for _, tok := range brandTokens {
+		// The brand name inside a hostname that is not the brand's own
+		// domain label: "login.paypal-3-1.test" carries "paypal" as bait.
+		if tok != "" && strings.Contains(host, tok) {
+			f.BrandInHost = 1
+			break
+		}
+	}
+	full := strings.ToLower(rawURL)
+	hits := 0
+	for _, tok := range suspiciousTokens {
+		if strings.Contains(full, tok) {
+			hits++
+		}
+	}
+	f.Tokens = clamp01(float64(hits) / 2)
+	return f
+}
+
+// ScoreURL is the one-call form: extract features, fold to a score.
+func ScoreURL(rawURL string, brandTokens []string) float64 {
+	return Extract(rawURL, brandTokens).Score()
+}
+
+// Rank orders feed indices by descending lexical score, ties broken by
+// ascending feed index so the ranking is total and reproducible. Returns
+// the scores (indexed by feed position) and the ranked index order.
+func Rank(urls []string, brandTokens []string) (scores []float64, order []int) {
+	scores = make([]float64, len(urls))
+	order = make([]int, len(urls))
+	for i, u := range urls {
+		scores[i] = ScoreURL(u, brandTokens)
+		order[i] = i
+	}
+	// Insertion-grade stability is not enough here: the comparator itself is
+	// total (score desc, index asc), so any sort yields one answer.
+	sortRank(order, scores)
+	return scores, order
+}
+
+// sortRank sorts order by (score descending, index ascending).
+func sortRank(order []int, scores []float64) {
+	// A simple binary-insertion sort keeps this dependency-free; feed sizes
+	// here are crawl feeds (thousands), and this runs once per plan.
+	for i := 1; i < len(order); i++ {
+		x := order[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			y := order[mid]
+			if scores[y] > scores[x] || (scores[y] == scores[x] && y < x) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(order[lo+1:i+1], order[lo:i])
+		order[lo] = x
+	}
+}
+
+func shannonEntropy(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	var counts [256]int
+	n := 0
+	for i := 0; i < len(s); i++ {
+		counts[s[i]]++
+		n++
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+func pathSegments(p string) int {
+	n := 0
+	for _, seg := range strings.Split(p, "/") {
+		if seg != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func isIPHost(host string) bool {
+	if host == "" {
+		return false
+	}
+	for _, r := range host {
+		if (r < '0' || r > '9') && r != '.' {
+			return false
+		}
+	}
+	return strings.Count(host, ".") == 3
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

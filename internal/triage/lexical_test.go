@@ -1,0 +1,167 @@
+package triage
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestExtractFeatureSignals(t *testing.T) {
+	brands := []string{"chase", "paypal"}
+	tests := []struct {
+		name  string
+		url   string
+		check func(t *testing.T, f Features)
+	}{
+		{
+			name: "brand bait in a non-brand host",
+			url:  "http://login.chase-3-2.test/signin",
+			check: func(t *testing.T, f Features) {
+				if f.BrandInHost != 1 {
+					t.Errorf("BrandInHost = %g, want 1", f.BrandInHost)
+				}
+				if f.Tokens == 0 {
+					t.Errorf("Tokens = 0, want > 0 (login + signin)")
+				}
+				if f.Hyphens == 0 {
+					t.Errorf("Hyphens = 0, want > 0")
+				}
+			},
+		},
+		{
+			name: "raw IP host",
+			url:  "http://192.168.10.14/verify",
+			check: func(t *testing.T, f Features) {
+				if f.IPHost != 1 {
+					t.Errorf("IPHost = %g, want 1", f.IPHost)
+				}
+			},
+		},
+		{
+			name: "deep subdomains and path",
+			url:  "http://a.b.c.d.example.test/x/y/z/w/v",
+			check: func(t *testing.T, f Features) {
+				if f.Subdomains == 0 {
+					t.Errorf("Subdomains = 0, want > 0")
+				}
+				if f.PathDepth != 1 {
+					t.Errorf("PathDepth = %g, want 1 (5 segments, cap at 4)", f.PathDepth)
+				}
+			},
+		},
+		{
+			name: "plain benign-looking URL",
+			url:  "http://example.test/",
+			check: func(t *testing.T, f Features) {
+				if f.BrandInHost != 0 || f.IPHost != 0 || f.Tokens != 0 {
+					t.Errorf("benign URL tripped signals: %+v", f)
+				}
+			},
+		},
+		{
+			name: "unparseable entry scores on length only",
+			url:  "://not a url at all, but quite long regardless of that",
+			check: func(t *testing.T, f Features) {
+				if f.Length == 0 {
+					t.Errorf("Length = 0, want > 0")
+				}
+				if f.HostEntropy != 0 || f.BrandInHost != 0 {
+					t.Errorf("unparseable URL produced host features: %+v", f)
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			f := Extract(tc.url, brands)
+			tc.check(t, f)
+			if s := f.Score(); s < 0 || s > 1 {
+				t.Errorf("Score() = %g, want in [0,1]", s)
+			}
+		})
+	}
+}
+
+// TestScoreOrdering pins the property the funnel depends on: a URL loaded
+// with phishing signals outranks a plain one.
+func TestScoreOrdering(t *testing.T) {
+	brands := []string{"paypal"}
+	phishy := ScoreURL("http://secure-login.paypal-verify-account.192-update.test/signin/confirm", brands)
+	plain := ScoreURL("http://example.test/", brands)
+	if phishy <= plain {
+		t.Fatalf("phishy URL scored %g <= plain URL %g", phishy, plain)
+	}
+}
+
+// TestRankTotalOrder checks Rank against a reference sort: descending
+// score, ties broken by ascending feed index — a total order, so every
+// process ranks identically.
+func TestRankTotalOrder(t *testing.T) {
+	urls := []string{
+		"http://example.test/",
+		"http://login.paypal-1-1.test/signin",
+		"http://login.paypal-1-1.test/signin", // exact duplicate: ties with index 1
+		"http://192.168.0.1/verify/account",
+		"http://example.test/", // duplicate: ties with index 0
+	}
+	brands := []string{"paypal"}
+	scores, order := Rank(urls, brands)
+
+	want := make([]int, len(urls))
+	for i := range want {
+		want[i] = i
+	}
+	sort.SliceStable(want, func(a, b int) bool {
+		if scores[want[a]] != scores[want[b]] {
+			return scores[want[a]] > scores[want[b]]
+		}
+		return want[a] < want[b]
+	})
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (scores %v)", order, want, scores)
+		}
+	}
+
+	// Equal-shape URLs must tie and resolve by index.
+	if scores[1] != scores[2] {
+		t.Errorf("same-shape URLs scored %g vs %g, want equal", scores[1], scores[2])
+	}
+	posOf := func(idx int) int {
+		for p, o := range order {
+			if o == idx {
+				return p
+			}
+		}
+		return -1
+	}
+	if posOf(1) > posOf(2) {
+		t.Errorf("tie between indices 1 and 2 broke toward the later index")
+	}
+}
+
+func TestRankDeterministic(t *testing.T) {
+	urls := []string{
+		"http://a.test/", "http://b.test/login", "http://c.test/",
+		"http://d-d-d.test/verify", "http://e.test/x/y",
+	}
+	s1, o1 := Rank(urls, nil)
+	s2, o2 := Rank(urls, nil)
+	for i := range urls {
+		if s1[i] != s2[i] || o1[i] != o2[i] {
+			t.Fatalf("Rank not deterministic: run1 (%v, %v) run2 (%v, %v)", s1, o1, s2, o2)
+		}
+	}
+}
+
+func TestShannonEntropy(t *testing.T) {
+	if e := shannonEntropy(""); e != 0 {
+		t.Errorf("entropy(\"\") = %g, want 0", e)
+	}
+	if e := shannonEntropy("aaaa"); e != 0 {
+		t.Errorf("entropy(aaaa) = %g, want 0", e)
+	}
+	if e := shannonEntropy("ab"); math.Abs(e-1) > 1e-9 {
+		t.Errorf("entropy(ab) = %g, want 1", e)
+	}
+}
