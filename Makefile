@@ -28,9 +28,16 @@ vet:
 	$(GO) vet ./...
 
 # Static gate: formatting, go vet, and phishvet — the project's
-# determinism-and-durability linter (map-order leaks, wall-clock reads,
-# global randomness, dropped durability errors, non-atomic writes). See
-# docs/OPERATIONS.md for rule docs and the suppression syntax.
+# determinism-and-durability linter, nine rules across two layers: the
+# local ones (map-order leaks, wall-clock reads, global randomness,
+# dropped durability errors, non-atomic writes) and the flow-aware ones
+# built on the call graph and taint engine (locks held across blocking
+# ops, leak-prone goroutines, nondeterminism reaching journal sinks,
+# non-exhaustive switches over closed const sets). On failure the summary
+# line carries per-rule finding counts; `go run ./cmd/phishvet -json ./...`
+# emits the same findings one JSON object per line, and `-audit` lists
+# every suppression with its justification. See docs/OPERATIONS.md for
+# the rule catalog and suppression syntax.
 lint:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi

@@ -81,6 +81,7 @@ func runCoordinator(opts core.Options, fl fleetCLI) {
 		log.Fatalf("-fleet-addr %s: %v", fl.addr, err)
 	}
 	srv := &http.Server{Handler: coord.Handler()}
+	//phishvet:ignore goroleak: Serve is stopped by the deferred srv.Close on the next line; its return error is the normal ErrServerClosed
 	go srv.Serve(ln)
 	defer srv.Close()
 	fmt.Printf("Corpus: %d sites in %d campaigns. Fleet: coordinating %d URLs on http://%s\n",
@@ -132,6 +133,7 @@ func runWorkerMode(opts core.Options, fl fleetCLI) {
 	// Each lease gets a fresh monitor so heartbeat progress reports the
 	// shard being crawled, not the worker's lifetime totals.
 	var leaseMon atomic.Pointer[farm.Monitor]
+	//phishvet:ignore detertaint: the PID-derived worker name is lease bookkeeping on the coordinator — merged journal bytes are keyed by URL and stay identical whatever the workers are called
 	err = fleet.RunWorker(fleet.WorkerConfig{
 		Coordinator: fl.addr,
 		Name:        name,
@@ -189,6 +191,7 @@ func startFleetStatus(addr string, coord *fleet.Coordinator) (*http.Server, stri
 		return nil, "", fmt.Errorf("-status-addr %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: coord.Handler()}
+	//phishvet:ignore goroleak: Serve is stopped by the caller's deferred srv.Close; its return error is the normal ErrServerClosed
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -95,6 +95,7 @@ func startStatus(addr string, mon *farm.Monitor) (*http.Server, string, error) {
 		}
 	})
 	srv := &http.Server{Handler: mux}
+	//phishvet:ignore goroleak: Serve is stopped by the caller's deferred srv.Close; its return error is the normal ErrServerClosed
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

@@ -4,11 +4,14 @@
 //
 //	phishvet ./...                            # whole tree (make lint does this)
 //	phishvet -rules maporder,wallclock ./...  # a subset of rules
+//	phishvet -json ./...                      # one JSON object per finding
+//	phishvet -audit ./...                     # inventory every suppression
 //	phishvet ./internal/phishvet/testdata/src/maporder/...
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure
-// (including packages that do not type-check — findings in a broken
-// package are not trustworthy).
+// Exit status: 0 clean, 1 diagnostics reported (or, under -audit,
+// malformed suppressions found), 2 usage or load failure (including
+// packages that do not type-check — findings in a broken package are not
+// trustworthy).
 //
 // Suppress a finding with a justified ignore on the same line or the line
 // above; bare ignores are themselves diagnostics:
@@ -17,76 +20,197 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/phishvet"
 )
 
 func main() {
-	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
-	list := flag.Bool("list", false, "list rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: phishvet [-rules r1,r2] [-list] [packages]\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		for _, r := range phishvet.Rules() {
-			fmt.Printf("%-12s %s\n", r.Name, r.Doc)
-		}
-		return
+// jsonFinding fixes the machine-readable field order: file, line, col,
+// rule, message. Scripts parse this; the order is part of the contract.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonAudit is one suppression in -audit -json output. Bad is empty for
+// well-formed ignores and carries the defect otherwise.
+type jsonAudit struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Rule          string `json:"rule,omitempty"`
+	Justification string `json:"justification,omitempty"`
+	Bad           string `json:"bad,omitempty"`
+}
+
+// run is the whole CLI, factored so tests can pin flag validation, exit
+// codes, and output shapes without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("phishvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
+	list := fs.Bool("list", false, "list rules and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (or per suppression with -audit)")
+	audit := fs.Bool("audit", false, "inventory every //phishvet:ignore instead of running rules")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: phishvet [-rules r1,r2] [-list] [-json] [-audit] [packages]\n")
+		fs.PrintDefaults()
 	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// -rules is validated before -list so `phishvet -list -rules nope`
+	// fails loudly instead of listing rules the filter would reject.
 	selected, err := phishvet.Select(*rules)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	patterns := flag.Args()
+	if *list {
+		for _, r := range selected {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	loader, err := phishvet.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	broken := false
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
 			broken = true
-			fmt.Fprintf(os.Stderr, "phishvet: %s: %v\n", pkg.Path, terr)
+			fmt.Fprintf(stderr, "phishvet: %s: %v\n", pkg.Path, terr)
 		}
 	}
 	if broken {
-		os.Exit(2)
+		return 2
+	}
+
+	// Relative paths keep output stable across checkouts and clickable
+	// from the repo root.
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(r) {
+			return r
+		}
+		return name
+	}
+
+	if *audit {
+		return runAudit(pkgs, rel, *jsonOut, stdout, stderr)
 	}
 
 	diags := phishvet.Check(pkgs, selected)
+	perRule := map[string]int{}
 	for _, d := range diags {
-		// Relative paths keep output stable across checkouts and clickable
-		// from the repo root.
-		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-			d.Pos.Filename = rel
+		d.Pos.Filename = rel(d.Pos.Filename)
+		perRule[d.Rule]++
+		if *jsonOut {
+			writeJSONLine(stdout, jsonFinding{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Rule,
+				Message: d.Message,
+			})
+			continue
 		}
-		fmt.Println(d)
+		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "phishvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "phishvet: %d finding(s) in %d package(s) (%s)\n",
+			len(diags), len(pkgs), ruleCounts(perRule))
+		return 1
 	}
+	return 0
+}
+
+// runAudit prints the full suppression inventory. Malformed ignores (the
+// suppression meta-rule's findings) flip the exit code to 1 so CI can
+// gate on a clean inventory.
+func runAudit(pkgs []*phishvet.Package, rel func(string) string, jsonOut bool, stdout, stderr io.Writer) int {
+	entries := phishvet.Audit(pkgs)
+	bad := 0
+	for _, e := range entries {
+		file := rel(e.Pos.Filename)
+		if e.Bad != "" {
+			bad++
+		}
+		if jsonOut {
+			writeJSONLine(stdout, jsonAudit{
+				File:          file,
+				Line:          e.Pos.Line,
+				Rule:          e.Rule,
+				Justification: e.Justification,
+				Bad:           e.Bad,
+			})
+			continue
+		}
+		if e.Bad != "" {
+			fmt.Fprintf(stdout, "%s:%d: [malformed] %s\n", file, e.Pos.Line, e.Bad)
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d: %s — %s\n", file, e.Pos.Line, e.Rule, e.Justification)
+	}
+	fmt.Fprintf(stderr, "phishvet: %d suppression(s), %d malformed\n", len(entries), bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// ruleCounts renders "rule:count" pairs sorted by rule name, the per-rule
+// breakdown `make lint` surfaces on failure.
+func ruleCounts(perRule map[string]int) string {
+	names := make([]string, 0, len(perRule))
+	for n := range perRule {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, perRule[n])
+	}
+	return strings.Join(parts, ", ")
+}
+
+func writeJSONLine(w io.Writer, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Structs of strings and ints cannot fail to marshal; keep the
+		// line-oriented contract even if that ever changes.
+		fmt.Fprintf(w, `{"error":%q}`+"\n", err.Error())
+		return
+	}
+	w.Write(append(b, '\n'))
 }

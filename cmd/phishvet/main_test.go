@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBadFlagsExitCode pins the CLI contract scripts depend on: every
+// usage error is exit 2 with a message on stderr, never a silent 0 or a
+// findings-style 1.
+func TestBadFlagsExitCode(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown rule", []string{"-rules", "nope"}, "unknown rule"},
+		{"unknown rule among valid", []string{"-rules", "maporder,nope"}, "unknown rule"},
+		{"list validates rules first", []string{"-list", "-rules", "nope"}, "unknown rule"},
+		{"undefined flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2", tc.args, code)
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestListHonorsRuleSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list", "-rules", "maporder"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "maporder") || strings.Contains(out, "wallclock") {
+		t.Errorf("-list -rules maporder printed:\n%s", out)
+	}
+}
+
+// TestBrokenPackageExitCode pins the loader edge: source that parses but
+// does not type-check must produce a clear stderr diagnostic and exit 2 —
+// findings from a half-typed package are not trustworthy.
+func TestBrokenPackageExitCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"internal/phishvet/testdata/src/broken/..."}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2; stderr %s", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "broken.go") {
+		t.Errorf("diagnostic %q does not name the failing file", msg)
+	}
+	if stdout.String() != "" {
+		t.Errorf("broken package still produced findings:\n%s", stdout.String())
+	}
+}
+
+// TestJSONOutput pins the machine-readable shape: one object per line,
+// stable field order (file, line, col, rule, message), and the per-rule
+// count breakdown in the stderr summary.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-rules", "maporder",
+		"internal/phishvet/testdata/src/maporder/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON findings")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, `{"file":`) {
+			t.Errorf("field order not pinned, line starts: %.40s", line)
+		}
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if f.Rule != "maporder" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+	if sum := stderr.String(); !strings.Contains(sum, "maporder:") {
+		t.Errorf("summary %q lacks per-rule counts", sum)
+	}
+}
+
+// TestAuditOutput runs the suppression inventory over the suppression
+// fixture, which deliberately contains malformed ignores: they must be
+// listed and flip the exit code to 1.
+func TestAuditOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-audit",
+		"internal/phishvet/testdata/src/suppression/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (fixture has malformed ignores); stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[malformed]") {
+		t.Errorf("audit output lacks malformed entries:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "suppression(s)") {
+		t.Errorf("missing audit summary, stderr %q", stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-audit", "-json",
+		"internal/phishvet/testdata/src/suppression/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("json audit exit %d, want 1", code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var e jsonAudit
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad JSON audit line %q: %v", line, err)
+		}
+	}
+}

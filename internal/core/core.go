@@ -414,6 +414,7 @@ func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, er
 	if err != nil {
 		return skipped, fmt.Errorf("core: journaling crawl: %w", err)
 	}
+	//phishvet:ignore detertaint: Stats.Elapsed is per-run operational accounting — determinism pins compare session records, never stats timing
 	if err := j.AppendStats(p.Stats); err != nil {
 		return skipped, fmt.Errorf("core: journaling run stats: %w", err)
 	}
@@ -455,6 +456,7 @@ func (p *Pipeline) CrawlJournalShard(j *journal.Journal, start, end int, done ma
 	if err != nil {
 		return fmt.Errorf("core: journaling shard crawl: %w", err)
 	}
+	//phishvet:ignore detertaint: Stats.Elapsed is per-run operational accounting — determinism pins compare session records, never stats timing
 	if err := j.AppendStats(p.Stats); err != nil {
 		return fmt.Errorf("core: journaling shard stats: %w", err)
 	}

@@ -90,7 +90,12 @@ func Retryable(outcome string) bool {
 	switch outcome {
 	case OutcomeDead, OutcomeTimeout, OutcomeServerError, OutcomeTruncated, OutcomeError:
 		return true
+	case OutcomeCompleted, OutcomeStuck, OutcomePageLimit, OutcomeTakedown,
+		OutcomeAttributed, OutcomeTriagedOut:
+		return false
 	}
+	// Outcomes minted outside this package (the farm's gave-up/lost/panic
+	// run-level outcomes) are final by definition.
 	return false
 }
 

@@ -15,6 +15,7 @@ import (
 // swept on the next Open. Returns how many superseded records were
 // dropped.
 func (j *Journal) Compact() (dropped int, err error) {
+	//phishvet:ignore locknoblock: compaction freezes the journal on purpose — a concurrent append into a segment being rewritten would corrupt the manifest swap
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {

@@ -47,6 +47,7 @@ func (j *Journal) appendGroup(kind Kind, payload []byte, url string) error {
 // append accepted before Close set stopping is still committed.
 func (j *Journal) commitLoop() {
 	for {
+		//phishvet:ignore locknoblock: group commit by design — the batch write+fsync happens under j.mu so appenders queue behind exactly one fsync
 		j.mu.Lock()
 		for len(j.pending) == 0 && !j.stopping {
 			j.groupCond.Wait()

@@ -397,6 +397,7 @@ func (j *Journal) AppendSession(lg *crawler.SessionLog) error {
 	if j.opts.Sync == SyncGroup {
 		return j.appendGroup(KindSession, payload, lg.SeedURL)
 	}
+	//phishvet:ignore locknoblock: j.mu is the WAL's write order — the append and its fsync must be serialized against every other writer
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	seq, err := j.appendLocked(KindSession, payload)
@@ -423,6 +424,7 @@ func (j *Journal) AppendStats(st farm.Stats) error {
 	if j.opts.Sync == SyncGroup {
 		return j.appendGroup(KindStats, payload, "")
 	}
+	//phishvet:ignore locknoblock: j.mu is the WAL's write order — the append and its fsync must be serialized against every other writer
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	_, err = j.appendLocked(KindStats, payload)
@@ -460,6 +462,10 @@ func (j *Journal) appendLocked(kind Kind, payload []byte) (uint64, error) {
 				return 0, err
 			}
 		}
+	case SyncGroup, SyncNone:
+		// SyncGroup records reach here through the commit loop, which
+		// fsyncs the whole batch in commitBatchLocked; SyncNone leaves
+		// durability to the OS page cache by contract.
 	}
 	return seq, nil
 }
@@ -533,6 +539,7 @@ func (j *Journal) writeManifest() error {
 // Sync forces everything appended so far — including appends still queued
 // for group commit — to stable storage.
 func (j *Journal) Sync() error {
+	//phishvet:ignore locknoblock: Sync's contract is "blocked appenders wait for stable storage" — the fsync must happen inside the write lock
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -560,6 +567,7 @@ func (j *Journal) Close() error {
 		}
 		j.mu.Unlock()
 		<-j.loopDone
+		//phishvet:ignore locknoblock: final checkpoint + segment close must exclude any late appender; nothing else runs after Close
 		j.mu.Lock()
 		if j.closed { // a concurrent Close finished while we waited
 			j.mu.Unlock()
@@ -701,6 +709,7 @@ func (j *Journal) AppendTriage(payload []byte) error {
 	if j.opts.Sync == SyncGroup {
 		return j.appendGroup(KindTriage, append([]byte(nil), payload...), "")
 	}
+	//phishvet:ignore locknoblock: j.mu is the WAL's write order — the append and its fsync must be serialized against every other writer
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	_, err := j.appendLocked(KindTriage, payload)

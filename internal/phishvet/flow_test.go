@@ -1,0 +1,152 @@
+package phishvet
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata fixture tree through the shared loader.
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := testLoader(t).Load("internal/phishvet/testdata/src/" + name + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// findFunc locates a declared function by its display name within the
+// graph, optionally narrowed by a package-path suffix.
+func findFunc(t *testing.T, cg *CallGraph, pkgSuffix, display string) *FuncInfo {
+	t.Helper()
+	for _, fi := range cg.Funcs() {
+		if funcDisplay(fi.Fn) == display && strings.HasSuffix(fi.Pkg.Path, pkgSuffix) {
+			return fi
+		}
+	}
+	t.Fatalf("function %s not found in %s", display, pkgSuffix)
+	return nil
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	pkgs := loadFixture(t, "locknoblock")
+	cg := BuildCallGraph(pkgs)
+
+	flush := findFunc(t, cg, "locknoblock", "(*locknoblock.store).flush")
+	var callees []string
+	for _, c := range cg.Callees(flush.Fn) {
+		callees = append(callees, funcDisplay(c))
+	}
+	joined := strings.Join(callees, " ")
+	if !strings.Contains(joined, "(*locknoblock.store).writeLocked") {
+		t.Errorf("flush callees = %v, want (*store).writeLocked among them", callees)
+	}
+	// Lock/Unlock on the embedded sync.Mutex resolve to stdlib methods —
+	// present as edges, but with no FuncInfo (not declared in the module).
+	if !strings.Contains(joined, "(*sync.Mutex).Lock") {
+		t.Errorf("flush callees = %v, want (*sync.Mutex).Lock among them", callees)
+	}
+	for _, c := range cg.Callees(flush.Fn) {
+		if funcDisplay(c) == "(*sync.Mutex).Lock" && cg.Info(c) != nil {
+			t.Error("stdlib method has a module FuncInfo")
+		}
+	}
+
+	wl := findFunc(t, cg, "locknoblock", "(*locknoblock.store).writeLocked")
+	if wl.Decl == nil || wl.Decl.Body == nil {
+		t.Error("writeLocked FuncInfo lost its declaration")
+	}
+
+	// Calls inside function literals fold into the enclosing declaration.
+	pkgs2 := loadFixture(t, "goroleak")
+	cg2 := BuildCallGraph(pkgs2)
+	worker := findFunc(t, cg2, "goroleak", "goroleak.worker")
+	var names []string
+	for _, c := range cg2.Callees(worker.Fn) {
+		names = append(names, funcDisplay(c))
+	}
+	if !strings.Contains(strings.Join(names, " "), "(*sync.WaitGroup).Done") {
+		t.Errorf("worker callees = %v, want the closure's wg.Done folded in", names)
+	}
+}
+
+func TestBlockAnalysisTransitive(t *testing.T) {
+	pkgs := loadFixture(t, "locknoblock")
+	cg := BuildCallGraph(pkgs)
+	ba := newBlockAnalysis(cg)
+
+	wl := findFunc(t, cg, "locknoblock", "(*locknoblock.store).writeLocked")
+	if res := ba.fnBlocks(wl.Fn); !res.blocks {
+		t.Error("writeLocked should block (file I/O)")
+	}
+	// flush blocks transitively through writeLocked.
+	flush := findFunc(t, cg, "locknoblock", "(*locknoblock.store).flush")
+	if res := ba.fnBlocks(flush.Fn); !res.blocks {
+		t.Error("flush should block through writeLocked")
+	}
+	// park only calls Cond.Wait, which releases its mutex: not blocking.
+	park := findFunc(t, cg, "locknoblock", "(*locknoblock.store).park")
+	if res := ba.fnBlocks(park.Fn); res.blocks {
+		t.Errorf("park should not count Cond.Wait as blocking (leaf %q)", res.leaf)
+	}
+}
+
+func TestTaintSummaries(t *testing.T) {
+	pkgs := loadFixture(t, "detertaint")
+	cg := BuildCallGraph(pkgs)
+	ta := newTaintAnalysis(cg)
+
+	// stamper.Stamp reads the seam clock: its single result carries the
+	// source bit out to callers.
+	stamp := findFunc(t, cg, "stamper", "stamper.Stamp")
+	sum := ta.summary(stamp.Fn)
+	if len(sum.results) != 1 || sum.results[0]&maskSource == 0 {
+		t.Errorf("Stamp summary results = %v, want source bit set", sum.results)
+	}
+	if len(sum.hits) != 0 {
+		t.Errorf("Stamp itself reaches no sink, got hits %v", sum.hits)
+	}
+
+	// record sinks its second parameter symbolically: callers are charged.
+	record := findFunc(t, cg, "detertaint", "detertaint.record")
+	sum = ta.summary(record.Fn)
+	if got := sum.paramToSink[1]; got != "journal.AppendNote" {
+		t.Errorf("record paramToSink[1] = %q, want journal.AppendNote", got)
+	}
+	if len(sum.hits) != 0 {
+		t.Errorf("record passes only parameter taint, got hits %v", sum.hits)
+	}
+
+	// The laundered flow lands as a hit in the calling function.
+	flagged := findFunc(t, cg, "detertaint", "detertaint.flagged")
+	sum = ta.summary(flagged.Fn)
+	if len(sum.hits) != 1 || sum.hits[0].sink != "journal.AppendNote" {
+		t.Fatalf("flagged hits = %v, want one journal.AppendNote hit", sum.hits)
+	}
+	// Seed-derived bytes stay clean.
+	clean := findFunc(t, cg, "detertaint", "detertaint.clean")
+	if sum = ta.summary(clean.Fn); len(sum.hits) != 0 {
+		t.Errorf("clean hits = %v, want none", sum.hits)
+	}
+}
+
+// TestLoaderBrokenFixture pins the loader's failure mode for source that
+// parses but does not type-check: the error lands in pkg.TypeErrors with
+// a position and message, nothing panics, and no diagnostics are minted
+// from the half-typed package by accident.
+func TestLoaderBrokenFixture(t *testing.T) {
+	pkgs, err := testLoader(t).Load("internal/phishvet/testdata/src/broken/...")
+	if err != nil {
+		t.Fatalf("type errors must be collected, not returned from Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) == 0 {
+		t.Fatal("broken fixture produced no type errors")
+	}
+	msg := pkgs[0].TypeErrors[0].Error()
+	if !strings.Contains(msg, "broken.go") {
+		t.Errorf("type error %q does not name the file", msg)
+	}
+}

@@ -53,9 +53,47 @@ type Rule struct {
 
 // Pass hands one package to one rule and collects its reports.
 type Pass struct {
-	Pkg   *Package
-	rule  string
-	diags *[]Diagnostic
+	Pkg    *Package
+	rule   string
+	diags  *[]Diagnostic
+	shared *shared
+}
+
+// shared is the per-Check analysis state the flow-aware rules build over
+// the whole package set: the call graph and the per-function summary
+// caches (blocking classification, taint). It is constructed lazily — a
+// run restricted to the purely syntactic rules never pays for it — and
+// computed once per Check call, so checking N packages costs one graph
+// and one summary pass, not N.
+type shared struct {
+	pkgs  []*Package
+	cg    *CallGraph
+	block *blockAnalysis
+	taint *taintAnalysis
+}
+
+// graph returns the lazily built whole-run call graph.
+func (p *Pass) graph() *CallGraph {
+	if p.shared.cg == nil {
+		p.shared.cg = BuildCallGraph(p.shared.pkgs)
+	}
+	return p.shared.cg
+}
+
+// blocking returns the lazily built blocking-call summary cache.
+func (p *Pass) blocking() *blockAnalysis {
+	if p.shared.block == nil {
+		p.shared.block = newBlockAnalysis(p.graph())
+	}
+	return p.shared.block
+}
+
+// taintState returns the lazily built taint summary cache.
+func (p *Pass) taintState() *taintAnalysis {
+	if p.shared.taint == nil {
+		p.shared.taint = newTaintAnalysis(p.graph())
+	}
+	return p.shared.taint
 }
 
 // Reportf records a finding at pos.
@@ -114,9 +152,14 @@ func within(pkgPath, segments string) bool {
 	return strings.Contains("/"+pkgPath+"/", "/"+segments+"/")
 }
 
-// Rules returns every rule in stable order.
+// Rules returns every rule in stable order: the five syntactic fast-path
+// rules first, then the four flow-aware rules built on the call graph and
+// taint engine.
 func Rules() []Rule {
-	return []Rule{maporderRule(), wallclockRule(), globalrandRule(), checkedsyncRule(), atomicwriteRule()}
+	return []Rule{
+		maporderRule(), wallclockRule(), globalrandRule(), checkedsyncRule(), atomicwriteRule(),
+		locknoblockRule(), goroleakRule(), detertaintRule(), kindswitchRule(),
+	}
 }
 
 // RuleNames returns the names of rs.
@@ -137,6 +180,7 @@ type suppression struct {
 	file string
 	line int
 	rule string
+	just string
 	pos  token.Pos
 	used bool
 	// bad carries the rejection message for malformed ignores ("" = valid).
@@ -174,6 +218,7 @@ func parseSuppressions(pkg *Package, known map[string]bool) []suppression {
 					s.bad = fmt.Sprintf("//phishvet:ignore names unknown rule %q (known: %s)", rule, strings.Join(RuleNames(Rules()), ", "))
 				default:
 					s.rule = rule
+					s.just = strings.TrimSpace(just)
 				}
 				out = append(out, s)
 			}
@@ -202,11 +247,12 @@ func Check(pkgs []*Package, rules []Rule) []Diagnostic {
 	for _, r := range rules {
 		enabled[r.Name] = true
 	}
+	sh := &shared{pkgs: pkgs}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		for _, r := range rules {
-			r.Run(&Pass{Pkg: pkg, rule: r.Name, diags: &raw})
+			r.Run(&Pass{Pkg: pkg, rule: r.Name, diags: &raw, shared: sh})
 		}
 		sups := parseSuppressions(pkg, known)
 		for _, d := range raw {
@@ -248,6 +294,45 @@ func Check(pkgs []*Package, rules []Rule) []Diagnostic {
 			return a.Pos.Column < b.Pos.Column
 		}
 		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// AuditEntry is one //phishvet:ignore comment found in the tree, for the
+// CLI's -audit mode. Malformed ignores come back with Bad set to their
+// rejection message.
+type AuditEntry struct {
+	Pos           token.Position
+	Rule          string
+	Justification string
+	Bad           string
+}
+
+// Audit collects every //phishvet:ignore in the packages, in position
+// order, so the full suppression inventory stays one command away as the
+// count grows.
+func Audit(pkgs []*Package) []AuditEntry {
+	known := map[string]bool{}
+	for _, r := range Rules() {
+		known[r.Name] = true
+	}
+	var out []AuditEntry
+	for _, pkg := range pkgs {
+		for _, s := range parseSuppressions(pkg, known) {
+			out = append(out, AuditEntry{
+				Pos:           pkg.Fset.Position(s.pos),
+				Rule:          s.rule,
+				Justification: s.just,
+				Bad:           s.bad,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
 	})
 	return out
 }

@@ -119,6 +119,17 @@ func TestCheckedsyncFixture(t *testing.T) {
 }
 func TestAtomicwriteFixture(t *testing.T) { checkFixture(t, "atomicwrite") }
 func TestSuppressionFixture(t *testing.T) { checkFixture(t, "suppression") }
+func TestLocknoblockFixture(t *testing.T) { checkFixture(t, "locknoblock") }
+func TestGoroleakFixture(t *testing.T)    { checkFixture(t, "goroleak") }
+func TestKindswitchFixture(t *testing.T)  { checkFixture(t, "kindswitch") }
+
+// TestDetertaintFixture is the acceptance pin for the taint engine: the
+// fixture's clock read happens behind the sanctioned metrics seam, so the
+// local wallclock rule sees nothing anywhere in the flagged packages —
+// the exact-match harness would fail on any stray wallclock diagnostic —
+// while detertaint tracks the value across two package boundaries to the
+// journal sink.
+func TestDetertaintFixture(t *testing.T) { checkFixture(t, "detertaint") }
 
 // TestRepoIsViolationFree is the pin the whole PR exists for: the real
 // tree, checked with every rule, must stay clean. A failure here means a

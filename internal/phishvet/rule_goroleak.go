@@ -1,0 +1,128 @@
+package phishvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The goroleak rule flags goroutines launched with no reachable stop
+// path. The crawl's kill/resume and fleet-merge guarantees assume every
+// background loop — commit loops, heartbeats, progress tickers — parks on
+// a signal it can be released from; a goroutine spinning in a `for {}`
+// with no select, channel receive, Wait, or return outlives the run and
+// keeps mutating shared state through shutdown.
+//
+// Two shapes are checked:
+//   - A goroutine body the analyzer can see (function literal or
+//     module-local function): every infinite for-loop in it must contain a
+//     select, a channel receive, a range over a channel, a Wait call, or a
+//     return statement.
+//   - An external callee (e.g. (*http.Server).Serve): unknowable, so the
+//     launch must pass a context or channel argument — otherwise the stop
+//     path lives outside what the analyzer can verify and the site needs a
+//     justified suppression naming it (the repo's `go srv.Serve(ln)` sites
+//     document their deferred Close this way).
+
+func goroleakRule() Rule {
+	return Rule{
+		Name: "goroleak",
+		Doc:  "goroutines with no reachable stop path (no select/receive/Wait/return in their loops)",
+		Run: func(p *Pass) {
+			for _, f := range p.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					checkGoStmt(p, g)
+					return true
+				})
+			}
+		},
+	}
+}
+
+func checkGoStmt(p *Pass, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		checkGoroutineBody(p, g, lit.Body)
+		return
+	}
+	fn := staticCallee(p.Pkg.Info, g.Call)
+	if fn == nil {
+		return // function value: unknowable, covered by review
+	}
+	if fi := p.graph().Info(fn); fi != nil && fi.Decl.Body != nil {
+		checkGoroutineBody(p, g, fi.Decl.Body)
+		return
+	}
+	// External callee: require an explicit stop conduit in the arguments.
+	for _, arg := range g.Call.Args {
+		if tv, ok := p.Pkg.Info.Types[arg]; ok && tv.Type != nil && isStopConduit(tv.Type) {
+			return
+		}
+	}
+	p.Reportf(g.Pos(),
+		"goroutine runs external %s with no context or stop-channel argument: ensure a shutdown path exists and justify with //phishvet:ignore goroleak",
+		funcDisplay(fn))
+}
+
+// isStopConduit reports whether t can carry a stop signal: a channel or a
+// context.Context.
+func isStopConduit(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkGoroutineBody requires every infinite for-loop in the body to
+// contain some statement that can release it.
+func checkGoroutineBody(p *Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasStopPath(p, loop.Body) {
+			p.Reportf(g.Pos(),
+				"goroutine loops forever with no stop path (no select, channel receive, Wait, or return): it outlives the crawl — park it on a done channel or context")
+		}
+		return true
+	})
+}
+
+func loopHasStopPath(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt, *ast.ReturnStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(p.Pkg.Info, n); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,439 @@
+package phishvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The locknoblock rule flags a sync.Mutex/RWMutex held across a blocking
+// operation — file I/O, fsync, channel sends and receives, net/http
+// round-trips, WaitGroup.Wait — directly or through any statically
+// resolvable call chain. Holding a lock across I/O turns every other
+// acquirer into a queue behind the disk: the exact hazard class of the
+// journal's commit path, the farm's tally lock, and the fleet
+// coordinator's lease table. sync.Cond.Wait is deliberately not counted
+// (it releases its mutex while parked), and calls through function values
+// or interface methods are unknown to the call graph and pass unchecked.
+//
+// The one legitimate shape — a mutex that exists to serialize the I/O
+// itself, like the journal WAL's — is expected to carry a justified
+// //phishvet:ignore at each Lock site, so the full inventory of
+// lock-across-I/O sections stays visible in `phishvet -audit`.
+
+func locknoblockRule() Rule {
+	return Rule{
+		Name: "locknoblock",
+		Doc:  "sync.Mutex/RWMutex held across blocking operations (I/O, channels, HTTP, Wait)",
+		Run: func(p *Pass) {
+			ba := p.blocking()
+			for _, f := range p.Pkg.Files {
+				for _, d := range f.Decls {
+					decl, ok := d.(*ast.FuncDecl)
+					if !ok || decl.Body == nil {
+						continue
+					}
+					rs := &regionScanner{pass: p, ba: ba, held: map[string]*lockRegion{}}
+					rs.walk(decl.Body.List)
+				}
+			}
+		},
+	}
+}
+
+// lockRegion is one critical section in flight during the scan.
+type lockRegion struct {
+	pos      token.Pos
+	reported bool
+}
+
+// regionScanner walks one function's statements in source order tracking
+// which mutexes are held. The tracking is deliberately syntactic: an
+// Unlock inside a nested block that ends by returning (the common
+// `if closed { mu.Unlock(); return }` guard) does not release the outer
+// region, because the fallthrough path still holds the lock; any other
+// nested Unlock conservatively does, so follow-up statements are not
+// falsely flagged (the journal's Close unlocks mid-function to wait for
+// the commit loop).
+type regionScanner struct {
+	pass *Pass
+	ba   *blockAnalysis
+	held map[string]*lockRegion
+}
+
+func (rs *regionScanner) walk(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		rs.stmt(s)
+	}
+}
+
+// nested walks a block whose execution is conditional. If the block ends
+// by leaving the function or loop, lock-state changes inside it are
+// discarded for the code after it — that path never falls through.
+func (rs *regionScanner) nested(stmts []ast.Stmt) {
+	if endsTerminating(stmts) {
+		saved := map[string]*lockRegion{}
+		for k, v := range rs.held {
+			saved[k] = v
+		}
+		rs.walk(stmts)
+		rs.held = saved
+		return
+	}
+	rs.walk(stmts)
+}
+
+func endsTerminating(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+	}
+	return false
+}
+
+func (rs *regionScanner) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, acquire, ok := rs.lockCall(call); ok {
+				if acquire {
+					rs.held[key] = &lockRegion{pos: call.Pos()}
+				} else {
+					delete(rs.held, key)
+				}
+				return
+			}
+		}
+		rs.checkExpr(s.X)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the region open to function end; any
+		// other deferred call runs at return, outside the scan's scope.
+	case *ast.GoStmt:
+		// The spawned goroutine does not block the section that launches it.
+	case *ast.SendStmt:
+		rs.report("channel send", s.Pos())
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			rs.checkExpr(e)
+		}
+		for _, e := range s.Lhs {
+			rs.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						rs.checkExpr(e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			rs.checkExpr(e)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			rs.stmt(s.Init)
+		}
+		rs.checkExpr(s.Cond)
+		rs.nested(s.Body.List)
+		if s.Else != nil {
+			rs.nested([]ast.Stmt{s.Else})
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			rs.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			rs.checkExpr(s.Cond)
+		}
+		rs.nested(s.Body.List)
+	case *ast.RangeStmt:
+		if tv, ok := rs.pass.Pkg.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				rs.report("range over channel", s.Pos())
+			}
+		}
+		rs.checkExpr(s.X)
+		rs.nested(s.Body.List)
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false // a default arm makes the select a poll
+			}
+		}
+		if blocking {
+			rs.report("select", s.Pos())
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				rs.nested(cc.Body)
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			rs.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			rs.checkExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					rs.checkExpr(e)
+				}
+				rs.nested(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			rs.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				rs.nested(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		rs.nested(s.List)
+	case *ast.LabeledStmt:
+		rs.stmt(s.Stmt)
+	case *ast.IncDecStmt:
+		rs.checkExpr(s.X)
+	}
+}
+
+// checkExpr looks for blocking operations in an expression evaluated while
+// locks are held. Function literals are skipped: a literal appearing in an
+// expression is a value, not a call.
+func (rs *regionScanner) checkExpr(e ast.Expr) {
+	if len(rs.held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				rs.report("channel receive", n.Pos())
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(rs.pass.Pkg.Info, n); fn != nil {
+				if res := rs.ba.fnBlocks(fn); res.blocks {
+					rs.report(res.describe(fn), n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// report charges one diagnostic to every open region, at its Lock site, so
+// a suppression placed on the Lock line covers the whole critical section.
+func (rs *regionScanner) report(what string, at token.Pos) {
+	keys := make([]string, 0, len(rs.held))
+	for key := range rs.held {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		region := rs.held[key]
+		if region.reported {
+			continue
+		}
+		region.reported = true
+		line := rs.pass.Pkg.Fset.Position(at).Line
+		rs.pass.Reportf(region.pos,
+			"%s is held across a blocking operation: %s (line %d) — shrink the critical section or justify with //phishvet:ignore locknoblock",
+			key, what, line)
+	}
+}
+
+// lockCall classifies mu.Lock/RLock/Unlock/RUnlock calls. The key is the
+// receiver expression's source text ("j.mu", "l" for an embedded mutex),
+// which matches acquire to release within one function.
+func (rs *regionScanner) lockCall(call *ast.CallExpr) (key string, acquire, ok bool) {
+	fn := staticCallee(rs.pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// blockAnalysis memoizes, per function, whether calling it can block —
+// directly or through any statically resolvable callee. This is the
+// per-function summary cache that keeps whole-repo analysis linear in the
+// number of declarations.
+type blockAnalysis struct {
+	cg         *CallGraph
+	memo       map[*types.Func]blockRes
+	inProgress map[*types.Func]bool
+}
+
+type blockRes struct {
+	blocks bool
+	// leaf names the underlying blocking operation for diagnostics.
+	leaf string
+}
+
+func (r blockRes) describe(via *types.Func) string {
+	if r.leaf == "" {
+		return "call to " + funcDisplay(via)
+	}
+	if strings.HasPrefix(r.leaf, "call to ") && strings.Contains(r.leaf, funcDisplay(via)) {
+		return r.leaf
+	}
+	return "call to " + funcDisplay(via) + ", which reaches " + r.leaf
+}
+
+func newBlockAnalysis(cg *CallGraph) *blockAnalysis {
+	return &blockAnalysis{cg: cg, memo: map[*types.Func]blockRes{}, inProgress: map[*types.Func]bool{}}
+}
+
+// fnBlocks reports whether a call to fn can block.
+func (ba *blockAnalysis) fnBlocks(fn *types.Func) blockRes {
+	if r, ok := ba.memo[fn]; ok {
+		return r
+	}
+	if ba.inProgress[fn] {
+		return blockRes{} // recursion: optimistic, the outer frame decides
+	}
+	fi := ba.cg.Info(fn)
+	if fi == nil || fi.Decl.Body == nil {
+		r := externBlocks(fn)
+		ba.memo[fn] = r
+		return r
+	}
+	ba.inProgress[fn] = true
+	defer delete(ba.inProgress, fn)
+	var res blockRes
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if res.blocks {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // runs concurrently, does not block this call
+		case *ast.SendStmt:
+			res = blockRes{blocks: true, leaf: "channel send"}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				res = blockRes{blocks: true, leaf: "channel receive"}
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					blocking = false
+				}
+			}
+			if blocking {
+				res = blockRes{blocks: true, leaf: "select"}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := fi.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					res = blockRes{blocks: true, leaf: "range over channel"}
+				}
+			}
+		case *ast.CallExpr:
+			callee := staticCallee(fi.Pkg.Info, n)
+			if callee == nil || callee == fn {
+				return true
+			}
+			if sub := ba.fnBlocks(callee); sub.blocks {
+				leaf := sub.leaf
+				if leaf == "" {
+					leaf = "call to " + funcDisplay(callee)
+				}
+				res = blockRes{blocks: true, leaf: leaf}
+			}
+		}
+		return !res.blocks
+	})
+	ba.memo[fn] = res
+	return res
+}
+
+// blockingStdlib names the stdlib calls treated as blocking, by package
+// path. File I/O and fsync, HTTP round-trips, dial/listen/accept,
+// subprocesses, sleeps, and WaitGroup.Wait; sync.Cond.Wait is excluded
+// because it releases its mutex while parked.
+var blockingStdlib = map[string]map[string]bool{
+	"os": setOf("Create", "CreateTemp", "Open", "OpenFile", "WriteFile", "ReadFile",
+		"ReadDir", "Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll", "MkdirTemp",
+		"Stat", "Lstat", "Truncate", "Chmod", "Chtimes", "Link", "Symlink",
+		"Sync", "Read", "ReadAt", "Write", "WriteString", "WriteAt", "Close", "Seek"),
+	"io":            setOf("Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "WriteString"),
+	"io/fs":         setOf("ReadFile", "ReadDir", "WalkDir"),
+	"path/filepath": setOf("Walk", "WalkDir"),
+	"bufio": setOf("Flush", "Read", "ReadByte", "ReadBytes", "ReadString",
+		"ReadRune", "ReadSlice", "ReadLine", "Write", "WriteString"),
+	"time": setOf("Sleep"),
+}
+
+func setOf(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// externBlocks classifies functions the analyzed packages do not declare.
+func externBlocks(fn *types.Func) blockRes {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return blockRes{}
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch path {
+	case "net/http", "os/exec":
+		return blockRes{blocks: true, leaf: "call to " + funcDisplay(fn)}
+	case "net":
+		if strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") || name == "Accept" {
+			return blockRes{blocks: true, leaf: "call to " + funcDisplay(fn)}
+		}
+		return blockRes{}
+	case "sync":
+		// Only WaitGroup.Wait: Cond.Wait releases the mutex it guards.
+		if name == "Wait" {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+				strings.Contains(recv.Type().String(), "WaitGroup") {
+				return blockRes{blocks: true, leaf: "call to " + funcDisplay(fn)}
+			}
+		}
+		return blockRes{}
+	}
+	if names, ok := blockingStdlib[path]; ok && names[name] {
+		return blockRes{blocks: true, leaf: "call to " + funcDisplay(fn)}
+	}
+	return blockRes{}
+}

@@ -1,0 +1,10 @@
+// Package broken fails type-checking on purpose: the loader must report
+// a clear diagnostic (and the CLI must exit 2) instead of panicking or
+// silently analyzing a half-typed package. The file parses and is
+// gofmt-clean; only the types are wrong.
+package broken
+
+func mismatch() int {
+	var s string = 42
+	return s
+}

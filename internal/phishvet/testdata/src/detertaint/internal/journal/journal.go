@@ -1,0 +1,14 @@
+// Package journal mimics the production journal's append surface: any
+// exported Append* function inside an internal/journal path is a
+// detertaint sink — its payload bytes must be a pure function of the
+// feed seed.
+package journal
+
+// Journal is an in-memory stand-in for the WAL.
+type Journal struct{ buf []byte }
+
+// AppendNote is the sink the fixtures write through.
+func (j *Journal) AppendNote(payload []byte) error {
+	j.buf = append(j.buf, payload...)
+	return nil
+}

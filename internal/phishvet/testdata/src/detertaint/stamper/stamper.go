@@ -1,0 +1,14 @@
+// Package stamper launders a seam clock reading into an innocent-looking
+// byte payload. There is no time.Now selector anywhere in this package,
+// so the local wallclock rule provably sees nothing here — the
+// cross-function flow is exactly the gap the taint engine closes.
+package stamper
+
+import "repro/internal/phishvet/testdata/src/detertaint/internal/metrics"
+
+// Stamp returns the current wall time as bytes. Its summary carries the
+// source bit out to every caller.
+func Stamp() []byte {
+	t := metrics.Now()
+	return []byte(t.String())
+}

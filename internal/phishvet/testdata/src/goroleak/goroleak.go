@@ -1,0 +1,80 @@
+// Package goroleak exercises the goroleak rule: goroutines must have a
+// reachable stop path — a select, channel receive, Wait, or return in
+// every infinite loop, or (for external callees) a context/stop-channel
+// argument the caller can cancel through.
+package goroleak
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+)
+
+// An unconditional spin loop outlives the crawl.
+func spin(n *int) {
+	go func() { // want "goroutine loops forever with no stop path"
+		for {
+			*n++
+		}
+	}()
+}
+
+// The same loop launched through a named module function is resolved via
+// the call graph and flagged at the go statement.
+func pump(n *int) {
+	for {
+		*n++
+	}
+}
+
+func launchPump(n *int) {
+	go pump(n) // want "goroutine loops forever with no stop path"
+}
+
+// Parked on a select with a done arm: clean.
+func heartbeat(tick chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-tick:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Ranging over a channel ends when the channel closes: clean.
+func worker(jobs chan int, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// A data-dependent return inside the loop is a stop path: clean.
+func drain(jobs chan int) {
+	go func() {
+		for {
+			if len(jobs) == 0 {
+				return
+			}
+			<-jobs
+		}
+	}()
+}
+
+// An external callee with no stop conduit in its arguments cannot be shut
+// down from here.
+func serve(srv *http.Server, ln net.Listener) {
+	go srv.Serve(ln) // want "goroutine runs external \(\*http.Server\).Serve with no context or stop-channel argument"
+}
+
+// An external callee handed a channel has its conduit: clean.
+func notify(ch chan os.Signal) {
+	go signal.Notify(ch, os.Interrupt)
+}

@@ -1,0 +1,39 @@
+// Package consumer exercises kindswitch across package boundaries: the
+// closed sets are defined in the mimic journal and crawler packages, and
+// the switches here are checked against those scopes.
+package consumer
+
+import (
+	"repro/internal/phishvet/testdata/src/kindswitch/internal/crawler"
+	"repro/internal/phishvet/testdata/src/kindswitch/internal/journal"
+)
+
+// Missing a member of another package's closed set.
+func payloadName(k journal.Kind) string {
+	switch k { // want "switch over journal record kinds has no default and misses KindStats"
+	case journal.KindSession:
+		return "session"
+	case journal.KindTriage:
+		return "triage"
+	}
+	return ""
+}
+
+// Untyped string members are matched by prefix, not type.
+func retryable(outcome string) bool {
+	switch outcome { // want "switch over session outcomes has no default and misses OutcomeTakedown"
+	case crawler.OutcomeCompleted, crawler.OutcomeStuck:
+		return false
+	}
+	return true
+}
+
+// A default arm closes the remainder: clean.
+func terminal(outcome string) bool {
+	switch outcome {
+	case crawler.OutcomeTakedown:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,10 @@
+// Package crawler mimics the production session-outcome const set:
+// untyped string constants still form a closed set when they share the
+// Outcome prefix.
+package crawler
+
+const (
+	OutcomeCompleted = "completed"
+	OutcomeStuck     = "stuck"
+	OutcomeTakedown  = "takedown"
+)

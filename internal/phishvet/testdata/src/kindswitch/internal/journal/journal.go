@@ -1,0 +1,47 @@
+// Package journal mimics the production record-kind const set: Kind* is
+// a closed set, and a switch over it with no default must name every
+// member.
+package journal
+
+// Kind tags a journal record.
+type Kind uint8
+
+const (
+	KindSession Kind = 1
+	KindStats   Kind = 2
+	KindTriage  Kind = 3
+)
+
+// A non-exhaustive switch with no default silently drops KindTriage.
+func size(k Kind) int {
+	switch k { // want "switch over journal record kinds has no default and misses KindTriage"
+	case KindSession:
+		return 1
+	case KindStats:
+		return 2
+	}
+	return 0
+}
+
+// Exhaustive coverage: clean.
+func name(k Kind) string {
+	switch k {
+	case KindSession:
+		return "session"
+	case KindStats:
+		return "stats"
+	case KindTriage:
+		return "triage"
+	}
+	return ""
+}
+
+// A default arm declares the remainder handled: clean.
+func isSession(k Kind) bool {
+	switch k {
+	case KindSession:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,110 @@
+// Package locknoblock exercises the locknoblock rule: a mutex held
+// across a blocking operation — directly, or through any statically
+// resolvable call chain — is flagged at the Lock site, so one
+// suppression on the Lock line covers the whole critical section.
+package locknoblock
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	f  *os.File
+	n  int
+}
+
+// File I/O reached through a helper: the call graph carries the block
+// from writeLocked's f.Write back to the Lock.
+func (s *store) flush(data []byte) error {
+	s.mu.Lock() // want "s.mu is held across a blocking operation: call to \(\*locknoblock.store\).writeLocked, which reaches call to \(\*os.File\).Write"
+	defer s.mu.Unlock()
+	return s.writeLocked(data)
+}
+
+func (s *store) writeLocked(data []byte) error {
+	if _, err := s.f.Write(data); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// A channel send is a blocking operation like any other.
+func (s *store) publish(ch chan int) {
+	s.mu.Lock() // want "s.mu is held across a blocking operation: channel send"
+	ch <- s.n
+	s.mu.Unlock()
+}
+
+// The early-unlock guard terminates its branch, so the fallthrough path
+// below it still holds the lock when it sends.
+func (s *store) guarded(ch chan int, closed bool) {
+	s.mu.Lock() // want "s.mu is held across a blocking operation: channel send"
+	if closed {
+		s.mu.Unlock()
+		return
+	}
+	ch <- s.n
+	s.mu.Unlock()
+}
+
+// Unlocking before the write keeps the critical section pure: clean.
+func (s *store) clean(data []byte) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	_, err := s.f.Write(data)
+	return err
+}
+
+// A mid-function unlock on a falling-through path releases the region:
+// the receive and the re-lock are the journal Close idiom, clean.
+func (s *store) handoff(done chan struct{}, group bool) {
+	s.mu.Lock()
+	if group {
+		s.mu.Unlock()
+		<-done
+		s.mu.Lock()
+	}
+	s.n *= 2
+	s.mu.Unlock()
+}
+
+type table struct {
+	mu sync.RWMutex
+	v  string
+}
+
+// An HTTP round-trip under a read lock queues every writer behind the
+// network.
+func (t *table) fetch(c *http.Client, url string) (*http.Response, error) {
+	t.mu.RLock() // want "t.mu is held across a blocking operation: call to \(\*http.Client\).Get"
+	defer t.mu.RUnlock()
+	return c.Get(url)
+}
+
+// A select with a default arm is a poll, not a park: clean. A
+// WaitGroup.Wait under the same lock is not.
+func (s *store) wait(wg *sync.WaitGroup, ch chan int) {
+	s.mu.Lock()
+	select {
+	case v := <-ch:
+		s.n = v
+	default:
+	}
+	s.mu.Unlock()
+	s.mu.Lock() // want "s.mu is held across a blocking operation: call to \(\*sync.WaitGroup\).Wait"
+	wg.Wait()
+	s.mu.Unlock()
+}
+
+// Cond.Wait releases the mutex while parked: deliberately not counted.
+func (s *store) park(c *sync.Cond) {
+	s.mu.Lock()
+	for s.n == 0 {
+		c.Wait()
+	}
+	s.mu.Unlock()
+}
