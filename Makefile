@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke fleet-smoke triage-smoke check
+.PHONY: all build test race vet lint bench bench-json alloc-gate chaos fuzz status-smoke fleet-smoke triage-smoke cloak-smoke check
 
 all: build
 
@@ -52,8 +52,8 @@ lint:
 # includes the 1-vs-30-worker determinism pin for fault-injected crawls and
 # the fleet smoke run (SIGKILL a fleet worker mid-lease; the re-issued
 # lease and merged output must still match a single process exactly).
-chaos: status-smoke fleet-smoke triage-smoke
-	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume|Lease|Worker' \
+chaos: status-smoke fleet-smoke triage-smoke cloak-smoke
+	$(GO) test -race -run 'Chaos|Retry|Fault|Panic|Deadline|Budget|Takedown|Dead|Stall|Truncat|Backoff|SessionContext|ClassifyError|Journal|TornTail|Resume|Lease|Worker|Cloak' \
 		./internal/chaos/... ./internal/farm/... ./internal/crawler/... ./internal/browser/... ./internal/journal/... ./internal/fleet/...
 	$(GO) test -run 'KillResumeSmoke' ./cmd/phishcrawl/...
 
@@ -79,6 +79,15 @@ fleet-smoke:
 # journaled triage run. See docs/OPERATIONS.md ("Clone-heavy feeds").
 triage-smoke:
 	$(GO) test -run 'TriageSmoke' ./cmd/phishcrawl/...
+
+# Cloaking acceptance smoke: crawl a majority-cloaked corpus and require
+# that the honest crawl loses those sites to benign decoys, that the
+# adaptive uncloaking loop (-cloak-retries) recovers >= 90% of them into
+# real measurements, and that exports stay byte-identical across
+# 1-vs-30 workers and a SIGKILL + torn-tail + resume of a journaled
+# adaptive run. See docs/OPERATIONS.md ("Cloaked feeds").
+cloak-smoke:
+	$(GO) test -run 'CloakSmoke' ./cmd/phishcrawl/...
 
 # Coverage-guided fuzzing of the journal's record framing: encode/decode
 # round-trips, CRC mismatch detection, and hostile length prefixes.

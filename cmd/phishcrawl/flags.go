@@ -36,6 +36,9 @@ type cliFlags struct {
 	campaignThreshold float64
 	triageTopK        int
 	campaignMin       int
+
+	cloakRate    float64
+	cloakRetries int
 }
 
 // validateFlags returns the first configuration error, or nil. Kept free
@@ -126,6 +129,15 @@ func validateFlags(f cliFlags) error {
 	}
 	if !f.triage && f.campaignThreshold != triage.DefaultCampaignThreshold && f.campaignThreshold != 0 {
 		return fmt.Errorf("-campaign-threshold does nothing without -triage: attribution runs only inside the triage funnel")
+	}
+	if f.cloakRate < 0 || f.cloakRate > 1 {
+		return fmt.Errorf("-cloak-rate must be in [0,1] (got %g; it is the fraction of campaigns that cloak, 0 disables)", f.cloakRate)
+	}
+	if f.cloakRetries < 0 {
+		return fmt.Errorf("-cloak-retries must be >= 0 (got %d; 0 crawls honestly with no uncloaking re-crawls)", f.cloakRetries)
+	}
+	if f.cloakRetries > 0 && f.cloakRate == 0 {
+		return fmt.Errorf("-cloak-retries does nothing without -cloak-rate: with no cloaked campaigns in the corpus there is nothing to uncloak")
 	}
 	return nil
 }

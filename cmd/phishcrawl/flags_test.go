@@ -185,6 +185,26 @@ func TestValidateFlags(t *testing.T) {
 		{"threshold without triage", func(f *cliFlags) {
 			f.campaignThreshold = 0.7
 		}, "-campaign-threshold does nothing without -triage"},
+		{"cloak rate alone", func(f *cliFlags) {
+			f.cloakRate = 0.6
+		}, ""},
+		{"cloak rate with retries", func(f *cliFlags) {
+			f.cloakRate = 0.6
+			f.cloakRetries = 5
+		}, ""},
+		{"cloak rate above one", func(f *cliFlags) {
+			f.cloakRate = 1.5
+		}, "-cloak-rate must be in [0,1]"},
+		{"cloak rate negative", func(f *cliFlags) {
+			f.cloakRate = -0.1
+		}, "-cloak-rate must be in [0,1]"},
+		{"negative cloak retries", func(f *cliFlags) {
+			f.cloakRate = 0.5
+			f.cloakRetries = -1
+		}, "-cloak-retries must be >= 0"},
+		{"cloak retries without rate", func(f *cliFlags) {
+			f.cloakRetries = 3
+		}, "-cloak-retries does nothing without -cloak-rate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -48,6 +48,9 @@ func fleetParams(opts core.Options, feedURLs int) fleet.Params {
 	if opts.Triage != nil {
 		p.Triage = fmt.Sprintf("threshold=%g,topk=%d", opts.Triage.CampaignThreshold, opts.Triage.TopK)
 	}
+	if opts.CloakRate > 0 || opts.CloakRetries > 0 {
+		p.Cloak = fmt.Sprintf("rate=%g,retries=%d", opts.CloakRate, opts.CloakRetries)
+	}
 	return p
 }
 

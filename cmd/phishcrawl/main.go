@@ -75,6 +75,8 @@ func main() {
 	campaignThreshold := flag.Float64("campaign-threshold", triage.DefaultCampaignThreshold, "triage attribution similarity cut in [0,1]: probes at least this similar to an indexed campaign fast-path")
 	triageTopK := flag.Int("triage-topk", 0, "keep only the K lexically highest-scored feed URLs; the rest are cut before any fetch (0 = no cut)")
 	campaignMin := flag.Int("campaign-min", 0, "clamp generated campaign sizes from below — the clone-heavy-feed knob for triage experiments (0 = paper distribution)")
+	cloakRate := flag.Float64("cloak-rate", 0, "fraction of generated campaigns that cloak behind request-fingerprint gates, serving a benign decoy otherwise (0 = no cloaking)")
+	cloakRetries := flag.Int("cloak-retries", 0, "adaptive uncloaking budget: re-crawls with a mutated profile after a session lands on a benign decoy (0 = honest single crawl)")
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
@@ -100,6 +102,8 @@ func main() {
 		campaignThreshold: *campaignThreshold,
 		triageTopK:        *triageTopK,
 		campaignMin:       *campaignMin,
+		cloakRate:         *cloakRate,
+		cloakRetries:      *cloakRetries,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -129,6 +133,8 @@ func main() {
 		RetryBase:          *retryBase,
 		RetryMax:           *retryMax,
 		MinCampaignSize:    *campaignMin,
+		CloakRate:          *cloakRate,
+		CloakRetries:       *cloakRetries,
 	}
 	if *triageOn {
 		opts.Triage = &triage.Options{
@@ -219,6 +225,16 @@ func main() {
 		fmt.Printf("Triage: %d URLs -> %d cut, %d attributed to %d campaigns, %d full sessions\n",
 			f.Total, f.Cut, f.Attributed, p.Triage.Campaigns, f.Full)
 	}
+	if opts.CloakRate > 0 {
+		cloaked := 0
+		for _, s := range p.Corpus.Sites {
+			if s.Cloak != nil {
+				cloaked++
+			}
+		}
+		fmt.Printf("Cloak: %d of %d sites cloaked (rate %g, retries %d)\n",
+			cloaked, len(p.Corpus.Sites), opts.CloakRate, opts.CloakRetries)
+	}
 
 	var (
 		logs  []*crawler.SessionLog
@@ -284,6 +300,10 @@ func printRunReport(logs []*crawler.SessionLog, stats farm.Stats) {
 	fmt.Printf("\n%s", report.FailureTable(analysis.FailureTaxonomy(logs), stats))
 
 	if t := report.TriageTable(logs); t != "" {
+		fmt.Printf("\n%s", t)
+	}
+
+	if t := report.CloakTable(logs, stats); t != "" {
 		fmt.Printf("\n%s", t)
 	}
 

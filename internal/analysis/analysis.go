@@ -718,7 +718,10 @@ func SubmitMethodBreakdown(logs []*crawler.SessionLog) *metrics.Histogram {
 // FailureTaxonomy tallies the operational fate of every session: healthy
 // outcomes (completed, stuck, page-limit) under their own names, takedown
 // pages, and gave-up sessions broken down by their preserved failure class
-// ("gave-up:dead", "gave-up:timeout", ...). Every session — including nil
+// ("gave-up:dead", "gave-up:timeout", ...). Benign endings split by what
+// the uncloaking loop learned: "benign:cloaked" is a cloaking gate the
+// retry budget never opened (a measurable miss), plain "benign" a parked
+// page that implicated no request dimension. Every session — including nil
 // (lost) ones — lands in exactly one row, so the histogram total equals
 // the crawled site count; it is the table a real crawl's reachability
 // triage starts from.
@@ -730,6 +733,8 @@ func FailureTaxonomy(logs []*crawler.SessionLog) *metrics.Histogram {
 			h.Add(farm.OutcomeLost, 1)
 		case l.Outcome == farm.OutcomeGaveUp && l.Error != "":
 			h.Add(farm.OutcomeGaveUp+":"+l.Error, 1)
+		case l.Outcome == crawler.OutcomeBenign && l.Cloak != nil:
+			h.Add(crawler.OutcomeBenign+":cloaked", 1)
 		default:
 			h.Add(l.Outcome, 1)
 		}

@@ -44,6 +44,13 @@ type NetRequest struct {
 	// Kind labels the request: "document", "image", "beacon", "redirect".
 	Kind string
 	Time time.Time
+	// Vary echoes the response's Vary header when present. Cloaking decoys
+	// list the request dimensions their gate inspected there, and the
+	// crawler's adaptive loop reads the signal back out of the net log.
+	Vary string `json:",omitempty"`
+	// JSChallenge echoes the response's X-JS-Challenge token when present —
+	// the JS-capability probe a decoy page poses.
+	JSChallenge string `json:",omitempty"`
 }
 
 // Event is one triggered JS event.
@@ -75,6 +82,9 @@ type Browser struct {
 
 	// cookieNames is sorted-header scratch reused across requests.
 	cookieNames []string
+
+	// profile is the identity presented on every request; see Profile.
+	profile Profile
 
 	// NetLog accumulates every request across the session.
 	NetLog []NetRequest
@@ -140,6 +150,7 @@ func New(opts Options) *Browser {
 		cookies:      map[string]string{},
 		ctx:          context.Background(),
 		fetchTimeout: opts.Timeout,
+		profile:      DefaultProfile(),
 		now:          sessionClock(),
 	}
 }
@@ -153,6 +164,7 @@ func (b *Browser) Reset() {
 	clear(b.cookies)
 	b.NetLog = b.NetLog[:0]
 	b.ctx = context.Background()
+	b.profile = DefaultProfile()
 	b.now = sessionClock()
 }
 
@@ -241,12 +253,16 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (bo
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		// Every value of a multi-valued field is carried — keyed exfil
+		// beacons repeat the "d" field per keystroke, and logging only the
+		// first value would under-count the exfiltrated data.
 		for _, k := range keys {
-			carried = append(carried, form.Get(k))
+			carried = append(carried, form[k]...)
 		}
 	}
+	jsAnswered := false
 	for hop := 0; hop < 10; hop++ {
-		data, status, loc, err := b.roundTrip(method, cur, form, kind, carried)
+		data, status, loc, challenge, err := b.roundTrip(method, cur, form, kind, carried)
 		if err != nil {
 			return "", cur, 0, err
 		}
@@ -259,9 +275,22 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (bo
 				return "", cur, status, jerr
 			}
 			cur = next
-			// Redirect hops re-issue as GET, as browsers do for 302/303.
-			method, form = "GET", nil
+			// 307/308 preserve the method and body across the hop — a kit
+			// that 307-redirects the credential POST must still observe the
+			// submission. Every other 3xx re-issues as GET, as browsers do
+			// for 301/302/303.
+			if status != http.StatusTemporaryRedirect && status != http.StatusPermanentRedirect {
+				method, form = "GET", nil
+			}
 			kind = "redirect"
+			continue
+		}
+		if challenge != "" && b.profile.JSCapable && !jsAnswered {
+			// A JS-capability probe on the response: answer it in the jar
+			// and re-request, as the kit's probe script would. One answer
+			// per fetch — a rejected answer must not loop.
+			b.answerChallenge(challenge)
+			jsAnswered = true
 			continue
 		}
 		return data, cur, status, nil
@@ -271,9 +300,11 @@ func (b *Browser) fetch(method, rawURL string, form url.Values, kind string) (bo
 
 // roundTrip issues one HTTP request under the per-fetch deadline (derived
 // from the session context, so a session-budget cancellation aborts it),
-// logs it, and absorbs Set-Cookie headers. Redirect statuses return the
-// Location header with an empty body.
-func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, carried []string) (data string, status int, location string, err error) {
+// logs it, and absorbs Set-Cookie headers — inserting live cookies and
+// deleting entries the server expires (Max-Age=0 or an epoch-or-earlier
+// Expires). Redirect statuses return the Location header with an empty
+// body; challenge carries the response's JS-capability probe token.
+func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, carried []string) (data string, status int, location, challenge string, err error) {
 	ctx, cancel := context.WithTimeout(b.ctx, b.fetchTimeout)
 	defer cancel()
 	var req *http.Request
@@ -286,8 +317,9 @@ func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, ca
 		req, err = http.NewRequestWithContext(ctx, method, cur, nil)
 	}
 	if err != nil {
-		return "", 0, "", fmt.Errorf("browser: building request: %w", err)
+		return "", 0, "", "", fmt.Errorf("browser: building request: %w", err)
 	}
+	b.applyProfile(req.Header)
 	// The Cookie header is part of the request bytes the server (and the
 	// keylogging analysis) observes; emit it in sorted name order so it
 	// never depends on map iteration. Built as one header value (the wire
@@ -313,26 +345,34 @@ func (b *Browser) roundTrip(method, cur string, form url.Values, kind string, ca
 	resp, rerr := b.transport.RoundTrip(req)
 	if rerr != nil {
 		b.NetLog = append(b.NetLog, NetRequest{Method: method, URL: cur, Status: 0, Kind: kind, Time: b.now()})
-		return "", 0, "", fmt.Errorf("browser: fetch %s: %w", cur, rerr)
+		return "", 0, "", "", fmt.Errorf("browser: fetch %s: %w", cur, rerr)
 	}
 	defer resp.Body.Close()
 	for _, c := range resp.Cookies() {
+		if epochExpired(c) {
+			delete(b.cookies, c.Name)
+			continue
+		}
 		b.cookies[c.Name] = c.Value
 	}
-	entry := NetRequest{Method: method, URL: cur, Status: resp.StatusCode, Kind: kind, Time: b.now()}
+	challenge = resp.Header.Get(JSChallengeHeader)
+	entry := NetRequest{
+		Method: method, URL: cur, Status: resp.StatusCode, Kind: kind, Time: b.now(),
+		Vary: resp.Header.Get("Vary"), JSChallenge: challenge,
+	}
 	if method == "POST" {
 		entry.CarriedData = carried
 	}
 	b.NetLog = append(b.NetLog, entry)
 	if resp.StatusCode >= 300 && resp.StatusCode < 400 {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
-		return "", resp.StatusCode, resp.Header.Get("Location"), nil
+		return "", resp.StatusCode, resp.Header.Get("Location"), challenge, nil
 	}
 	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if rerr != nil {
-		return "", resp.StatusCode, "", fmt.Errorf("browser: reading body of %s: %w", cur, rerr)
+		return "", resp.StatusCode, "", challenge, fmt.Errorf("browser: reading body of %s: %w", cur, rerr)
 	}
-	return string(raw), resp.StatusCode, "", nil
+	return string(raw), resp.StatusCode, "", challenge, nil
 }
 
 // joinURL resolves ref against base.

@@ -1,0 +1,176 @@
+package browser
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Profile is the identity a browser presents on every request: the headers
+// cloaking kits key on (user agent, referrer, Accept-Language, a geo-ish
+// X-Forwarded-For), whether the browser answers JS-capability probes, and
+// whether its cookie jar persists across visits. The crawler's adaptive
+// uncloaking loop mutates a Profile between attempts; the sitegen cloak
+// rules draw their required values from the same candidate pools, so a
+// mutated profile can always converge on a kit's gate.
+type Profile struct {
+	UserAgent      string
+	Referrer       string
+	AcceptLanguage string
+	XForwardedFor  string
+	// JSCapable browsers answer a decoy's X-JS-Challenge by setting the
+	// challenge cookie and re-requesting, the transport-level equivalent of
+	// executing the kit's probe script.
+	JSCapable bool
+	// PersistCookies marks the jar as carried over from a prior visit; the
+	// crawler imports the previous attempt's jar when set, which is how
+	// repeat-visit cookie gates are satisfied.
+	PersistCookies bool
+}
+
+// Candidate pools the cloak rules and the mutation schedule share. Index 0
+// is always the honest crawler's default; cloak rules require an index >= 1
+// so a single honest visit never passes by accident. Order is part of the
+// deterministic mutation schedule — append only, never reorder.
+
+// UserAgents returns the user-agent candidate pool.
+func UserAgents() []string {
+	return []string{
+		"Mozilla/5.0 (X11; Linux x86_64) PhishCrawl/1.0",
+		"Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/105.0.0.0 Safari/537.36",
+		"Mozilla/5.0 (iPhone; CPU iPhone OS 15_6 like Mac OS X) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/15.6 Mobile/15E148 Safari/604.1",
+		"Mozilla/5.0 (Linux; Android 12; SM-G991B) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/104.0.0.0 Mobile Safari/537.36",
+	}
+}
+
+// Referrers returns the referrer candidate pool. Index 0 — the default —
+// is empty: an honest crawl arrives with no referrer.
+func Referrers() []string {
+	return []string{
+		"",
+		"https://mail.google.com/mail/u/0/",
+		"https://www.facebook.com/",
+		"https://outlook.live.com/mail/",
+	}
+}
+
+// Languages returns the Accept-Language candidate pool.
+func Languages() []string {
+	return []string{"en-US", "fr-FR", "es-ES", "de-DE"}
+}
+
+// ForwardedAddrs returns the X-Forwarded-For candidate pool. Index 0 — the
+// default — is empty: an honest crawl sends no forwarding header.
+func ForwardedAddrs() []string {
+	return []string{"", "203.0.113.7", "198.51.100.23", "192.0.2.55"}
+}
+
+// DefaultProfile is the honest crawler identity: pool index 0 on every
+// dimension, no JS answers, a fresh jar each visit.
+func DefaultProfile() Profile {
+	return Profile{
+		UserAgent:      UserAgents()[0],
+		Referrer:       Referrers()[0],
+		AcceptLanguage: Languages()[0],
+		XForwardedFor:  ForwardedAddrs()[0],
+	}
+}
+
+// Fingerprint renders the profile as the compact pool-index form journaled
+// with each adaptive attempt: "ua=0 ref=0 lang=0 geo=0 js=0 ck=0". Values
+// outside the pools render as index -1.
+func (p Profile) Fingerprint() string {
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("ua=%d ref=%d lang=%d geo=%d js=%d ck=%d",
+		poolIndex(UserAgents(), p.UserAgent),
+		poolIndex(Referrers(), p.Referrer),
+		poolIndex(Languages(), p.AcceptLanguage),
+		poolIndex(ForwardedAddrs(), p.XForwardedFor),
+		b(p.JSCapable), b(p.PersistCookies))
+}
+
+func poolIndex(pool []string, v string) int {
+	for i, c := range pool {
+		if c == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetProfile installs the identity the browser presents from the next
+// request on. Reset restores the default profile.
+func (b *Browser) SetProfile(p Profile) { b.profile = p }
+
+// CookieSnapshot returns a copy of the jar for carrying into a later visit
+// (nil when the jar is empty).
+func (b *Browser) CookieSnapshot() map[string]string {
+	if len(b.cookies) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(b.cookies))
+	for k, v := range b.cookies {
+		out[k] = v
+	}
+	return out
+}
+
+// ImportCookies seeds the jar from a prior visit's snapshot, modelling a
+// repeat visitor whose cookies persisted.
+func (b *Browser) ImportCookies(jar map[string]string) {
+	for k, v := range jar {
+		b.cookies[k] = v
+	}
+}
+
+// applyProfile stamps the profile headers on an outgoing request. The
+// default profile's empty referrer/XFF dimensions emit no header at all —
+// an honest request looks exactly like one from before profiles existed.
+func (b *Browser) applyProfile(h map[string][]string) {
+	if b.profile.UserAgent != "" {
+		h["User-Agent"] = []string{b.profile.UserAgent}
+	}
+	if b.profile.Referrer != "" {
+		h["Referer"] = []string{b.profile.Referrer}
+	}
+	if b.profile.AcceptLanguage != "" {
+		h["Accept-Language"] = []string{b.profile.AcceptLanguage}
+	}
+	if b.profile.XForwardedFor != "" {
+		h["X-Forwarded-For"] = []string{b.profile.XForwardedFor}
+	}
+}
+
+// answerChallenge records the decoy's JS probe answer in the jar, as the
+// kit's probe script would. The next request presents the cookie and
+// passes the js gate.
+func (b *Browser) answerChallenge(token string) {
+	b.cookies[JSChallengeCookie] = token
+}
+
+// JSChallengeCookie is the cookie name a JS-capability probe answer is
+// stored under; JSChallengeHeader is the decoy response header carrying the
+// probe token. Shared with internal/phishserver's cloak gate.
+const (
+	JSChallengeCookie = "jsc"
+	JSChallengeHeader = "X-Js-Challenge"
+)
+
+// epochExpired reports whether a Set-Cookie header asks for deletion.
+// Go's parser maps Max-Age=0 to MaxAge==-1; explicit Expires values at or
+// before the Unix epoch (the classic deletion idiom) also count. The
+// comparison point is the epoch — the session-logical clock's origin —
+// never the wall clock, so jar state stays byte-deterministic.
+func epochExpired(c *http.Cookie) bool {
+	if c.MaxAge < 0 {
+		return true
+	}
+	return !c.Expires.IsZero() && !c.Expires.After(epoch)
+}
+
+var epoch = time.Unix(0, 0)

@@ -8,6 +8,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -78,6 +80,18 @@ type Options struct {
 	// distribution). It changes the corpus, so every process in a fleet
 	// must agree on it.
 	MinCampaignSize int
+
+	// CloakRate is the site-weighted fraction of generated campaigns that
+	// cloak: their kits serve a benign decoy unless the request passes the
+	// campaign's gate (user-agent, referrer, repeat-visit cookie, language,
+	// forwarded-for, or a JS-capability probe). 0 disables cloaking and
+	// keeps the corpus byte-identical to earlier seeds. It changes the
+	// corpus, so every process in a fleet must agree on it.
+	CloakRate float64
+	// CloakRetries is the adaptive uncloaking budget: how many re-crawls
+	// with a mutated profile a session landing on a benign decoy may spend
+	// (0 = honest single crawl, the pre-cloaking behaviour).
+	CloakRetries int
 
 	// Models, when non-nil, injects an already-trained model bundle and
 	// skips training entirely; the caller vouches that it was trained with
@@ -158,6 +172,7 @@ func NewFeed(opts Options) (*sitegen.Corpus, *feed.Feed) {
 	opts = opts.withDefaults()
 	params := sitegen.ScaledParams(opts.NumSites, opts.Seed)
 	params.MinCampaignSize = opts.MinCampaignSize
+	params.CloakRate = opts.CloakRate
 	c := sitegen.Generate(params)
 	return c, feed.FromCorpus(c, opts.Seed+1)
 }
@@ -233,6 +248,7 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 		MaxPages:      opts.MaxPagesPerSite,
 		SessionBudget: opts.SessionBudget,
 		FakerSeed:     opts.Seed + 6,
+		CloakRetries:  opts.CloakRetries,
 	}
 	if !opts.DisablePooling {
 		p.Crawler.Pool = crawler.NewSessionPool()
@@ -359,6 +375,59 @@ func (p *Pipeline) ensureTriageJournaled(j *journal.Journal) error {
 	return nil
 }
 
+// cloakConfig is the journaled cloak configuration record: the corpus's
+// cloak rate and the crawler's retry budget. Field order is fixed, so its
+// JSON encoding is canonical and resume can compare records byte-for-byte.
+type cloakConfig struct {
+	Rate    float64 `json:"rate"`
+	Retries int     `json:"retries"`
+}
+
+// cloakEnabled reports whether this run participates in cloaking at all —
+// either the corpus cloaks or the crawler spends uncloaking retries.
+func (o Options) cloakEnabled() bool {
+	return o.CloakRate > 0 || o.CloakRetries > 0
+}
+
+// ensureCloakJournaled reconciles this run's cloak configuration with the
+// journal's config record, mirroring ensureTriageJournaled: a fresh
+// cloak-enabled journal gets the canonical config appended before any
+// session; a resumed one must hold a byte-identical record. The per-session
+// mutation schedules are pure functions of the config and the feed, so a
+// config mismatch means the journaled sessions were produced by a different
+// cloak universe and cannot be mixed with this run's.
+func (p *Pipeline) ensureCloakJournaled(j *journal.Journal) error {
+	stored, err := j.CloakRecords()
+	if err != nil {
+		return fmt.Errorf("core: reading journaled cloak config: %w", err)
+	}
+	if !p.Opts.cloakEnabled() {
+		if len(stored) > 0 {
+			return fmt.Errorf("core: journal holds a cloak config record but this run has cloaking off; resume with the original -cloak-rate/-cloak-retries")
+		}
+		return nil
+	}
+	enc, err := json.Marshal(cloakConfig{Rate: p.Opts.CloakRate, Retries: p.Opts.CloakRetries})
+	if err != nil {
+		return fmt.Errorf("core: encoding cloak config: %w", err)
+	}
+	if len(stored) == 0 {
+		if len(j.CompletedURLs()) > 0 {
+			return fmt.Errorf("core: journal holds sessions but no cloak config record; it was recorded without cloaking and cannot be resumed with it")
+		}
+		if err := j.AppendCloak(enc); err != nil {
+			return fmt.Errorf("core: journaling cloak config: %w", err)
+		}
+		return nil
+	}
+	for _, rec := range stored {
+		if !bytes.Equal(rec, enc) {
+			return fmt.Errorf("core: journaled cloak config %s does not match this run's %s; resume with the original -cloak-rate/-cloak-retries", rec, enc)
+		}
+	}
+	return nil
+}
+
 // CrawlJournal crawls up to sample feed URLs (0 = all), streaming every
 // finished session into j the moment it completes instead of accumulating
 // logs in memory — the run-level durability layer for a 43-day crawl. URLs
@@ -394,6 +463,9 @@ func (p *Pipeline) CrawlJournal(j *journal.Journal, sample int) (skipped int, er
 	}
 	p.Monitor.AddPreCompleted(skipped)
 	if err := p.ensureTriageJournaled(j); err != nil {
+		return skipped, err
+	}
+	if err := p.ensureCloakJournaled(j); err != nil {
 		return skipped, err
 	}
 	byURL := analysis.MetaIndex(p.Feed.Filter())
@@ -437,6 +509,9 @@ func (p *Pipeline) CrawlJournalShard(j *journal.Journal, start, end int, done ma
 		return fmt.Errorf("core: shard range [%d,%d) outside feed of %d URLs", start, end, len(urls))
 	}
 	if err := p.ensureTriageJournaled(j); err != nil {
+		return err
+	}
+	if err := p.ensureCloakJournaled(j); err != nil {
 		return err
 	}
 	byURL := analysis.MetaIndex(p.Feed.Filter())

@@ -1,0 +1,241 @@
+// Adaptive uncloaking: the Crawl wrapper around crawlAttempt. Cloaked kits
+// serve a benign decoy to profiles that fail their gate; the decoy leaks
+// which request dimensions the gate read (its Vary header and JS-challenge
+// probe), and the loop re-crawls with a profile mutated along exactly those
+// dimensions on a seed-pinned schedule. Because the schedule is a pure
+// function of the session's FakerSeed (itself derived from the feed index),
+// the attempt sequence — and therefore the journaled session bytes — is
+// identical whatever the worker count and across kill/resume.
+
+package crawler
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/browser"
+)
+
+// Cloak signal names: the request dimensions a decoy response can implicate.
+// They match internal/site's CloakRule kinds by convention (the packages
+// stay import-independent).
+const (
+	SignalUserAgent = "user-agent"
+	SignalReferrer  = "referrer"
+	SignalLanguage  = "language"
+	SignalGeo       = "geo"
+	SignalCookie    = "cookie"
+	SignalJS        = "js"
+)
+
+// benignPhrases mark parked/benign pages — registrar lander boilerplate and
+// the decoys cloaking kits serve. Distinct from takedownPhrases: a takedown
+// is a dead phishing site (final), a benign page may be a cloak worth
+// re-crawling. Generated phishing pages never contain them.
+var benignPhrases = []string{
+	"coming soon", "under construction", "domain is for sale",
+}
+
+// IsBenignParkedText reports whether a page's title and body text read as a
+// parked/benign lander rather than phishing content.
+func IsBenignParkedText(title, text string) bool {
+	joined := strings.ToLower(title + " " + text)
+	for _, phrase := range benignPhrases {
+		if strings.Contains(joined, phrase) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBenignParkedPage(pl *PageLog) bool {
+	return IsBenignParkedText(pl.Title, pl.Text)
+}
+
+// CloakAttempt records one crawl attempt of the uncloaking loop.
+type CloakAttempt struct {
+	// Profile is the presented profile's pool-index fingerprint.
+	Profile string
+	// Outcome is the attempt's session outcome.
+	Outcome string
+	// Signals are the cloak dimensions the attempt's responses implicated,
+	// sorted (empty once the gate opened).
+	Signals []string `json:",omitempty"`
+}
+
+// CloakLog is the journaled record of a session's uncloaking loop:
+// Attempts[0] is the honest crawl that landed on the benign page.
+type CloakLog struct {
+	Attempts []CloakAttempt
+	// Uncloaked reports that a mutated profile got past the gate: the
+	// session's final log measures the real phishing flow.
+	Uncloaked bool
+}
+
+// Crawl runs one session against seedURL: an honest crawl first, then —
+// when it lands on a benign/parked page that leaked cloak signals and
+// CloakRetries allows — adaptive re-crawls with mutated profiles.
+func (c *Crawler) Crawl(seedURL string) *SessionLog {
+	prof := browser.DefaultProfile()
+	lg, jar := c.crawlAttempt(seedURL, prof, nil)
+	if c.CloakRetries <= 0 || lg.Outcome != OutcomeBenign {
+		return lg
+	}
+	signals := cloakSignals(lg.NetLog)
+	if len(signals) == 0 {
+		// A benign page that implicated nothing is genuinely parked; no
+		// profile would change what it serves.
+		return lg
+	}
+	sched := newMutationSchedule(c.FakerSeed)
+	cl := &CloakLog{Attempts: []CloakAttempt{{Profile: prof.Fingerprint(), Outcome: lg.Outcome, Signals: signals}}}
+	for try := 0; try < c.CloakRetries; try++ {
+		if !sched.mutate(&prof, signals) {
+			// Every implicated dimension is exhausted: give up.
+			break
+		}
+		var carry map[string]string
+		if prof.PersistCookies {
+			carry = jar
+		}
+		next, nextJar := c.crawlAttempt(seedURL, prof, carry)
+		signals = cloakSignals(next.NetLog)
+		cl.Attempts = append(cl.Attempts, CloakAttempt{Profile: prof.Fingerprint(), Outcome: next.Outcome, Signals: signals})
+		lg, jar = next, nextJar
+		if lg.Outcome != OutcomeBenign {
+			cl.Uncloaked = true
+			break
+		}
+		if len(signals) == 0 {
+			break
+		}
+	}
+	lg.Cloak = cl
+	return lg
+}
+
+// cloakSignals extracts the implicated cloak dimensions from an attempt's
+// net log: Vary header names map to their dimensions, a JS-challenge probe
+// implicates js. The result is deduplicated and sorted — journaled bytes
+// must not depend on response order.
+func cloakSignals(netlog []browser.NetRequest) []string {
+	seen := map[string]bool{}
+	for i := range netlog {
+		e := &netlog[i]
+		if e.JSChallenge != "" {
+			seen[SignalJS] = true
+		}
+		if e.Vary == "" {
+			continue
+		}
+		for _, h := range strings.Split(e.Vary, ",") {
+			switch strings.ToLower(strings.TrimSpace(h)) {
+			case "user-agent":
+				seen[SignalUserAgent] = true
+			case "referer", "referrer":
+				seen[SignalReferrer] = true
+			case "accept-language":
+				seen[SignalLanguage] = true
+			case "x-forwarded-for":
+				seen[SignalGeo] = true
+			case "cookie":
+				seen[SignalCookie] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutationSchedule is the seed-pinned order in which candidate values are
+// tried per dimension. Every implicated dimension advances one candidate
+// per mutation (boolean dimensions flip once), so a gate of depth d over
+// pools of size k opens within max(k-1, 1) mutations.
+type mutationSchedule struct {
+	order map[string][]int // dimension -> remaining candidate pool indices
+	rng   *rand.Rand
+}
+
+// cloakSeedSalt decorrelates the mutation schedule's rng stream from the
+// faker's, which shares the session seed.
+const cloakSeedSalt = 0x636c6f616b // "cloak"
+
+func newMutationSchedule(seed int64) *mutationSchedule {
+	rng := rand.New(rand.NewSource(seed ^ cloakSeedSalt))
+	perm := func(pool []string) []int {
+		// Candidate indices 1..len-1 in seed-pinned order; index 0 is the
+		// honest default the failed attempt already presented.
+		p := rng.Perm(len(pool) - 1)
+		for i := range p {
+			p[i]++
+		}
+		return p
+	}
+	return &mutationSchedule{
+		rng: rng,
+		order: map[string][]int{
+			SignalUserAgent: perm(browser.UserAgents()),
+			SignalReferrer:  perm(browser.Referrers()),
+			SignalLanguage:  perm(browser.Languages()),
+			SignalGeo:       perm(browser.ForwardedAddrs()),
+		},
+	}
+}
+
+// mutate advances the profile along every implicated dimension, reporting
+// whether anything changed (false means the schedule is exhausted for all
+// of signals and retrying is pointless).
+func (m *mutationSchedule) mutate(p *browser.Profile, signals []string) bool {
+	changed := false
+	next := func(dim string) (int, bool) {
+		q := m.order[dim]
+		if len(q) == 0 {
+			return 0, false
+		}
+		m.order[dim] = q[1:]
+		return q[0], true
+	}
+	for _, s := range signals {
+		switch s {
+		case SignalUserAgent:
+			if i, ok := next(s); ok {
+				p.UserAgent = browser.UserAgents()[i]
+				changed = true
+			}
+		case SignalReferrer:
+			if i, ok := next(s); ok {
+				p.Referrer = browser.Referrers()[i]
+				changed = true
+			}
+		case SignalLanguage:
+			if i, ok := next(s); ok {
+				p.AcceptLanguage = browser.Languages()[i]
+				changed = true
+			}
+		case SignalGeo:
+			if i, ok := next(s); ok {
+				p.XForwardedFor = browser.ForwardedAddrs()[i]
+				changed = true
+			}
+		case SignalCookie:
+			if !p.PersistCookies {
+				p.PersistCookies = true
+				changed = true
+			}
+		case SignalJS:
+			if !p.JSCapable {
+				p.JSCapable = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,235 @@
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/site"
+)
+
+func TestIsBenignParkedText(t *testing.T) {
+	cases := []struct {
+		title, text string
+		want        bool
+	}{
+		{"acme.test - coming soon", "", true},
+		{"", "The page you are looking for is under construction.", true},
+		{"Welcome", "This domain is for sale. Contact the registrar.", true},
+		{"Sign in", "Enter your email address and password.", false},
+		// Takedown pages are classified as takedowns, never benign-parked.
+		{"Seized", "this domain is parked pending review", false},
+	}
+	for _, tc := range cases {
+		if got := IsBenignParkedText(tc.title, tc.text); got != tc.want {
+			t.Errorf("IsBenignParkedText(%q, %q) = %v, want %v", tc.title, tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestCloakSignalsFromNetLog(t *testing.T) {
+	netlog := []browser.NetRequest{
+		{URL: "http://c.test/", Vary: "User-Agent, Accept-Language"},
+		{URL: "http://c.test/a.pxi", Vary: "user-agent"}, // dedup, case-insensitive
+		{URL: "http://c.test/b.pxi", Vary: "Referer, Cookie, X-Forwarded-For"},
+		{URL: "http://c.test/c.pxi", JSChallenge: "deadbeef"},
+		{URL: "http://c.test/d.pxi", Vary: "Accept-Encoding"}, // not a cloak dimension
+	}
+	got := cloakSignals(netlog)
+	want := []string{SignalCookie, SignalGeo, SignalJS, SignalLanguage, SignalReferrer, SignalUserAgent}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("cloakSignals = %v, want %v", got, want)
+	}
+	if cloakSignals(nil) != nil {
+		t.Error("empty netlog should yield nil signals")
+	}
+	if cloakSignals([]browser.NetRequest{{URL: "x", Vary: "Accept-Encoding"}}) != nil {
+		t.Error("non-cloak Vary should yield nil signals")
+	}
+}
+
+func TestMutationScheduleDeterministicAndExhaustible(t *testing.T) {
+	const seed = 99
+	run := func() []string {
+		sched := newMutationSchedule(seed)
+		var fps []string
+		p := browser.DefaultProfile()
+		for sched.mutate(&p, []string{SignalUserAgent, SignalLanguage}) {
+			fps = append(fps, p.Fingerprint())
+		}
+		return fps
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	// Pools hold 4 candidates; indices 1..3 drain in 3 mutations, then the
+	// schedule reports exhaustion.
+	if len(a) != 3 {
+		t.Errorf("schedule spent %d mutations, want 3", len(a))
+	}
+	if c := run(); fmt.Sprint(c) != fmt.Sprint(a) {
+		t.Errorf("third run diverged: %v", c)
+	}
+
+	other := newMutationSchedule(seed + 1)
+	p := browser.DefaultProfile()
+	other.mutate(&p, []string{SignalUserAgent, SignalReferrer, SignalLanguage, SignalGeo})
+	q := browser.DefaultProfile()
+	sched := newMutationSchedule(seed)
+	sched.mutate(&q, []string{SignalUserAgent, SignalReferrer, SignalLanguage, SignalGeo})
+	if p.Fingerprint() == q.Fingerprint() {
+		t.Log("adjacent seeds coincide on first mutation (possible but worth eyeballing)")
+	}
+}
+
+func TestMutationScheduleBooleanDimensionsFlipOnce(t *testing.T) {
+	sched := newMutationSchedule(1)
+	p := browser.DefaultProfile()
+	if !sched.mutate(&p, []string{SignalCookie, SignalJS}) {
+		t.Fatal("first boolean mutation reported no change")
+	}
+	if !p.PersistCookies || !p.JSCapable {
+		t.Fatalf("boolean dimensions not flipped: %+v", p)
+	}
+	if sched.mutate(&p, []string{SignalCookie, SignalJS}) {
+		t.Error("already-flipped boolean dimensions reported another change")
+	}
+}
+
+// cloakedLoginSite wraps the standard login/payment flow in a cloak gate.
+func cloakedLoginSite(rules ...site.CloakRule) *site.Site {
+	s := loginPaymentSite()
+	s.Cloak = &site.Cloak{
+		Rules:     rules,
+		DecoyHTML: "<html><head><title>lp.test - coming soon</title></head><body><p>This site is coming soon; it is under construction.</p></body></html>",
+	}
+	return s
+}
+
+func TestCloakHonestCrawlLandsBenign(t *testing.T) {
+	c := newCrawler(t, cloakedLoginSite(site.CloakRule{Kind: site.CloakUserAgent, Value: browser.UserAgents()[1]}))
+	lg := c.Crawl("http://lp.test/")
+	if lg.Outcome != OutcomeBenign {
+		t.Fatalf("honest crawl outcome = %q, want benign", lg.Outcome)
+	}
+	if lg.Cloak != nil {
+		t.Errorf("retries-0 crawl recorded a cloak loop: %+v", lg.Cloak)
+	}
+	if Retryable(lg.Outcome) {
+		t.Error("benign must not be farm-retryable: the farm's retry would repeat the identical honest profile")
+	}
+}
+
+func TestCloakUncloaksEveryVector(t *testing.T) {
+	vectors := []struct {
+		name string
+		rule site.CloakRule
+	}{
+		{"user-agent", site.CloakRule{Kind: site.CloakUserAgent, Value: browser.UserAgents()[2]}},
+		{"referrer", site.CloakRule{Kind: site.CloakReferrer, Value: browser.Referrers()[3]}},
+		{"language", site.CloakRule{Kind: site.CloakLanguage, Value: browser.Languages()[2]}},
+		{"geo", site.CloakRule{Kind: site.CloakGeo, Value: browser.ForwardedAddrs()[3]}},
+		{"cookie", site.CloakRule{Kind: site.CloakCookie}},
+		{"js", site.CloakRule{Kind: site.CloakJS}},
+	}
+	for _, v := range vectors {
+		t.Run(v.name, func(t *testing.T) {
+			c := newCrawler(t, cloakedLoginSite(v.rule))
+			c.CloakRetries = 5
+			lg := c.Crawl("http://lp.test/")
+			if lg.Cloak == nil {
+				t.Fatalf("no cloak loop recorded; outcome %q", lg.Outcome)
+			}
+			if !lg.Cloak.Uncloaked || lg.Outcome == OutcomeBenign {
+				t.Fatalf("gate never opened: outcome %q, attempts %+v", lg.Outcome, lg.Cloak.Attempts)
+			}
+			first := lg.Cloak.Attempts[0]
+			if first.Outcome != OutcomeBenign || len(first.Signals) == 0 {
+				t.Errorf("honest attempt not recorded: %+v", first)
+			}
+			if len(lg.Pages) == 0 || lg.Pages[0].Title == "lp.test - coming soon" {
+				t.Errorf("final log still carries the decoy: %+v", lg.Pages)
+			}
+		})
+	}
+}
+
+func TestCloakUncloaksLayeredGate(t *testing.T) {
+	c := newCrawler(t, cloakedLoginSite(
+		site.CloakRule{Kind: site.CloakUserAgent, Value: browser.UserAgents()[3]},
+		site.CloakRule{Kind: site.CloakLanguage, Value: browser.Languages()[3]},
+		site.CloakRule{Kind: site.CloakJS},
+	))
+	c.CloakRetries = 5
+	lg := c.Crawl("http://lp.test/")
+	if lg.Cloak == nil || !lg.Cloak.Uncloaked {
+		t.Fatalf("depth-3 gate never opened: %+v", lg.Cloak)
+	}
+	// Every dimension advances per mutation, so even the worst candidate
+	// order opens a pool gate within 3 mutated attempts (4 total).
+	if n := len(lg.Cloak.Attempts); n > 4 {
+		t.Errorf("loop spent %d attempts, want <= 4", n)
+	}
+}
+
+func TestCloakBudgetExhaustionStaysBenign(t *testing.T) {
+	c := newCrawler(t, cloakedLoginSite(site.CloakRule{Kind: site.CloakUserAgent, Value: browser.UserAgents()[3]}))
+	c.CloakRetries = 1
+	lg := c.Crawl("http://lp.test/")
+	if lg.Cloak == nil {
+		t.Fatal("no cloak loop recorded")
+	}
+	if lg.Cloak.Uncloaked {
+		// The 1-mutation budget CAN succeed when the schedule's first
+		// candidate is the right one — but then the loop must have stopped.
+		if len(lg.Cloak.Attempts) != 2 {
+			t.Errorf("uncloaked in %d attempts with budget 1", len(lg.Cloak.Attempts))
+		}
+		return
+	}
+	if lg.Outcome != OutcomeBenign {
+		t.Errorf("exhausted budget outcome = %q, want benign", lg.Outcome)
+	}
+	if len(lg.Cloak.Attempts) != 2 {
+		t.Errorf("budget 1 spent %d attempts, want honest + 1 mutation", len(lg.Cloak.Attempts))
+	}
+}
+
+func TestCloakGenuinelyParkedPageSkipsLoop(t *testing.T) {
+	parked := &site.Site{
+		ID: "pk", Host: "parked.test",
+		Pages:  []*site.Page{{Path: "/", HTML: "<html><head><title>parked.test</title></head><body><p>This domain is for sale. Check back later.</p></body></html>"}},
+		Images: map[string][]byte{},
+	}
+	c := newCrawler(t, parked)
+	c.CloakRetries = 5
+	lg := c.Crawl("http://parked.test/")
+	if lg.Outcome != OutcomeBenign {
+		t.Fatalf("outcome = %q, want benign", lg.Outcome)
+	}
+	if lg.Cloak != nil {
+		t.Errorf("signal-less parked page triggered the loop: %+v", lg.Cloak)
+	}
+}
+
+func TestCloakCrawlDeterministic(t *testing.T) {
+	run := func() []byte {
+		c := newCrawler(t, cloakedLoginSite(
+			site.CloakRule{Kind: site.CloakReferrer, Value: browser.Referrers()[2]},
+			site.CloakRule{Kind: site.CloakCookie},
+		))
+		c.CloakRetries = 5
+		lg := c.Crawl("http://lp.test/")
+		enc, err := json.Marshal(lg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("two crawls of the same seed diverged:\n%s\n%s", a, b)
+	}
+}

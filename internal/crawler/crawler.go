@@ -76,6 +76,7 @@ const (
 	OutcomeServerError = "server-error" // the landing page answered with a 5xx
 	OutcomeTruncated   = "truncated"    // response body cut off mid-transfer
 	OutcomeTakedown    = "takedown"     // a hosting-provider suspension page
+	OutcomeBenign      = "benign"       // a parked/benign page: nothing phishing-like to measure
 
 	// Triage fast-path outcomes (internal/triage): sessions that never
 	// spawned a browser because the pre-session funnel resolved them.
@@ -91,7 +92,11 @@ func Retryable(outcome string) bool {
 	case OutcomeDead, OutcomeTimeout, OutcomeServerError, OutcomeTruncated, OutcomeError:
 		return true
 	case OutcomeCompleted, OutcomeStuck, OutcomePageLimit, OutcomeTakedown,
-		OutcomeAttributed, OutcomeTriagedOut:
+		OutcomeBenign, OutcomeAttributed, OutcomeTriagedOut:
+		// OutcomeBenign is final at the farm level: re-running the identical
+		// honest profile would measure the identical benign page. The
+		// adaptive uncloaking loop inside Crawl is what retries it, with a
+		// mutated profile.
 		return false
 	}
 	// Outcomes minted outside this package (the farm's gave-up/lost/panic
@@ -232,6 +237,11 @@ type SessionLog struct {
 	TriageScore      float64 `json:",omitempty"`
 	TriageCampaign   string  `json:",omitempty"`
 	TriageSimilarity float64 `json:",omitempty"`
+	// Cloak records the adaptive uncloaking attempts when the session's
+	// first honest crawl landed on a benign/parked page and the loop
+	// re-crawled with mutated profiles (nil otherwise, and omitted from
+	// exports so non-cloak session bytes are unchanged).
+	Cloak *CloakLog `json:",omitempty"`
 }
 
 // Crawler drives sessions. It is stateless across sessions except for the
@@ -253,8 +263,14 @@ type Crawler struct {
 	// fetches when it expires (the paper's 20-minute timeout). 0 uses
 	// DefaultSessionBudget; negative disables the budget.
 	SessionBudget time.Duration
-	// FakerSeed seeds the per-session forged-data generator.
+	// FakerSeed seeds the per-session forged-data generator and the
+	// uncloaking loop's profile-mutation schedule.
 	FakerSeed int64
+	// CloakRetries is the adaptive uncloaking budget: how many times a
+	// session that landed on a benign/parked page is re-crawled with a
+	// profile mutated from the failed attempt's observed signals. 0 (the
+	// default) disables the loop — an honest single crawl.
+	CloakRetries int
 	// Pool, when non-nil, recycles the per-session object graph (browser,
 	// trace slab, render/mask buffers) across sessions instead of
 	// allocating it fresh. Session exports are byte-identical either way;
@@ -278,8 +294,11 @@ type Crawler struct {
 	URLOnlyTransitions bool
 }
 
-// Crawl runs one end-to-end session against seedURL.
-func (c *Crawler) Crawl(seedURL string) *SessionLog {
+// crawlAttempt runs one end-to-end crawl of seedURL presenting prof, with
+// the jar optionally seeded from a prior visit's snapshot. It returns the
+// session log and the final jar snapshot (for cookie persistence across
+// adaptive attempts). Crawl wraps it with the uncloaking loop.
+func (c *Crawler) crawlAttempt(seedURL string, prof browser.Profile, jar map[string]string) (lg *SessionLog, jarOut map[string]string) {
 	maxPages := c.MaxPages
 	if maxPages <= 0 {
 		maxPages = DefaultMaxPages
@@ -323,6 +342,10 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 		tr = trace.NewSession()
 	}
 	b.SetContext(ctx)
+	b.SetProfile(prof)
+	if len(jar) > 0 {
+		b.ImportCookies(jar)
+	}
 	fk := faker.New(c.FakerSeed)
 	log := &SessionLog{SeedURL: seedURL}
 
@@ -330,6 +353,9 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 	b.SetClock(tr.Clock())
 	root := tr.Begin(trace.KindSession, seedURL)
 	defer func() {
+		// The jar snapshot must be taken before the pooled browser goes
+		// back to its pool (the next acquire resets it).
+		jarOut = b.CookieSnapshot()
 		tr.End(root)
 		if !pooled {
 			log.Trace = tr.Spans()
@@ -357,13 +383,13 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 		log.Outcome = ClassifyError(err)
 		log.Error = err.Error()
 		log.NetLog = exportNetLog()
-		return log
+		return log, nil
 	}
 	if page.Status >= http.StatusInternalServerError {
 		log.Outcome = OutcomeServerError
 		log.Error = fmt.Sprintf("HTTP %d on landing page", page.Status)
 		log.NetLog = exportNetLog()
-		return log
+		return log, nil
 	}
 	log.FirstPageEmbedding = visualphish.EmbedCropped(page.Screenshot())
 
@@ -382,6 +408,15 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 		if isTakedownPage(&pl) {
 			log.Pages = append(log.Pages, pl)
 			log.Outcome = OutcomeTakedown
+			tr.End(pg)
+			break
+		}
+		if isBenignParkedPage(&pl) {
+			// A parked/benign page: either the URL really hosts nothing, or
+			// a cloaking kit served its decoy to this profile. The Crawl
+			// wrapper decides whether to re-crawl with a mutated profile.
+			log.Pages = append(log.Pages, pl)
+			log.Outcome = OutcomeBenign
 			tr.End(pg)
 			break
 		}
@@ -426,7 +461,7 @@ func (c *Crawler) Crawl(seedURL string) *SessionLog {
 		page = next
 	}
 	log.NetLog = exportNetLog()
-	return log
+	return log, nil
 }
 
 // observePage collects the per-page metadata of Section 4.5, recording

@@ -131,6 +131,13 @@ type Stats struct {
 	// classified failure (dead, timeout, server-error, truncated, error,
 	// panic) per site that exhausted its retries.
 	Failures map[string]int
+	// Uncloaked counts sessions whose adaptive uncloaking loop got past a
+	// cloaking gate (the honest crawl saw a benign decoy, a mutated
+	// profile reached the phishing flow). CloakAttempts counts the extra
+	// crawl attempts the loop spent across all sessions. Both omit from
+	// JSON when zero so stats records without cloaking are byte-unchanged.
+	Uncloaked     int `json:",omitempty"`
+	CloakAttempts int `json:",omitempty"`
 }
 
 // SitesPerDay extrapolates throughput.
@@ -152,6 +159,8 @@ func (s *Stats) Merge(o Stats) {
 	s.Retries += o.Retries
 	s.Degraded += o.Degraded
 	s.Panics += o.Panics
+	s.Uncloaked += o.Uncloaked
+	s.CloakAttempts += o.CloakAttempts
 	if len(o.Outcomes) > 0 && s.Outcomes == nil {
 		s.Outcomes = map[string]int{}
 	}
@@ -193,6 +202,12 @@ func Tally(logs []*crawler.SessionLog) Stats {
 		observeTrace(stages, l.Trace)
 		s.Outcomes[l.Outcome]++
 		s.Retries += l.Attempts - 1
+		if l.Cloak != nil {
+			s.CloakAttempts += len(l.Cloak.Attempts) - 1
+			if l.Cloak.Uncloaked {
+				s.Uncloaked++
+			}
+		}
 		switch l.Outcome {
 		case OutcomeGaveUp:
 			s.Failures[l.Error]++
@@ -302,11 +317,13 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 	// outcome tally.
 	var land struct {
 		sync.Mutex
-		outcomes map[string]int
-		failures map[string]int
-		degraded int
-		count    int
-		sinkErr  error
+		outcomes      map[string]int
+		failures      map[string]int
+		degraded      int
+		uncloaked     int
+		cloakAttempts int
+		count         int
+		sinkErr       error
 	}
 	land.outcomes = map[string]int{}
 	land.failures = map[string]int{}
@@ -320,6 +337,12 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 			land.failures[lg.Error]++
 		} else if lg.Attempts > 1 {
 			land.degraded++
+		}
+		if lg.Cloak != nil {
+			land.cloakAttempts += len(lg.Cloak.Attempts) - 1
+			if lg.Cloak.Uncloaked {
+				land.uncloaked++
+			}
 		}
 		if cfg.Sink == nil {
 			logs[lg.FeedIndex] = lg
@@ -416,15 +439,17 @@ func run(cfg Config, urls []string) ([]*crawler.SessionLog, Stats, error) {
 	wg.Wait()
 
 	stats := Stats{
-		Sites:      len(include),
-		Elapsed:    start.Elapsed(),
-		FastPathed: land.outcomes[crawler.OutcomeAttributed] + land.outcomes[crawler.OutcomeTriagedOut],
-		Outcomes:   land.outcomes,
-		Stages:     stages.Snapshot(),
-		Retries:    int(atomic.LoadInt64(&retries)),
-		Panics:     int(atomic.LoadInt64(&panics)),
-		Failures:   land.failures,
-		Degraded:   land.degraded,
+		Sites:         len(include),
+		Elapsed:       start.Elapsed(),
+		FastPathed:    land.outcomes[crawler.OutcomeAttributed] + land.outcomes[crawler.OutcomeTriagedOut],
+		Outcomes:      land.outcomes,
+		Stages:        stages.Snapshot(),
+		Retries:       int(atomic.LoadInt64(&retries)),
+		Panics:        int(atomic.LoadInt64(&panics)),
+		Failures:      land.failures,
+		Degraded:      land.degraded,
+		Uncloaked:     land.uncloaked,
+		CloakAttempts: land.cloakAttempts,
 	}
 	// Sessions that never landed (a worker died without recording — the
 	// panic guard should make this impossible) stay visible as lost.

@@ -51,14 +51,19 @@ type Params struct {
 	// sessions, so a worker disagreeing on it would merge a different
 	// session universe.
 	Triage string `json:"triage,omitempty"`
+	// Cloak fingerprints the cloaking configuration ("" = cloaking off;
+	// otherwise "rate=…,retries=…"). The rate changes the generated corpus
+	// and the retry budget changes session bytes, so workers must agree on
+	// both.
+	Cloak string `json:"cloak,omitempty"`
 	// MinCampaign is the corpus clone-heaviness knob; it changes the
 	// generated sites, so it is part of the universe fingerprint.
 	MinCampaign int `json:"minCampaign,omitempty"`
 }
 
 func (p Params) String() string {
-	return fmt.Sprintf("sites=%d seed=%d chaosSeed=%d chaos=%q feed=%d triage=%q minCampaign=%d",
-		p.Sites, p.Seed, p.ChaosSeed, p.Chaos, p.FeedURLs, p.Triage, p.MinCampaign)
+	return fmt.Sprintf("sites=%d seed=%d chaosSeed=%d chaos=%q feed=%d triage=%q cloak=%q minCampaign=%d",
+		p.Sites, p.Seed, p.ChaosSeed, p.Chaos, p.FeedURLs, p.Triage, p.Cloak, p.MinCampaign)
 }
 
 // Lease is one unit of fleet work: crawl the feed-index range

@@ -732,6 +732,35 @@ func (j *Journal) TriagePlans() ([][]byte, error) {
 	return out, err
 }
 
+// AppendCloak appends one cloak configuration record (an opaque,
+// already-encoded payload, like AppendTriage's plan records). Appended
+// once, before a cloak-enabled crawl's first session.
+func (j *Journal) AppendCloak(payload []byte) error {
+	if j.opts.Sync == SyncGroup {
+		return j.appendGroup(KindCloak, append([]byte(nil), payload...), "")
+	}
+	//phishvet:ignore locknoblock: j.mu is the WAL's write order — the append and its fsync must be serialized against every other writer
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.appendLocked(KindCloak, payload)
+	return err
+}
+
+// CloakRecords returns the payload of every cloak configuration record,
+// oldest first. A journal written by one uninterrupted or correctly-resumed
+// cloak-enabled run holds exactly one.
+func (j *Journal) CloakRecords() ([][]byte, error) {
+	var out [][]byte
+	err := j.Scan(func(r Record) error {
+		if r.Kind != KindCloak {
+			return nil
+		}
+		out = append(out, append([]byte(nil), r.Payload...))
+		return nil
+	})
+	return out, err
+}
+
 // StatsRuns decodes the stats record of every completed run, oldest first.
 func (j *Journal) StatsRuns() ([]farm.Stats, error) {
 	var out []farm.Stats

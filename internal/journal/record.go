@@ -35,6 +35,13 @@ const (
 	// plan from the feed and verifies it against this record, so a journal
 	// can never mix sessions from two different triage universes.
 	KindTriage Kind = 3
+	// KindCloak frames the JSON-encoded cloak configuration (sitegen cloak
+	// rate plus the adaptive-uncloaking retry budget), appended once before
+	// a cloak-enabled crawl starts. A resumed run re-encodes its config and
+	// verifies it byte-for-byte against this record — the per-session
+	// mutation schedules are pure functions of that config and the feed, so
+	// matching configs pin matching session bytes.
+	KindCloak Kind = 4
 )
 
 const (

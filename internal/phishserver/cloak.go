@@ -1,0 +1,123 @@
+package phishserver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+
+	"repro/internal/site"
+)
+
+// Cloak-gate cookie and header names. They mirror internal/browser's
+// JSChallengeCookie/JSChallengeHeader constants — the two packages stay
+// import-independent, so the shared wire names are pinned by
+// TestCloakWireNames instead of a common package.
+const (
+	// cloakRevisitCookie marks a repeat visitor; decoy responses set it so
+	// a jar-persisting second visit passes CloakCookie rules.
+	cloakRevisitCookie = "rv"
+	// cloakJSCookie carries a JS-capability probe answer.
+	cloakJSCookie = "jsc"
+	// cloakJSHeader poses the probe on decoy responses.
+	cloakJSHeader = "X-Js-Challenge"
+)
+
+// jsToken derives the deterministic JS-probe answer for a host: the value
+// a JS-capable visitor's probe script would compute and store in the
+// cloakJSCookie.
+func jsToken(host string) string {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// cloakFailures evaluates every rule against the request and returns the
+// failing ones in rule order. An empty result means the gate is open.
+func cloakFailures(c *site.Cloak, req *http.Request) []site.CloakRule {
+	var failing []site.CloakRule
+	for _, r := range c.Rules {
+		if !cloakRulePasses(r, req) {
+			failing = append(failing, r)
+		}
+	}
+	return failing
+}
+
+func cloakRulePasses(r site.CloakRule, req *http.Request) bool {
+	switch r.Kind {
+	case site.CloakUserAgent:
+		return strings.Contains(req.UserAgent(), r.Value)
+	case site.CloakReferrer:
+		return strings.Contains(req.Referer(), r.Value)
+	case site.CloakLanguage:
+		return strings.HasPrefix(req.Header.Get("Accept-Language"), r.Value)
+	case site.CloakGeo:
+		return strings.HasPrefix(req.Header.Get("X-Forwarded-For"), r.Value)
+	case site.CloakCookie:
+		_, err := req.Cookie(cloakRevisitCookie)
+		return err == nil
+	case site.CloakJS:
+		c, err := req.Cookie(cloakJSCookie)
+		return err == nil && c.Value == jsToken(requestHost(req))
+	}
+	// Unknown kinds never pass: a misconfigured rule cloaks rather than
+	// exposing the flow.
+	return false
+}
+
+// cloakVaryHeader maps a rule kind to the request header its check reads,
+// for the decoy's Vary header. CloakJS signals via cloakJSHeader instead.
+func cloakVaryHeader(kind string) string {
+	switch kind {
+	case site.CloakUserAgent:
+		return "User-Agent"
+	case site.CloakReferrer:
+		return "Referer"
+	case site.CloakLanguage:
+		return "Accept-Language"
+	case site.CloakGeo:
+		return "X-Forwarded-For"
+	case site.CloakCookie:
+		return "Cookie"
+	}
+	return ""
+}
+
+// serveDecoy answers a gated request with the site's benign decoy page,
+// leaking exactly the signals a real kit leaks: a Vary header naming the
+// request dimensions the gate read (in rule order), the JS probe when a js
+// rule failed, and the repeat-visit cookie so a persistent jar's next
+// visit counts as a revisit.
+func serveDecoy(w http.ResponseWriter, req *http.Request, c *site.Cloak, failing []site.CloakRule) {
+	var vary []string
+	for _, r := range failing {
+		if h := cloakVaryHeader(r.Kind); h != "" {
+			vary = append(vary, h)
+		}
+		if r.Kind == site.CloakJS {
+			w.Header().Set(cloakJSHeader, jsToken(requestHost(req)))
+		}
+	}
+	if len(vary) > 0 {
+		w.Header().Set("Vary", strings.Join(vary, ", "))
+	}
+	for _, r := range c.Rules {
+		if r.Kind == site.CloakCookie {
+			http.SetCookie(w, &http.Cookie{Name: cloakRevisitCookie, Value: "1", Path: "/"})
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, c.DecoyHTML)
+}
+
+// requestHost returns the request's host with any port stripped, the form
+// jsToken is computed over.
+func requestHost(req *http.Request) string {
+	host := req.Host
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return host
+}

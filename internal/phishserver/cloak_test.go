@@ -1,0 +1,173 @@
+package phishserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/site"
+)
+
+// TestCloakWireNames pins the cookie and header names this package shares
+// with internal/browser by convention: the packages stay import-independent,
+// so a rename on either side must fail here, not silently break uncloaking.
+func TestCloakWireNames(t *testing.T) {
+	if cloakJSCookie != browser.JSChallengeCookie {
+		t.Errorf("JS probe cookie: phishserver %q != browser %q", cloakJSCookie, browser.JSChallengeCookie)
+	}
+	if cloakJSHeader != browser.JSChallengeHeader {
+		t.Errorf("JS probe header: phishserver %q != browser %q", cloakJSHeader, browser.JSChallengeHeader)
+	}
+}
+
+func cloakedSite(host string, rules ...site.CloakRule) *site.Site {
+	s := minimalSite(host)
+	s.Cloak = &site.Cloak{
+		Rules:     rules,
+		DecoyHTML: "<html><head><title>coming soon</title></head><body>This site is under construction.</body></html>",
+	}
+	return s
+}
+
+func TestCloakGateServesDecoyThenOpens(t *testing.T) {
+	ua := browser.UserAgents()[2]
+	reg := NewRegistry()
+	reg.AddSite(cloakedSite("c.test", site.CloakRule{Kind: site.CloakUserAgent, Value: ua}))
+
+	// Honest request: decoy, with the failing dimension leaked via Vary.
+	resp := doReq(t, reg, "GET", "http://c.test/", nil)
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "coming soon") {
+		t.Fatalf("gated request got %q, want the decoy", body)
+	}
+	if got := resp.Header.Get("Vary"); got != "User-Agent" {
+		t.Errorf("Vary = %q, want User-Agent", got)
+	}
+
+	// Matching user agent: the real page.
+	req := httptest.NewRequest("GET", "http://c.test/", nil)
+	req.Header.Set("User-Agent", ua)
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, req)
+	if got := rec.Body.String(); !strings.Contains(got, "<form") {
+		t.Errorf("passing request got %q, want the phishing page", got)
+	}
+}
+
+func TestCloakRulePasses(t *testing.T) {
+	withHeader := func(k, v string) *http.Request {
+		req := httptest.NewRequest("GET", "http://c.test/", nil)
+		if k != "" {
+			req.Header.Set(k, v)
+		}
+		return req
+	}
+	withCookie := func(name, value string) *http.Request {
+		req := httptest.NewRequest("GET", "http://c.test/", nil)
+		req.AddCookie(&http.Cookie{Name: name, Value: value})
+		return req
+	}
+	cases := []struct {
+		name string
+		rule site.CloakRule
+		req  *http.Request
+		want bool
+	}{
+		{"ua-match", site.CloakRule{Kind: site.CloakUserAgent, Value: "iPhone"}, withHeader("User-Agent", "Mozilla/5.0 (iPhone; CPU)"), true},
+		{"ua-miss", site.CloakRule{Kind: site.CloakUserAgent, Value: "iPhone"}, withHeader("User-Agent", "PhishCrawl/1.0"), false},
+		{"referrer-match", site.CloakRule{Kind: site.CloakReferrer, Value: "mail.google.com"}, withHeader("Referer", "https://mail.google.com/mail/u/0/"), true},
+		{"referrer-empty", site.CloakRule{Kind: site.CloakReferrer, Value: "mail.google.com"}, withHeader("", ""), false},
+		{"language-match", site.CloakRule{Kind: site.CloakLanguage, Value: "fr-FR"}, withHeader("Accept-Language", "fr-FR,fr;q=0.9"), true},
+		{"language-miss", site.CloakRule{Kind: site.CloakLanguage, Value: "fr-FR"}, withHeader("Accept-Language", "en-US"), false},
+		{"geo-match", site.CloakRule{Kind: site.CloakGeo, Value: "203.0.113.7"}, withHeader("X-Forwarded-For", "203.0.113.7"), true},
+		{"geo-miss", site.CloakRule{Kind: site.CloakGeo, Value: "203.0.113.7"}, withHeader("", ""), false},
+		{"cookie-revisit", site.CloakRule{Kind: site.CloakCookie}, withCookie(cloakRevisitCookie, "1"), true},
+		{"cookie-first-visit", site.CloakRule{Kind: site.CloakCookie}, withHeader("", ""), false},
+		{"js-answered", site.CloakRule{Kind: site.CloakJS}, withCookie(cloakJSCookie, jsToken("c.test")), true},
+		{"js-wrong-token", site.CloakRule{Kind: site.CloakJS}, withCookie(cloakJSCookie, "00000000"), false},
+		{"js-unanswered", site.CloakRule{Kind: site.CloakJS}, withHeader("", ""), false},
+		{"unknown-kind", site.CloakRule{Kind: "bogus"}, withHeader("", ""), false},
+	}
+	for _, tc := range cases {
+		if got := cloakRulePasses(tc.rule, tc.req); got != tc.want {
+			t.Errorf("%s: cloakRulePasses = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDecoyLeaksAllFailingDimensions(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(cloakedSite("c.test",
+		site.CloakRule{Kind: site.CloakReferrer, Value: browser.Referrers()[1]},
+		site.CloakRule{Kind: site.CloakCookie},
+		site.CloakRule{Kind: site.CloakJS},
+	))
+	resp := doReq(t, reg, "GET", "http://c.test/", nil)
+	if got := resp.Header.Get("Vary"); got != "Referer, Cookie" {
+		t.Errorf("Vary = %q, want failing dimensions in rule order", got)
+	}
+	if got := resp.Header.Get(cloakJSHeader); got != jsToken("c.test") {
+		t.Errorf("JS probe header = %q, want %q", got, jsToken("c.test"))
+	}
+	// The decoy sets the revisit cookie so a persistent jar's next visit
+	// counts as a repeat visit.
+	var rv *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == cloakRevisitCookie {
+			rv = c
+		}
+	}
+	if rv == nil || rv.Value != "1" {
+		t.Errorf("revisit cookie not set: %v", resp.Cookies())
+	}
+}
+
+func TestDecoyVaryOmitsPassingDimensions(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddSite(cloakedSite("c.test",
+		site.CloakRule{Kind: site.CloakLanguage, Value: browser.Languages()[2]},
+		site.CloakRule{Kind: site.CloakGeo, Value: browser.ForwardedAddrs()[2]},
+	))
+	req := httptest.NewRequest("GET", "http://c.test/", nil)
+	req.Header.Set("Accept-Language", browser.Languages()[2])
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, req)
+	resp := rec.Result()
+	if got := resp.Header.Get("Vary"); got != "X-Forwarded-For" {
+		t.Errorf("Vary = %q, want only the still-failing dimension", got)
+	}
+	if body := rec.Body.String(); !strings.Contains(body, "coming soon") {
+		t.Errorf("partially-passing request got the real page: %q", body)
+	}
+}
+
+func TestCloakGateCoversWholeSite(t *testing.T) {
+	// Every path — pages, images, beacons — hides behind the gate, as a real
+	// kit's server-side include does.
+	reg := NewRegistry()
+	reg.AddSite(cloakedSite("c.test", site.CloakRule{Kind: site.CloakCookie}))
+	for _, path := range []string{"/", "/two", "/x.pxi"} {
+		resp := doReq(t, reg, "GET", "http://c.test"+path, nil)
+		body, _ := io.ReadAll(resp.Body)
+		if !strings.Contains(string(body), "coming soon") {
+			t.Errorf("%s served %q past the gate", path, body)
+		}
+	}
+}
+
+func TestUncloakedSiteUnaffected(t *testing.T) {
+	// Sites without a Cloak spec serve exactly as before.
+	reg := NewRegistry()
+	reg.AddSite(minimalSite("plain.test"))
+	resp := doReq(t, reg, "GET", "http://plain.test/", nil)
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "<form") {
+		t.Errorf("plain site: %d %q", resp.StatusCode, body)
+	}
+	if v := resp.Header.Get("Vary"); v != "" {
+		t.Errorf("plain site sets Vary %q", v)
+	}
+}

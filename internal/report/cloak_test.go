@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/farm"
+)
+
+func TestCloakTableEmptyWithoutCloakData(t *testing.T) {
+	logs := []*crawler.SessionLog{
+		{SeedURL: "http://a.test/", Outcome: "completed"},
+		nil,
+	}
+	if got := CloakTable(logs, farm.Stats{}); got != "" {
+		t.Errorf("cloak-less logs rendered %q, want empty", got)
+	}
+}
+
+func TestCloakTableAggregates(t *testing.T) {
+	logs := []*crawler.SessionLog{
+		{SeedURL: "http://a.test/", Outcome: "completed", Cloak: &crawler.CloakLog{
+			Uncloaked: true,
+			Attempts: []crawler.CloakAttempt{
+				{Profile: "ua=0 ref=0 lang=0 geo=0 js=0 ck=0", Outcome: crawler.OutcomeBenign, Signals: []string{crawler.SignalUserAgent}},
+				{Profile: "ua=2 ref=0 lang=0 geo=0 js=0 ck=0", Outcome: "completed"},
+			},
+		}},
+		{SeedURL: "http://b.test/", Outcome: crawler.OutcomeBenign, Cloak: &crawler.CloakLog{
+			Attempts: []crawler.CloakAttempt{
+				{Outcome: crawler.OutcomeBenign, Signals: []string{crawler.SignalJS, crawler.SignalUserAgent}},
+				{Outcome: crawler.OutcomeBenign, Signals: []string{crawler.SignalJS}},
+			},
+		}},
+		{SeedURL: "http://c.test/", Outcome: crawler.OutcomeBenign}, // genuinely parked
+		{SeedURL: "http://d.test/", Outcome: "stuck"},
+	}
+	got := CloakTable(logs, farm.Stats{})
+	for _, want := range []string{
+		"Sessions gated by a decoy               2",
+		"Uncloaked (gate opened)                 1    50.0%",
+		"Still cloaked after budget              1    50.0%",
+		"Benign with no cloak signals            1",
+		"js=1 user-agent=2",
+		"Mutated attempts to uncloak: 1:1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("table missing %q:\n%s", want, got)
+		}
+	}
+}

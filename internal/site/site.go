@@ -69,6 +69,33 @@ type Page struct {
 	FieldLabels []string
 }
 
+// Cloak rule kinds: the request dimensions a cloaking kit gates on.
+const (
+	CloakUserAgent = "user-agent" // User-Agent must contain Value
+	CloakReferrer  = "referrer"   // Referer must contain Value
+	CloakLanguage  = "language"   // Accept-Language must start with Value
+	CloakGeo       = "geo"        // X-Forwarded-For must start with Value
+	CloakCookie    = "cookie"     // repeat-visit cookie must be present
+	CloakJS        = "js"         // JS-capability probe answer required
+)
+
+// CloakRule is one gate a cloaked site's server checks before serving the
+// real flow. Value is the required header content for the header-based
+// kinds and unused for CloakCookie/CloakJS.
+type CloakRule struct {
+	Kind  string
+	Value string
+}
+
+// Cloak is a site's cloaking spec: every rule must pass or the server
+// serves DecoyHTML — a deterministic parked/benign page — instead of the
+// phishing flow.
+type Cloak struct {
+	Rules []CloakRule
+	// DecoyHTML is the benign page served while any rule fails.
+	DecoyHTML string
+}
+
 // Termination labels for ground truth and analysis.
 const (
 	TermNone          = "none"
@@ -101,6 +128,10 @@ type Truth struct {
 	Language string
 	// FieldsPerPage mirrors Page.Fields for every page, first page first.
 	FieldsPerPage [][]fieldspec.Type
+	// Cloaked marks sites whose server gates the flow behind cloak rules;
+	// CloakKinds lists the rule kinds in check order.
+	Cloaked    bool
+	CloakKinds []string
 }
 
 // Site is one phishing website.
@@ -121,6 +152,8 @@ type Site struct {
 	Images map[string][]byte
 	// Truth is the ground-truth design-pattern record.
 	Truth Truth
+	// Cloak, when non-nil, gates every request behind its rules.
+	Cloak *Cloak
 }
 
 // SeedURL returns the URL the phishing feed would report for this site.

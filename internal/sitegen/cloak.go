@@ -1,0 +1,81 @@
+package sitegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/browser"
+	"repro/internal/site"
+)
+
+// cloakKinds is the rule-kind universe in multiQuota option order. The
+// weights in newGenState skew toward the gates real kits deploy most
+// (user-agent sniffing first, JS probes rarest).
+var cloakKinds = []string{
+	site.CloakUserAgent,
+	site.CloakReferrer,
+	site.CloakLanguage,
+	site.CloakGeo,
+	site.CloakCookie,
+	site.CloakJS,
+}
+
+// drawCloakRules picks a cloaked campaign's gate: 1-3 distinct rule kinds
+// (the first from the size-weighted kind quota so corpus-level kind rates
+// hold, the rest uniformly) with required values drawn from the browser
+// package's candidate pools.
+func drawCloakRules(g *genState, size int) []site.CloakRule {
+	depth := 1 + g.cloakDepth.draw(size)
+	picked := []int{g.cloakKind.draw(size)}
+	for len(picked) < depth {
+		k := g.rng.Intn(len(cloakKinds))
+		dup := false
+		for _, p := range picked {
+			if p == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			picked = append(picked, k)
+		}
+	}
+	rules := make([]site.CloakRule, 0, len(picked))
+	for _, k := range picked {
+		rules = append(rules, cloakRuleFor(g.rng, cloakKinds[k]))
+	}
+	return rules
+}
+
+// cloakRuleFor draws the required value for a rule kind from the shared
+// candidate pool, always at index >= 1: index 0 is the honest crawler's
+// default on every dimension, so a single honest visit never passes.
+func cloakRuleFor(rng *rand.Rand, kind string) site.CloakRule {
+	pick := func(pool []string) string {
+		return pool[1+rng.Intn(len(pool)-1)]
+	}
+	r := site.CloakRule{Kind: kind}
+	switch kind {
+	case site.CloakUserAgent:
+		r.Value = pick(browser.UserAgents())
+	case site.CloakReferrer:
+		r.Value = pick(browser.Referrers())
+	case site.CloakLanguage:
+		r.Value = pick(browser.Languages())
+	case site.CloakGeo:
+		r.Value = pick(browser.ForwardedAddrs())
+	}
+	return r
+}
+
+// buildDecoyHTML is the parked/benign page a cloaked kit serves to gated
+// visitors. Real decoys are generic registrar pages, deliberately unlike
+// the campaign's phishing design; the phrasing matches the crawler's
+// benign-parked classifier and stays clear of its takedown phrases.
+func buildDecoyHTML(host string) string {
+	return fmt.Sprintf(`<html><head><title>%s - coming soon</title></head><body>
+<div><h1>Welcome to %s</h1>
+<p>This site is coming soon. The page you are looking for is under construction.</p>
+<p>Please check back later.</p></div>
+</body></html>`, host, host)
+}

@@ -1,0 +1,157 @@
+package sitegen
+
+import (
+	"testing"
+
+	"repro/internal/browser"
+	"repro/internal/site"
+)
+
+func cloakedParams(n int, seed int64, rate float64) Params {
+	p := ScaledParams(n, seed)
+	p.CloakRate = rate
+	return p
+}
+
+func TestCloakRateZeroKeepsCorpusByteIdentical(t *testing.T) {
+	// The cloaking quotas must not perturb the generator's rng stream when
+	// disabled: a CloakRate-0 corpus is the exact corpus earlier versions
+	// generated, page bytes included.
+	a := Generate(ScaledParams(60, 11))
+	b := Generate(cloakedParams(60, 11, 0))
+	if len(a.Sites) != len(b.Sites) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Sites {
+		if a.Sites[i].Host != b.Sites[i].Host {
+			t.Fatalf("site %d host %q != %q", i, a.Sites[i].Host, b.Sites[i].Host)
+		}
+		for j := range a.Sites[i].Pages {
+			if a.Sites[i].Pages[j].HTML != b.Sites[i].Pages[j].HTML {
+				t.Fatalf("site %d page %d HTML differs with CloakRate=0", i, j)
+			}
+		}
+		if b.Sites[i].Cloak != nil {
+			t.Fatalf("site %d cloaked with CloakRate=0", i)
+		}
+	}
+}
+
+func TestCloakRateApproximatelyHeld(t *testing.T) {
+	c := Generate(cloakedParams(200, 5, 0.5))
+	cloaked := 0
+	for _, s := range c.Sites {
+		if s.Cloak != nil {
+			cloaked++
+		}
+	}
+	frac := float64(cloaked) / float64(len(c.Sites))
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("cloaked fraction = %.2f (%d/%d), want ~0.5", frac, cloaked, len(c.Sites))
+	}
+}
+
+func TestCloakDeterministicAndCampaignCoherent(t *testing.T) {
+	a := Generate(cloakedParams(120, 3, 0.6))
+	b := Generate(cloakedParams(120, 3, 0.6))
+	for i := range a.Sites {
+		ac, bc := a.Sites[i].Cloak, b.Sites[i].Cloak
+		if (ac == nil) != (bc == nil) {
+			t.Fatalf("site %d cloak presence differs across identical params", i)
+		}
+		if ac == nil {
+			continue
+		}
+		if len(ac.Rules) != len(bc.Rules) {
+			t.Fatalf("site %d rule counts differ", i)
+		}
+		for j := range ac.Rules {
+			if ac.Rules[j] != bc.Rules[j] {
+				t.Fatalf("site %d rule %d differs: %+v != %+v", i, j, ac.Rules[j], bc.Rules[j])
+			}
+		}
+	}
+
+	// Cloaking is a campaign property: every site of a campaign shares the
+	// founder's gate (clones deploy the same kit, gate included).
+	byCampaign := map[string][]*site.Site{}
+	for _, s := range a.Sites {
+		byCampaign[s.CampaignID] = append(byCampaign[s.CampaignID], s)
+	}
+	for id, sites := range byCampaign {
+		first := sites[0].Cloak
+		for _, s := range sites[1:] {
+			if (first == nil) != (s.Cloak == nil) {
+				t.Fatalf("campaign %s mixes cloaked and uncloaked sites", id)
+			}
+			if first == nil {
+				continue
+			}
+			for j := range first.Rules {
+				if first.Rules[j] != s.Cloak.Rules[j] {
+					t.Fatalf("campaign %s sites disagree on rule %d", id, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCloakRulesWellFormed(t *testing.T) {
+	pools := map[string][]string{
+		site.CloakUserAgent: browser.UserAgents(),
+		site.CloakReferrer:  browser.Referrers(),
+		site.CloakLanguage:  browser.Languages(),
+		site.CloakGeo:       browser.ForwardedAddrs(),
+	}
+	c := Generate(cloakedParams(150, 9, 0.7))
+	sawCloak := false
+	for _, s := range c.Sites {
+		if s.Cloak == nil {
+			if s.Truth.Cloaked || len(s.Truth.CloakKinds) != 0 {
+				t.Fatalf("site %s truth claims cloaking without a Cloak spec", s.ID)
+			}
+			continue
+		}
+		sawCloak = true
+		if !s.Truth.Cloaked || len(s.Truth.CloakKinds) != len(s.Cloak.Rules) {
+			t.Fatalf("site %s truth out of sync with Cloak spec", s.ID)
+		}
+		if s.Cloak.DecoyHTML == "" {
+			t.Fatalf("site %s has no decoy page", s.ID)
+		}
+		if n := len(s.Cloak.Rules); n < 1 || n > 3 {
+			t.Fatalf("site %s has %d rules, want 1-3", s.ID, n)
+		}
+		seen := map[string]bool{}
+		for _, r := range s.Cloak.Rules {
+			if seen[r.Kind] {
+				t.Fatalf("site %s repeats rule kind %s", s.ID, r.Kind)
+			}
+			seen[r.Kind] = true
+			pool, valued := pools[r.Kind]
+			if !valued {
+				if r.Kind != site.CloakCookie && r.Kind != site.CloakJS {
+					t.Fatalf("site %s has unknown rule kind %q", s.ID, r.Kind)
+				}
+				if r.Value != "" {
+					t.Fatalf("site %s boolean rule %s carries value %q", s.ID, r.Kind, r.Value)
+				}
+				continue
+			}
+			// Required values come from candidate indices >= 1: the honest
+			// default (index 0) must never satisfy a gate.
+			idx := -1
+			for i, v := range pool {
+				if v == r.Value {
+					idx = i
+				}
+			}
+			if idx < 1 {
+				t.Fatalf("site %s rule %s value %q not in pool tail (idx %d)", s.ID, r.Kind, r.Value, idx)
+			}
+		}
+	}
+	if !sawCloak {
+		t.Fatal("rate 0.7 corpus generated no cloaked sites")
+	}
+}

@@ -126,6 +126,13 @@ type Params struct {
 	// distribution untouched. The final campaign may still be smaller: it
 	// absorbs whatever remainder NumSites leaves.
 	MinCampaignSize int
+	// CloakRate is the site-weighted fraction of campaigns whose kits
+	// cloak: their servers gate the phishing flow behind request checks
+	// (user-agent, referrer, language, geo header, repeat-visit cookie,
+	// JS-capability probe) and serve a benign parked decoy otherwise — the
+	// blind spot Section 6 calls out. 0 (the default) generates no cloaked
+	// kits and leaves the corpus byte-identical to earlier versions.
+	CloakRate float64
 }
 
 // DefaultParams returns paper-scale parameters.

@@ -134,9 +134,17 @@ type genState struct {
 	brandPick   *multiQuota
 	brandList   []brands.Brand
 	language    *multiQuota // en / fr / es (Section 6 extension)
+
+	// Cloaking quotas, nil unless Params.CloakRate > 0: the nil state
+	// draws nothing from the rng, so corpora without cloaking stay
+	// byte-identical to earlier generator versions.
+	cloak      *quota
+	cloakDepth *multiQuota // 1 / 2 / 3 rules per cloaked campaign
+	cloakKind  *multiQuota // first rule kind, cloakKinds order
 }
 
-func newGenState(seed int64) *genState {
+func newGenState(p Params) *genState {
+	seed := p.Seed
 	rng := rand.New(rand.NewSource(seed))
 	pMulti := rate(PaperMultiPageSites)
 	pcTotal := 0
@@ -149,7 +157,7 @@ func newGenState(seed int64) *genState {
 	captchaEligible := 1 - rateOfMulti(paperClickThroughFirst)
 	captchaNone := 1 - (rate(paperRecaptchaSites)+rate(paperHcaptchaSites)+
 		rate(paperCustomTextCaptcha)+rate(paperCustomVisCaptcha))/pMulti/captchaEligible
-	return &genState{
+	g := &genState{
 		rng:   rng,
 		multi: newQuota(pMulti, rng),
 		pageCount: newMultiQuota([]float64{
@@ -195,6 +203,14 @@ func newGenState(seed int64) *genState {
 		brandList:  brands.All(),
 		language:   newMultiQuota([]float64{0.85, 0.10, 0.05}, rng),
 	}
+	// Cloak quotas are created after every always-on quota, so enabling
+	// cloaking appends to the rng stream instead of shifting it.
+	if p.CloakRate > 0 {
+		g.cloak = newQuota(p.CloakRate, rng)
+		g.cloakDepth = newMultiQuota([]float64{0.60, 0.30, 0.10}, rng)
+		g.cloakKind = newMultiQuota([]float64{0.30, 0.20, 0.15, 0.10, 0.15, 0.10}, rng)
+	}
+	return g
 }
 
 // newBrandQuota builds the Table 7-weighted brand selector.
@@ -252,6 +268,8 @@ type campaignSpec struct {
 	dataFields  [][]fieldspec.Type
 	size        int
 	sharedSLD   bool
+	// cloakRules, when non-empty, gate every site in the campaign.
+	cloakRules []site.CloakRule
 	// pageSeed drives page construction so every site in the campaign gets
 	// the identical kit pages (as real deployments do), which is what makes
 	// perceptual-hash campaign clustering recover campaigns.
@@ -260,7 +278,7 @@ type campaignSpec struct {
 
 // Generate builds a corpus of p.NumSites sites.
 func Generate(p Params) *Corpus {
-	g := newGenState(p.Seed)
+	g := newGenState(p)
 	var specs []*campaignSpec
 	total := 0
 	// Cap campaign size relative to corpus scale so one giant kit cannot
@@ -429,6 +447,11 @@ func drawCampaign(g *genState, idx, size int) *campaignSpec {
 	spec.dataFields = planDataFields(rng, spec)
 	spec.sharedSLD = g.sharedSLD.draw(size)
 	spec.consent = g.consent.draw(size)
+	// Cloaking: drawn only when enabled, so disabled corpora consume the
+	// identical rng stream as before the dimension existed.
+	if g.cloak != nil && g.cloak.draw(size) {
+		spec.cloakRules = drawCloakRules(g, size)
+	}
 	spec.pageSeed = rng.Int63()
 	return spec
 }
@@ -628,6 +651,13 @@ func buildSite(spec *campaignSpec, campIdx, siteInCamp, globalIdx int) *site.Sit
 	}
 	if truth.Termination == "other-final" {
 		truth.Termination = site.TermNone
+	}
+	if len(spec.cloakRules) > 0 {
+		s.Cloak = &site.Cloak{Rules: spec.cloakRules, DecoyHTML: buildDecoyHTML(host)}
+		truth.Cloaked = true
+		for _, r := range spec.cloakRules {
+			truth.CloakKinds = append(truth.CloakKinds, r.Kind)
+		}
 	}
 
 	dataSeen := 0
